@@ -1,0 +1,89 @@
+#include "bench_util.hpp"
+
+/**
+ * @file
+ * Ablation: GECKO's two attack detectors (§VI-A).
+ *
+ * The ACK detector catches checkpoint *failures* (torn/missed images);
+ * the timer detector catches checkpoint *churn* (power cycles shorter
+ * than one region's worth of execution).  This bench runs the sensing
+ * application under a continuous resonant attack with each detector
+ * configuration and reports detections, throughput kept, and corruption
+ * evidence.
+ */
+
+int
+main()
+{
+    using namespace gecko;
+    using namespace gecko::bench;
+
+    std::cout << "=== Ablation: ACK vs timer detection ===\n\n";
+
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    compiler::PipelineConfig pconfig;
+    pconfig.maxRegionCycles = 6000;
+    auto compiled = compiler::compile(workloads::build("sensor_app"),
+                                      compiler::Scheme::kGecko, pconfig);
+
+    struct Variant {
+        const char* label;
+        bool ack, timer;
+    };
+    const Variant variants[] = {
+        {"no detection", false, false},
+        {"ACK only", true, false},
+        {"timer only", false, true},
+        {"ACK + timer (GECKO)", true, true},
+    };
+
+    // Clean reference.
+    std::uint64_t clean = 0;
+    {
+        sim::IoHub io;
+        workloads::setupIo("sensor_app", io);
+        energy::ConstantHarvester weak(3.3, 150.0);
+        sim::SimConfig config;
+        config.cap.capacitanceF = 1e-3;
+        sim::IntermittentSim simulation(compiled, dev, config, weak, io);
+        simulation.run(2.0);
+        clean = simulation.machine().stats.completions;
+    }
+
+    metrics::TextTable table;
+    table.header({"detectors", "completions", "vs clean", "detections",
+                  "rollbacks", "output conflicts"});
+
+    for (const Variant& variant : variants) {
+        sim::IoHub io;
+        workloads::setupIo("sensor_app", io);
+        energy::ConstantHarvester weak(3.3, 150.0);
+        sim::SimConfig config;
+        config.cap.capacitanceF = 1e-3;
+        attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.5);
+        attack::EmiSource source(rig, 27e6, 35.0);
+        sim::IntermittentSim simulation(compiled, dev, config, weak, io);
+        simulation.geckoRuntime().setDetectors(variant.ack, variant.timer);
+        simulation.setEmiSource(&source);
+        simulation.run(2.0);
+
+        const auto& rt = simulation.geckoRuntime().stats;
+        std::uint64_t done = simulation.machine().stats.completions;
+        table.row({variant.label, std::to_string(done),
+                   metrics::fmtPercent(
+                       clean ? static_cast<double>(done) / clean : 0.0, 0),
+                   std::to_string(rt.attackDetections),
+                   std::to_string(rt.rollbacks),
+                   std::to_string(io.output(0).conflicts())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nWithout detection the hybrid stays on the JIT path "
+                 "and inherits NVP's DoS.  The ACK detector only fires "
+                 "on torn/missed images, so it misses a pure "
+                 "checkpoint-churn attack (completed checkpoints keep "
+                 "toggling the ACK); the timer detector is what catches "
+                 "churn.  The paper's combination covers both failure "
+                 "modes.\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+#ifndef GECKO_BENCH_BENCH_UTIL_HPP_
+#define GECKO_BENCH_BENCH_UTIL_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attack_schedule.hpp"
+#include "attack/emi_source.hpp"
+#include "attack/rigs.hpp"
+#include "compiler/pipeline.hpp"
+#include "device/device_db.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table benchmark binaries.
+ */
+
+namespace gecko::bench {
+
+/** Frequency grid: dense near the sub-50 MHz band, coarse above. */
+inline std::vector<double>
+attackFrequencyGrid(double lowHz, double highHz)
+{
+    std::vector<double> freqs;
+    for (double f = lowHz; f <= highHz;) {
+        freqs.push_back(f);
+        if (f < 60e6)
+            f += 1e6;
+        else if (f < 200e6)
+            f += 10e6;
+        else
+            f += 50e6;
+    }
+    return freqs;
+}
+
+/** One attacked simulation run's outcome. */
+struct AttackOutcome {
+    /// Executed machine cycles (forward-progress proxy for NVP).
+    std::uint64_t cycles = 0;
+    std::uint64_t completions = 0;
+    double checkpointFailureRate = 0.0;
+    std::uint64_t backupSignals = 0;
+};
+
+/** Common victim-under-attack configuration. */
+struct VictimConfig {
+    const device::DeviceProfile* device = nullptr;
+    analog::MonitorKind monitor = analog::MonitorKind::kAdc;
+    compiler::Scheme scheme = compiler::Scheme::kNvp;
+    std::string workload = "sensor_loop";
+    double simSeconds = 0.05;
+    /// DC bench supply by default (DPI experimental setting, Fig. 3).
+    bool squareWaveSupply = false;
+};
+
+/**
+ * Run the victim once with the given (possibly null) injection setup.
+ */
+inline AttackOutcome
+runVictim(const VictimConfig& vc, const attack::InjectionRig* rig,
+          double freqHz, double powerDbm)
+{
+    static std::map<std::pair<std::string, int>,
+                    std::shared_ptr<compiler::CompiledProgram>>
+        cache;
+    auto key = std::make_pair(vc.workload, static_cast<int>(vc.scheme));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        auto compiled = std::make_shared<compiler::CompiledProgram>(
+            compiler::compile(workloads::build(vc.workload), vc.scheme));
+        it = cache.emplace(key, std::move(compiled)).first;
+    }
+
+    sim::IoHub io;
+    workloads::setupIo(vc.workload, io);
+    sim::SimConfig config;
+    config.cap.capacitanceF = 1e-3;
+    config.cap.initialV = 3.3;
+    config.monitorKind = vc.monitor;
+
+    std::unique_ptr<energy::Harvester> harvester;
+    if (vc.squareWaveSupply)
+        harvester =
+            std::make_unique<energy::SquareWaveHarvester>(3.3, 5.0, 0.5,
+                                                          0.5);
+    else
+        harvester = std::make_unique<energy::ConstantHarvester>(3.3, 5.0);
+
+    sim::IntermittentSim simulation(*it->second, *vc.device, config,
+                                    *harvester, io);
+    std::unique_ptr<attack::EmiSource> source;
+    if (rig) {
+        source = std::make_unique<attack::EmiSource>(*rig, freqHz,
+                                                     powerDbm);
+        simulation.setEmiSource(source.get());
+    }
+    simulation.run(vc.simSeconds);
+
+    AttackOutcome out;
+    out.cycles = simulation.machine().stats.cycles;
+    out.completions = simulation.machine().stats.completions;
+    out.checkpointFailureRate = simulation.checkpointFailureRate();
+    out.backupSignals = simulation.stats.backupSignals;
+    return out;
+}
+
+/**
+ * Forward-progress rate R = T_forward / T_guarantee (§IV-A2): executed
+ * cycles under attack over executed cycles of the unattacked run.
+ */
+inline double
+progressRate(const AttackOutcome& attacked, const AttackOutcome& clean)
+{
+    if (clean.cycles == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(attacked.cycles) /
+                             static_cast<double>(clean.cycles));
+}
+
+/** Print a named series as "x y" rows. */
+inline void
+printSeries(const metrics::Series& series, const std::string& xlabel,
+            const std::string& ylabel)
+{
+    std::cout << "# series: " << series.name << "  (" << xlabel << " vs "
+              << ylabel << ")\n";
+    for (std::size_t i = 0; i < series.x.size(); ++i)
+        std::cout << "  " << series.x[i] << "\t" << series.y[i] << "\n";
+}
+
+}  // namespace gecko::bench
+
+#endif  // GECKO_BENCH_BENCH_UTIL_HPP_

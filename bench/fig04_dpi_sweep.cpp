@@ -1,0 +1,67 @@
+#include "bench_util.hpp"
+
+/**
+ * @file
+ * Figure 4: direct power injection (DPI) attack analysis.
+ *
+ * Single-tone EMI injected at P1 (power line) and P2 (capacitor node) of
+ * Fig. 3 at 20 dBm, frequency swept 1 MHz–1 GHz, on four representative
+ * commodity MCUs with ADC-based monitors.  Reports the forward-progress
+ * rate per frequency and the minimum per injection point.
+ */
+
+int
+main()
+{
+    using namespace gecko;
+    using namespace gecko::bench;
+
+    std::cout << "=== Fig. 4: DPI attack analysis (20 dBm, 1 MHz - 1 GHz, "
+                 "P1 vs P2) ===\n\n";
+
+    const char* boards[] = {"MSP430FR2311", "MSP430F5529", "MSP430FR5994",
+                            "STM32L552ZE"};
+    auto freqs = attackFrequencyGrid(1e6, 1e9);
+
+    metrics::TextTable summary;
+    summary.header({"device", "point", "R_min", "@freq", "quiet >50MHz?"});
+
+    for (const char* name : boards) {
+        const auto& dev = device::DeviceDb::byName(name);
+        VictimConfig vc;
+        vc.device = &dev;
+        vc.workload = "sensor_loop";
+        vc.simSeconds = 0.04;
+        AttackOutcome clean = runVictim(vc, nullptr, 0, 0);
+
+        for (attack::DpiPoint point :
+             {attack::DpiPoint::kP1, attack::DpiPoint::kP2}) {
+            attack::DpiRig rig(dev, point);
+            metrics::Series series;
+            series.name = std::string(name) +
+                          (point == attack::DpiPoint::kP1 ? "/P1" : "/P2");
+            bool quiet_high = true;
+            for (double f : freqs) {
+                AttackOutcome out = runVictim(vc, &rig, f, 20.0);
+                double r = progressRate(out, clean);
+                series.x.push_back(f / 1e6);
+                series.y.push_back(r);
+                if (f > 50e6 && r < 0.9)
+                    quiet_high = false;
+            }
+            std::size_t lo = metrics::argminY(series);
+            summary.row({series.name,
+                         point == attack::DpiPoint::kP1 ? "P1" : "P2",
+                         metrics::fmtPercent(series.y[lo]),
+                         metrics::fmt(series.x[lo], 0) + " MHz",
+                         quiet_high ? "yes" : "NO"});
+            printSeries(series, "freq [MHz]", "forward progress rate");
+            std::cout << "\n";
+        }
+    }
+    std::cout << "--- Fig. 4 summary ---\n";
+    summary.print(std::cout);
+    std::cout << "\nPaper shape: resonance-limited disruption below "
+                 "~50 MHz; P2 disrupts a wider band than P1.\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "bench_util.hpp"
+
+/**
+ * @file
+ * Figure 5: remote EMI attack analysis on ADC-based voltage monitors.
+ *
+ * Single-tone signals radiated from 5 m at 35 dBm, swept 5–500 MHz,
+ * against all nine commodity boards (Table I inventory).  Reports
+ * forward-progress rate per frequency per device.
+ */
+
+int
+main()
+{
+    using namespace gecko;
+    using namespace gecko::bench;
+
+    std::cout << "=== Fig. 5: remote attack, ADC monitors (35 dBm @ 5 m, "
+                 "5-500 MHz) ===\n\n";
+
+    auto freqs = attackFrequencyGrid(5e6, 500e6);
+    metrics::TextTable summary;
+    summary.header({"device", "R_min", "@freq"});
+
+    for (const auto& dev : device::DeviceDb::all()) {
+        VictimConfig vc;
+        vc.device = &dev;
+        vc.workload = "sensor_loop";
+        vc.simSeconds = 0.04;
+        AttackOutcome clean = runVictim(vc, nullptr, 0, 0);
+
+        attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, 5.0);
+        metrics::Series series;
+        series.name = dev.name;
+        for (double f : freqs) {
+            AttackOutcome out = runVictim(vc, &rig, f, 35.0);
+            series.x.push_back(f / 1e6);
+            series.y.push_back(progressRate(out, clean));
+        }
+        std::size_t lo = metrics::argminY(series);
+        summary.row({dev.name, metrics::fmtPercent(series.y[lo]),
+                     metrics::fmt(series.x[lo], 0) + " MHz"});
+        printSeries(series, "freq [MHz]", "forward progress rate");
+        std::cout << "\n";
+    }
+
+    std::cout << "--- Fig. 5 summary (compare Table I ADC-Rmin) ---\n";
+    summary.print(std::cout);
+    std::cout << "\nPaper shape: every board suffers DoS at its resonance "
+                 "(27 MHz for the MSP430 family, 17-18 MHz for the "
+                 "STM32L552); nothing above ~50 MHz.\n";
+    return 0;
+}

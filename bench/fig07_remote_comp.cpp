@@ -1,0 +1,54 @@
+#include "bench_util.hpp"
+
+/**
+ * @file
+ * Figure 7: remote EMI attack analysis on comparator-based voltage
+ * monitors (the boards that have one: MSP430FR5994 / MSP430FR6989 per
+ * Table I, plus the cortex-M boards).  35 dBm from 5 m.
+ */
+
+int
+main()
+{
+    using namespace gecko;
+    using namespace gecko::bench;
+
+    std::cout << "=== Fig. 7: remote attack, comparator monitors "
+                 "(35 dBm @ 5 m) ===\n\n";
+
+    auto freqs = attackFrequencyGrid(2e6, 100e6);
+    metrics::TextTable summary;
+    summary.header({"device", "R_min", "@freq"});
+
+    for (const auto& dev : device::DeviceDb::all()) {
+        if (!dev.hasComparatorMonitor)
+            continue;
+        VictimConfig vc;
+        vc.device = &dev;
+        vc.monitor = analog::MonitorKind::kComparator;
+        vc.workload = "sensor_loop";
+        vc.simSeconds = 0.04;
+        AttackOutcome clean = runVictim(vc, nullptr, 0, 0);
+
+        attack::RemoteRig rig(dev, analog::MonitorKind::kComparator, 5.0);
+        metrics::Series series;
+        series.name = dev.name;
+        for (double f : freqs) {
+            AttackOutcome out = runVictim(vc, &rig, f, 35.0);
+            series.x.push_back(f / 1e6);
+            series.y.push_back(progressRate(out, clean));
+        }
+        std::size_t lo = metrics::argminY(series);
+        summary.row({dev.name, metrics::fmtPercent(series.y[lo], 3),
+                     metrics::fmt(series.x[lo], 0) + " MHz"});
+        printSeries(series, "freq [MHz]", "forward progress rate");
+        std::cout << "\n";
+    }
+
+    std::cout << "--- Fig. 7 summary (compare Table I Comp-Rmin) ---\n";
+    summary.print(std::cout);
+    std::cout << "\nPaper shape: the FR5994's comparator path resonates "
+                 "at 5/6 MHz and its continuous trigger drives forward "
+                 "progress orders of magnitude below the ADC case.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+#include "bench_util.hpp"
+
+/**
+ * @file
+ * Figure 8: attack distance analysis.
+ *
+ * Remote attack on the MSP430FR5994 at its 27 MHz resonance, sweeping
+ * the transmit power 0–35 dBm and the distance 0.25–5 m, with and
+ * without a wall (closed door) in the path.  Reports the forward-
+ * progress rate per (power, distance) and the maximum effective attack
+ * range per power level.
+ */
+
+int
+main()
+{
+    using namespace gecko;
+    using namespace gecko::bench;
+
+    std::cout << "=== Fig. 8: attack distance vs transmit power "
+                 "(MSP430FR5994, 27 MHz) ===\n\n";
+
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    VictimConfig vc;
+    vc.device = &dev;
+    vc.workload = "sensor_loop";
+    vc.simSeconds = 0.04;
+    AttackOutcome clean = runVictim(vc, nullptr, 0, 0);
+
+    const double distances[] = {0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0};
+    const double powers[] = {15.0, 20.0, 25.0, 30.0, 35.0};
+
+    for (double wall_db : {0.0, 6.0}) {
+        std::cout << (wall_db == 0.0 ? "--- open path ---\n"
+                                     : "--- through a wall (6 dB) ---\n");
+        metrics::TextTable table;
+        std::vector<std::string> header = {"power \\ dist"};
+        for (double d : distances)
+            header.push_back(metrics::fmt(d, 2) + " m");
+        header.push_back("effective range");
+        table.header(header);
+
+        for (double p : powers) {
+            std::vector<std::string> row = {metrics::fmt(p, 0) + " dBm"};
+            double max_effective = 0.0;
+            for (double d : distances) {
+                attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, d,
+                                      wall_db);
+                AttackOutcome out = runVictim(vc, &rig, 27e6, p);
+                double r = progressRate(out, clean);
+                row.push_back(metrics::fmtPercent(r, 0));
+                if (r < 0.5)
+                    max_effective = std::max(max_effective, d);
+            }
+            row.push_back(max_effective > 0
+                              ? metrics::fmt(max_effective, 2) + " m"
+                              : "-");
+            table.row(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Paper shape: the attack works 0-5 m away, even through "
+                 "a closed door, and the effective distance grows with "
+                 "transmit power.\n";
+    return 0;
+}

@@ -1,0 +1,132 @@
+#include <benchmark/benchmark.h>
+
+#include "analog/voltage_monitor.hpp"
+#include "attack/emi_source.hpp"
+#include "attack/rigs.hpp"
+#include "compiler/pipeline.hpp"
+#include "device/device_db.hpp"
+#include "energy/capacitor.hpp"
+#include "runtime/gecko_runtime.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * google-benchmark micro-suite: throughput of the simulator primitives
+ * and the compiler passes (useful when tuning the experiment harness).
+ */
+
+namespace {
+
+using namespace gecko;
+
+void
+BM_InterpreterThroughput(benchmark::State& state)
+{
+    auto compiled = compiler::compile(workloads::build("bitcnt"),
+                                      compiler::Scheme::kNvp);
+    sim::Nvm nvm(16384);
+    sim::IoHub io;
+    sim::Machine machine(compiled, nvm, io);
+    machine.setContinuous(true);
+    std::uint64_t consumed = 0;
+    for (auto _ : state) {
+        machine.run(10000, &consumed);
+        benchmark::DoNotOptimize(consumed);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        machine.stats.instrs));
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void
+BM_CompileGecko(benchmark::State& state)
+{
+    ir::Program prog = workloads::build("dijkstra");
+    for (auto _ : state) {
+        auto compiled = compiler::compile(prog, compiler::Scheme::kGecko);
+        benchmark::DoNotOptimize(compiled.regions.size());
+    }
+}
+BENCHMARK(BM_CompileGecko);
+
+void
+BM_CapacitorChargeStep(benchmark::State& state)
+{
+    energy::CapacitorConfig config;
+    energy::Capacitor cap(config);
+    cap.setVoltage(2.0);
+    for (auto _ : state) {
+        cap.chargeFrom(3.3, 10.0, 1e-5);
+        benchmark::DoNotOptimize(cap.energy());
+        if (cap.voltage() > 3.2)
+            cap.setVoltage(2.0);
+    }
+}
+BENCHMARK(BM_CapacitorChargeStep);
+
+void
+BM_AdcMonitorObserve(benchmark::State& state)
+{
+    analog::AdcMonitor monitor(12, 3.3, 2.2, 3.0, 100e3);
+    monitor.reset(3.3);
+    double v = 3.3;
+    for (auto _ : state) {
+        v = (v < 2.0) ? 3.3 : v - 0.001;
+        benchmark::DoNotOptimize(monitor.observe(v));
+    }
+}
+BENCHMARK(BM_AdcMonitorObserve);
+
+void
+BM_EmiAmplitude(benchmark::State& state)
+{
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, 5.0);
+    double f = 5e6;
+    for (auto _ : state) {
+        f = (f > 500e6) ? 5e6 : f + 1e6;
+        benchmark::DoNotOptimize(rig.amplitude(f, 35.0));
+    }
+}
+BENCHMARK(BM_EmiAmplitude);
+
+void
+BM_GeckoRollback(benchmark::State& state)
+{
+    auto compiled = compiler::compile(workloads::build("dijkstra"),
+                                      compiler::Scheme::kGecko);
+    sim::Nvm nvm(16384);
+    sim::IoHub io;
+    sim::Machine machine(compiled, nvm, io);
+    machine.setStagedIo(true);
+    runtime::GeckoRuntime rt(compiled, machine, nvm);
+    rt.onBoot();
+    std::uint64_t consumed = 0;
+    machine.run(3000, &consumed);
+    for (auto _ : state) {
+        machine.powerCycle();
+        benchmark::DoNotOptimize(rt.onBoot());
+    }
+}
+BENCHMARK(BM_GeckoRollback);
+
+void
+BM_IntermittentSimSecond(benchmark::State& state)
+{
+    auto compiled = compiler::compile(workloads::build("sensor_loop"),
+                                      compiler::Scheme::kGecko);
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    sim::IoHub io;
+    workloads::setupIo("sensor_loop", io);
+    energy::ConstantHarvester supply(3.3, 5.0);
+    sim::SimConfig config;
+    sim::IntermittentSim simulation(compiled, dev, config, supply, io);
+    for (auto _ : state)
+        simulation.run(0.01);
+}
+BENCHMARK(BM_IntermittentSimSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

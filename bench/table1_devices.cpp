@@ -1,0 +1,106 @@
+#include "bench_util.hpp"
+
+/**
+ * @file
+ * Table I: EMI attack results on all nine real-world energy-harvesting
+ * MCUs.
+ *
+ * Per board: minimum forward-progress rate under attack through the
+ * ADC monitor path (and the comparator path where one exists) with the
+ * tone at 0.1 m / 35 dBm, and the maximum checkpoint-failure rate
+ * F = N_fail / N_checkpoints while the board runs on intermittent
+ * (square-wave) power under the same attack.
+ */
+
+int
+main()
+{
+    using namespace gecko;
+    using namespace gecko::bench;
+
+    std::cout << "=== Table I: EMI attack results on commodity MCUs "
+                 "(35 dBm @ 0.1 m) ===\n\n";
+
+    auto freqs = attackFrequencyGrid(3e6, 60e6);
+
+    metrics::TextTable table;
+    table.header({"Model", "Monitor", "ADC-Rmin", "@freq", "Comp-Rmin",
+                  "@freq", "ADC-Fmax", "@freq"});
+
+    for (const auto& dev : device::DeviceDb::all()) {
+        VictimConfig vc;
+        vc.device = &dev;
+        vc.workload = "sensor_loop";
+        vc.simSeconds = 0.04;
+        AttackOutcome clean = runVictim(vc, nullptr, 0, 0);
+
+        // ADC R_min sweep.
+        attack::RemoteRig adc_rig(dev, analog::MonitorKind::kAdc, 0.1);
+        double adc_rmin = 1.0, adc_rmin_f = 0.0;
+        for (double f : freqs) {
+            double r = progressRate(runVictim(vc, &adc_rig, f, 35.0),
+                                    clean);
+            if (r < adc_rmin) {
+                adc_rmin = r;
+                adc_rmin_f = f;
+            }
+        }
+
+        // Comparator R_min sweep (when present).
+        std::string comp_rmin = "N/A", comp_rmin_f = "";
+        if (dev.hasComparatorMonitor) {
+            VictimConfig cc = vc;
+            cc.monitor = analog::MonitorKind::kComparator;
+            AttackOutcome comp_clean = runVictim(cc, nullptr, 0, 0);
+            attack::RemoteRig comp_rig(dev,
+                                       analog::MonitorKind::kComparator,
+                                       0.1);
+            double best = 1.0, best_f = 0.0;
+            for (double f : freqs) {
+                double r = progressRate(
+                    runVictim(cc, &comp_rig, f, 35.0), comp_clean);
+                if (r < best) {
+                    best = r;
+                    best_f = f;
+                }
+            }
+            // Comparator paths on some boards barely couple (Table I
+            // lists N/A); report N/A when the attack has no real effect.
+            if (best < 0.9) {
+                comp_rmin = metrics::fmtPercent(best, 3);
+                comp_rmin_f = metrics::fmt(best_f / 1e6, 0) + " MHz";
+            }
+        }
+
+        // ADC F_max sweep: intermittent supply, count torn/missed
+        // checkpoints.
+        VictimConfig fc = vc;
+        fc.squareWaveSupply = true;
+        fc.simSeconds = 2.0;
+        double fmax = 0.0, fmax_f = 0.0;
+        for (double f : freqs) {
+            if (dev.adcRemote.gainAt(f) < 0.02)
+                continue;  // no coupling: skip the expensive run
+            AttackOutcome out = runVictim(fc, &adc_rig, f, 35.0);
+            if (out.checkpointFailureRate > fmax) {
+                fmax = out.checkpointFailureRate;
+                fmax_f = f;
+            }
+        }
+
+        table.row({dev.name,
+                   dev.hasComparatorMonitor ? "ADC & Comp." : "ADC",
+                   metrics::fmtPercent(adc_rmin, 1),
+                   metrics::fmt(adc_rmin_f / 1e6, 0) + " MHz", comp_rmin,
+                   comp_rmin_f, metrics::fmtPercent(fmax, 0),
+                   metrics::fmt(fmax_f / 1e6, 0) + " MHz"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape: all nine boards are vulnerable; ADC "
+                 "R_min in the low percent range at the 27 MHz (17 MHz "
+                 "for STM32) resonance; comparator paths (FR5994 at "
+                 "5/6 MHz) orders of magnitude lower; checkpoint-failure "
+                 "rates of tens of percent at the resonance.\n";
+    return 0;
+}

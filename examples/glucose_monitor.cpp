@@ -1,0 +1,106 @@
+#include <iostream>
+
+#include "attack/emi_source.hpp"
+#include "attack/rigs.hpp"
+#include "compiler/pipeline.hpp"
+#include "device/device_db.hpp"
+#include "metrics/table.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * Scenario: a batteryless continuous glucose monitor (the paper's §III
+ * motivating application) worn by a patient, harvesting body energy,
+ * with an attacker's EMI transmitter hidden in the next room.
+ *
+ * The demo runs the sensing application on an MSP430FR5994-class
+ * device through three phases — quiet, under attack with the stock JIT
+ * firmware (NVP), and under attack with GECKO — and reports alarms
+ * delivered, checkpoint failures, and detection behaviour.
+ */
+
+namespace {
+
+struct PhaseResult {
+    std::uint64_t completions;
+    std::uint64_t alarms;
+    double failureRate;
+    std::uint64_t detections;
+};
+
+PhaseResult
+runPhase(gecko::compiler::Scheme scheme, bool attacked)
+{
+    using namespace gecko;
+    const auto& dev = device::DeviceDb::msp430fr5994();
+
+    auto compiled =
+        compiler::compile(workloads::build("sensor_loop"), scheme);
+    sim::IoHub io;
+    workloads::setupIo("sensor_loop", io);
+    // Body-heat / motion harvesting: intermittent, ~1 Hz outages.
+    energy::SquareWaveHarvester harvest(3.3, 5.0, 0.5, 0.5);
+    sim::SimConfig config;
+    config.cap.capacitanceF = 1e-3;
+
+    sim::IntermittentSim simulation(compiled, dev, config, harvest, io);
+    // Attacker: next room, through a wall, tuned to the 27 MHz
+    // resonance.
+    attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, 3.0, 6.0);
+    attack::EmiSource source(rig, 27e6, 35.0);
+    if (attacked)
+        simulation.setEmiSource(&source);
+
+    simulation.run(5.0);
+
+    PhaseResult r;
+    r.completions = simulation.machine().stats.completions;
+    r.alarms = io.output(2).count();
+    r.failureRate = simulation.checkpointFailureRate();
+    r.detections = simulation.geckoRuntime().stats.attackDetections;
+    return r;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace gecko;
+
+    std::cout << "=== Wearable glucose monitor under EMI attack ===\n\n"
+              << "Device: MSP430FR5994, 1 mF buffer, body-energy "
+                 "harvesting (1 Hz outages).\n"
+              << "Attacker: 35 dBm @ 27 MHz, 3 m away, through a wall.\n\n";
+
+    metrics::TextTable table;
+    table.header({"firmware", "attack", "readings", "alarms",
+                  "ckpt failure rate", "attack detections"});
+
+    PhaseResult quiet = runPhase(compiler::Scheme::kNvp, false);
+    table.row({"NVP (stock JIT)", "no", std::to_string(quiet.completions),
+               std::to_string(quiet.alarms),
+               metrics::fmtPercent(quiet.failureRate, 1), "-"});
+
+    PhaseResult nvp = runPhase(compiler::Scheme::kNvp, true);
+    table.row({"NVP (stock JIT)", "YES", std::to_string(nvp.completions),
+               std::to_string(nvp.alarms),
+               metrics::fmtPercent(nvp.failureRate, 1), "-"});
+
+    PhaseResult gecko = runPhase(compiler::Scheme::kGecko, true);
+    table.row({"GECKO", "YES", std::to_string(gecko.completions),
+               std::to_string(gecko.alarms),
+               metrics::fmtPercent(gecko.failureRate, 1),
+               std::to_string(gecko.detections)});
+    table.print(std::cout);
+
+    std::cout << "\nWhile the attacker keys the carrier, the stock "
+                 "firmware drops a substantial share of its readings "
+                 "(and with them, hypoglycemia alarms) and roughly half "
+                 "of its power-down checkpoints fail — silent data "
+                 "corruption.  GECKO detects the interference, closes "
+                 "the JIT attack surface, and keeps reporting with zero "
+                 "failed checkpoints.\n";
+    return 0;
+}

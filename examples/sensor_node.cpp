@@ -1,0 +1,74 @@
+#include <iostream>
+
+#include "compiler/pipeline.hpp"
+#include "device/device_db.hpp"
+#include "metrics/table.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * Scenario: a batteryless wireless sensor node on an RF harvesting
+ * field (Powercast-style), comparing the three firmware options across
+ * increasingly hostile energy conditions — no attack involved, pure
+ * intermittency.  Shows where Ratchet's long regions stop making
+ * progress while GECKO tracks NVP.
+ */
+
+int
+main()
+{
+    using namespace gecko;
+
+    std::cout << "=== Batteryless sensor node on RF harvesting ===\n\n";
+    const auto& dev = device::DeviceDb::msp430fr5994();
+
+    struct Condition {
+        const char* label;
+        double onFraction;
+        double outageHz;
+    };
+    const Condition conditions[] = {
+        {"strong field (90% duty)", 0.9, 1.0},
+        {"typical field (55% duty)", 0.55, 1.0},
+        {"weak field (30% duty, 2 Hz)", 0.3, 2.0},
+    };
+
+    metrics::TextTable table;
+    table.header({"energy condition", "NVP", "Ratchet", "GECKO",
+                  "GECKO ckpt stores"});
+
+    for (const Condition& cond : conditions) {
+        std::uint64_t done[3] = {};
+        std::uint64_t gecko_stores = 0;
+        int i = 0;
+        for (auto scheme :
+             {compiler::Scheme::kNvp, compiler::Scheme::kRatchet,
+              compiler::Scheme::kGecko}) {
+            auto compiled = compiler::compile(
+                workloads::build("sensor_app"), scheme);
+            sim::IoHub io;
+            workloads::setupIo("sensor_app", io);
+            energy::TraceHarvester field = energy::makeRfTrace(
+                3.3, 5.0, cond.outageHz, cond.onFraction, 6.0, 11);
+            sim::SimConfig config;
+            config.cap.capacitanceF = 1e-3;
+            sim::IntermittentSim simulation(compiled, dev, config, field,
+                                            io);
+            simulation.run(6.0);
+            done[i++] = simulation.machine().stats.completions;
+            if (scheme == compiler::Scheme::kGecko)
+                gecko_stores = simulation.machine().stats.ckptStores;
+        }
+        table.row({cond.label, std::to_string(done[0]),
+                   std::to_string(done[1]), std::to_string(done[2]),
+                   std::to_string(gecko_stores)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nCompletions of the sensing application over 6 s of "
+                 "simulated harvesting.  GECKO's WCET-bounded regions "
+                 "keep it within a few percent of the JIT baseline in "
+                 "every condition.\n";
+    return 0;
+}

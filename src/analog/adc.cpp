@@ -1,0 +1,33 @@
+#include "analog/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gecko::analog {
+
+Adc::Adc(int bits, double fullScaleV)
+    : bits_(bits), fullScaleV_(fullScaleV),
+      maxCode_((1u << bits) - 1u)
+{
+}
+
+std::uint32_t
+Adc::sample(double v) const
+{
+    if (v <= 0.0)
+        return 0;
+    double code = std::floor(v / fullScaleV_ * (maxCode_ + 1u));
+    if (code >= maxCode_)
+        return maxCode_;
+    return static_cast<std::uint32_t>(code);
+}
+
+double
+Adc::toVoltage(std::uint32_t code) const
+{
+    code = std::min(code, maxCode_);
+    return static_cast<double>(code) * fullScaleV_ /
+           static_cast<double>(maxCode_ + 1u);
+}
+
+}  // namespace gecko::analog

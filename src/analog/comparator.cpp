@@ -1,0 +1,25 @@
+#include "analog/comparator.hpp"
+
+namespace gecko::analog {
+
+Comparator::Comparator(double referenceV, double hysteresisV,
+                       bool initialHigh)
+    : referenceV_(referenceV), halfBand_(hysteresisV / 2.0),
+      high_(initialHigh)
+{
+}
+
+bool
+Comparator::evaluate(double v)
+{
+    if (high_) {
+        if (v < referenceV_ - halfBand_)
+            high_ = false;
+    } else {
+        if (v > referenceV_ + halfBand_)
+            high_ = true;
+    }
+    return high_;
+}
+
+}  // namespace gecko::analog

@@ -1,0 +1,58 @@
+#include "analog/emi_coupling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gecko::analog {
+
+double
+dbmToWatts(double dbm)
+{
+    return std::pow(10.0, (dbm - 30.0) / 10.0);
+}
+
+double
+wattsToDbm(double watts)
+{
+    return 10.0 * std::log10(watts) + 30.0;
+}
+
+double
+sourceAmplitude(double dbm)
+{
+    return std::sqrt(2.0 * kRfImpedance * dbmToWatts(dbm));
+}
+
+double
+freeSpacePathLoss(double freqHz, double distanceM)
+{
+    double d = std::max(distanceM, 0.05);
+    double lambda = kSpeedOfLight / freqHz;
+    return std::min(1.0, lambda / (4.0 * M_PI * d));
+}
+
+double
+attenuationFromDb(double db)
+{
+    return std::pow(10.0, -db / 20.0);
+}
+
+double
+inducedAmplitudeRemote(double txPowerDbm, double freqHz,
+                       const ResonanceCurve& curve, double distanceM,
+                       double wallAttenuationDb)
+{
+    return sourceAmplitude(txPowerDbm) *
+           freeSpacePathLoss(freqHz, distanceM) * curve.gainAt(freqHz) *
+           attenuationFromDb(wallAttenuationDb);
+}
+
+double
+inducedAmplitudeDpi(double txPowerDbm, double freqHz,
+                    const ResonanceCurve& curve, double pointCoupling)
+{
+    return sourceAmplitude(txPowerDbm) * curve.gainAt(freqHz) *
+           pointCoupling;
+}
+
+}  // namespace gecko::analog

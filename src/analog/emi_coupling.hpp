@@ -1,0 +1,72 @@
+#ifndef GECKO_ANALOG_EMI_COUPLING_HPP_
+#define GECKO_ANALOG_EMI_COUPLING_HPP_
+
+#include "analog/resonance.hpp"
+
+/**
+ * @file
+ * EMI propagation and coupling physics (paper §II-D, §IV).
+ *
+ * An attack signal of power P at frequency f induces a sinusoidal
+ * voltage on the monitor's input:
+ *
+ *   v(t) = A sin(2π f t + φ),
+ *   A    = sqrt(2 Z₀ P) · L_path · R_dev(f) · k_point,
+ *
+ * where L_path is 1 for direct power injection (DPI) or the free-space
+ * path loss (λ / 4πd, with optional wall attenuation) for remote
+ * attacks, R_dev(f) the device's coupling-path resonance curve, and
+ * k_point the injection-point coupling factor.
+ */
+
+namespace gecko::analog {
+
+/** Speed of light (m/s). */
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/** Reference RF system impedance (Ω). */
+inline constexpr double kRfImpedance = 50.0;
+
+/** Convert transmit power in dBm to watts. */
+double dbmToWatts(double dbm);
+
+/** Convert watts to dBm. */
+double wattsToDbm(double watts);
+
+/** Peak source amplitude (V) of a `dbm` signal into kRfImpedance. */
+double sourceAmplitude(double dbm);
+
+/**
+ * Free-space amplitude path loss λ/(4πd), clamped to 1.
+ * @param freqHz   carrier frequency
+ * @param distanceM transmitter-victim distance (≥ 0.05 m enforced)
+ */
+double freeSpacePathLoss(double freqHz, double distanceM);
+
+/** Amplitude attenuation factor for `db` decibels. */
+double attenuationFromDb(double db);
+
+/**
+ * Peak induced voltage at the monitor input for a remote attack.
+ *
+ * @param txPowerDbm      transmitter power (paper sweeps 0..35 dBm)
+ * @param freqHz          carrier frequency
+ * @param curve           device coupling-path response
+ * @param distanceM       attack distance (paper: 0..5 m)
+ * @param wallAttenuationDb extra attenuation for walls/doors (amplitude dB)
+ */
+double inducedAmplitudeRemote(double txPowerDbm, double freqHz,
+                              const ResonanceCurve& curve, double distanceM,
+                              double wallAttenuationDb = 0.0);
+
+/**
+ * Peak induced voltage for direct power injection at an injection point
+ * with coupling factor `pointCoupling` (paper Fig. 3, P1/P2).
+ */
+double inducedAmplitudeDpi(double txPowerDbm, double freqHz,
+                           const ResonanceCurve& curve,
+                           double pointCoupling);
+
+}  // namespace gecko::analog
+
+#endif  // GECKO_ANALOG_EMI_COUPLING_HPP_

@@ -1,0 +1,21 @@
+#include "analog/resonance.hpp"
+
+#include <cmath>
+
+namespace gecko::analog {
+
+double
+ResonanceCurve::gainAt(double f) const
+{
+    double g = broadbandGain;
+    for (const ResonantPeak& peak : peaks) {
+        double detune = 2.0 * peak.q * (f - peak.freqHz) / peak.freqHz;
+        g += peak.gain / (1.0 + detune * detune);
+    }
+    // Second-order low-pass magnitude.
+    double x = f / lowPassHz;
+    g /= (1.0 + x * x);
+    return g;
+}
+
+}  // namespace gecko::analog

@@ -1,0 +1,49 @@
+#ifndef GECKO_ANALOG_RESONANCE_HPP_
+#define GECKO_ANALOG_RESONANCE_HPP_
+
+#include <vector>
+
+/**
+ * @file
+ * Frequency response of an EMI coupling path.
+ *
+ * The voltage-monitor front end couples radiated/injected RF through
+ * board traces and the external capacitor wiring.  We model the path as
+ * a sum of Lorentzian resonances (trace/component resonances — the
+ * 27 MHz peak of the MSP430 family) on top of an optional broadband
+ * floor, shaped by a second-order low-pass (the front end's parasitic RC
+ * filtering, which is why nothing above ~50 MHz worked in the paper's
+ * experiments, §IV-A2).
+ */
+
+namespace gecko::analog {
+
+/** One resonant peak of a coupling path. */
+struct ResonantPeak {
+    /// Centre frequency (Hz).
+    double freqHz = 27e6;
+    /// Quality factor (peak width = freqHz / q).
+    double q = 12.0;
+    /// Gain at the peak centre (unitless voltage ratio).
+    double gain = 1.0;
+};
+
+/** Frequency-response curve of one coupling path. */
+struct ResonanceCurve {
+    std::vector<ResonantPeak> peaks;
+    /// Broadband coupling floor (0 disables; P2-style wide-band paths
+    /// use a nonzero floor).
+    double broadbandGain = 0.0;
+    /// Low-pass corner of the front end (Hz).
+    double lowPassHz = 40e6;
+
+    /**
+     * Voltage gain of the path at frequency `f` (Hz): Lorentzian peaks +
+     * floor, all attenuated by the second-order low-pass roll-off.
+     */
+    double gainAt(double f) const;
+};
+
+}  // namespace gecko::analog
+
+#endif  // GECKO_ANALOG_RESONANCE_HPP_

@@ -1,0 +1,90 @@
+#include "analog/voltage_monitor.hpp"
+
+namespace gecko::analog {
+
+MonitorEvent
+VoltageMonitor::observeEnvelope(double low, double high)
+{
+    MonitorEvent trough = observe(low);
+    MonitorEvent crest = observe(high);
+    MonitorEvent ev;
+    ev.backup = trough.backup || crest.backup;
+    ev.wake = trough.wake || crest.wake;
+    return ev;
+}
+
+const char*
+monitorKindName(MonitorKind kind)
+{
+    switch (kind) {
+      case MonitorKind::kAdc: return "ADC";
+      case MonitorKind::kComparator: return "Comp";
+    }
+    return "?";
+}
+
+AdcMonitor::AdcMonitor(int adcBits, double fullScaleV, double vBackup,
+                       double vWake, double sampleHz)
+    : adc_(adcBits, fullScaleV), backupCode_(adc_.sample(vBackup)),
+      wakeCode_(adc_.sample(vWake)), sampleHz_(sampleHz)
+{
+}
+
+MonitorEvent
+AdcMonitor::observe(double seenV)
+{
+    MonitorEvent ev;
+    std::uint32_t code = adc_.sample(seenV);
+    bool below = code < backupCode_;
+    bool above = code >= wakeCode_;
+    if (below && !belowBackup_)
+        ev.backup = true;
+    if (above && !aboveWake_)
+        ev.wake = true;
+    belowBackup_ = below;
+    aboveWake_ = above;
+    return ev;
+}
+
+void
+AdcMonitor::reset(double v)
+{
+    std::uint32_t code = adc_.sample(v);
+    belowBackup_ = code < backupCode_;
+    aboveWake_ = code >= wakeCode_;
+}
+
+ComparatorMonitor::ComparatorMonitor(double vBackup, double vWake,
+                                     double hysteresisV, double checkHz)
+    : backupComp_(vBackup, hysteresisV, /*initialHigh=*/true),
+      wakeComp_(vWake, hysteresisV, /*initialHigh=*/true),
+      checkHz_(checkHz)
+{
+}
+
+MonitorEvent
+ComparatorMonitor::observe(double seenV)
+{
+    MonitorEvent ev;
+    bool backup_was = backupComp_.output();
+    bool wake_was = wakeComp_.output();
+    bool backup_now = backupComp_.evaluate(seenV);
+    bool wake_now = wakeComp_.evaluate(seenV);
+    if (backup_was && !backup_now)
+        ev.backup = true;
+    if (!wake_was && wake_now)
+        ev.wake = true;
+    return ev;
+}
+
+void
+ComparatorMonitor::reset(double v)
+{
+    backupComp_.reset(v >= backupComp_.reference());
+    wakeComp_.reset(v >= wakeComp_.reference());
+    // Settle hysteresis state.
+    backupComp_.evaluate(v);
+    wakeComp_.evaluate(v);
+}
+
+}  // namespace gecko::analog

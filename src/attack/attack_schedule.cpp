@@ -1,0 +1,74 @@
+#include "attack/attack_schedule.hpp"
+
+#include <stdexcept>
+
+namespace gecko::attack {
+
+std::optional<AttackWindow>
+AttackSchedule::activeAt(double t) const
+{
+    for (const AttackWindow& w : windows_)
+        if (t >= w.startS && t < w.endS)
+            return w;
+    return std::nullopt;
+}
+
+namespace {
+
+const std::vector<double>&
+scenarioMinutes(char scenario)
+{
+    static const std::vector<double> a{};
+    static const std::vector<double> b{40};
+    static const std::vector<double> c{30};
+    static const std::vector<double> d{20, 40};
+    static const std::vector<double> e{15, 30, 35};
+    static const std::vector<double> f{10, 25, 40};
+    switch (scenario) {
+      case 'a': return a;
+      case 'b': return b;
+      case 'c': return c;
+      case 'd': return d;
+      case 'e': return e;
+      case 'f': return f;
+      default:
+        throw std::invalid_argument("unknown attack scenario");
+    }
+}
+
+}  // namespace
+
+AttackSchedule
+AttackSchedule::scenario(char scenario, double minuteS,
+                         double attackMinutes, double freqHz,
+                         double powerDbm)
+{
+    AttackSchedule sched;
+    for (double m : scenarioMinutes(scenario)) {
+        AttackWindow w;
+        w.startS = m * minuteS;
+        w.endS = (m + attackMinutes) * minuteS;
+        w.freqHz = freqHz;
+        w.powerDbm = powerDbm;
+        sched.add(w);
+    }
+    return sched;
+}
+
+std::string
+AttackSchedule::scenarioDescription(char scenario)
+{
+    const auto& minutes = scenarioMinutes(scenario);
+    if (minutes.empty())
+        return "no attack";
+    std::string out = "attacks at ";
+    for (std::size_t i = 0; i < minutes.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(static_cast<int>(minutes[i]));
+    }
+    out += " min";
+    return out;
+}
+
+}  // namespace gecko::attack

@@ -1,0 +1,62 @@
+#ifndef GECKO_ATTACK_ATTACK_SCHEDULE_HPP_
+#define GECKO_ATTACK_ATTACK_SCHEDULE_HPP_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Time-windowed attack scenarios (paper Fig. 9 and Fig. 13).
+ */
+
+namespace gecko::attack {
+
+/** One attack window. */
+struct AttackWindow {
+    double startS = 0.0;
+    double endS = 0.0;
+    double freqHz = 27e6;
+    double powerDbm = 35.0;
+};
+
+/** A sequence of attack windows applied to an EmiSource over time. */
+class AttackSchedule
+{
+  public:
+    AttackSchedule() = default;
+    explicit AttackSchedule(std::vector<AttackWindow> windows)
+        : windows_(std::move(windows)) {}
+
+    void add(const AttackWindow& w) { windows_.push_back(w); }
+
+    /** The window active at time `t`, if any. */
+    std::optional<AttackWindow> activeAt(double t) const;
+
+    const std::vector<AttackWindow>& windows() const { return windows_; }
+
+    /**
+     * Fig. 13 scenarios (a)–(f).  The paper schedules attacks at minute
+     * granularity over a 50-minute run; `minuteS` scales one paper-minute
+     * to simulated seconds so the experiment stays tractable.
+     *
+     * @param scenario 'a' (none) .. 'f' (attacks at 10, 25 and 40 min)
+     * @param minuteS  simulated seconds per paper-minute
+     * @param attackMinutes duration of each attack burst in minutes
+     * @param freqHz/powerDbm the tone used in every burst
+     */
+    static AttackSchedule scenario(char scenario, double minuteS,
+                                   double attackMinutes = 5.0,
+                                   double freqHz = 27e6,
+                                   double powerDbm = 35.0);
+
+    /** Human-readable description of scenario `s` ("attacks at 20, 40 min"). */
+    static std::string scenarioDescription(char scenario);
+
+  private:
+    std::vector<AttackWindow> windows_;
+};
+
+}  // namespace gecko::attack
+
+#endif  // GECKO_ATTACK_ATTACK_SCHEDULE_HPP_

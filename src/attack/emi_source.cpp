@@ -1,0 +1,31 @@
+#include "attack/emi_source.hpp"
+
+#include <cmath>
+
+namespace gecko::attack {
+
+EmiSource::EmiSource(const InjectionRig& rig, double freqHz,
+                     double powerDbm, double clockSkewPpm)
+    : rig_(rig), freqHz_(freqHz), powerDbm_(powerDbm),
+      amplitude_(rig.amplitude(freqHz, powerDbm)), skewPpm_(clockSkewPpm)
+{
+}
+
+void
+EmiSource::setTone(double freqHz, double powerDbm)
+{
+    freqHz_ = freqHz;
+    powerDbm_ = powerDbm;
+    amplitude_ = rig_.amplitude(freqHz, powerDbm);
+}
+
+double
+EmiSource::voltageAt(double t) const
+{
+    if (!enabled_)
+        return 0.0;
+    double f = freqHz_ * (1.0 + skewPpm_ * 1e-6);
+    return amplitude_ * std::sin(2.0 * M_PI * f * t);
+}
+
+}  // namespace gecko::attack

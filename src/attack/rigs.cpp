@@ -1,0 +1,38 @@
+#include "attack/rigs.hpp"
+
+#include "analog/emi_coupling.hpp"
+
+namespace gecko::attack {
+
+DpiRig::DpiRig(const device::DeviceProfile& dev, DpiPoint point)
+    : dev_(dev), point_(point)
+{
+}
+
+double
+DpiRig::amplitude(double freqHz, double powerDbm) const
+{
+    const analog::ResonanceCurve& curve =
+        (point_ == DpiPoint::kP1) ? dev_.dpiP1 : dev_.dpiP2;
+    double coupling = (point_ == DpiPoint::kP1) ? dev_.dpiCouplingP1
+                                                : dev_.dpiCouplingP2;
+    return analog::inducedAmplitudeDpi(powerDbm, freqHz, curve, coupling);
+}
+
+RemoteRig::RemoteRig(const device::DeviceProfile& dev,
+                     analog::MonitorKind path, double distanceM,
+                     double wallAttenuationDb)
+    : dev_(dev), path_(path), distanceM_(distanceM),
+      wallDb_(wallAttenuationDb)
+{
+}
+
+double
+RemoteRig::amplitude(double freqHz, double powerDbm) const
+{
+    return analog::inducedAmplitudeRemote(powerDbm, freqHz,
+                                          dev_.remoteCurve(path_),
+                                          distanceM_, wallDb_);
+}
+
+}  // namespace gecko::attack

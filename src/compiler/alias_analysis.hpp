@@ -1,0 +1,106 @@
+#ifndef GECKO_COMPILER_ALIAS_ANALYSIS_HPP_
+#define GECKO_COMPILER_ALIAS_ANALYSIS_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "compiler/cfg.hpp"
+#include "compiler/liveness.hpp"
+#include "ir/program.hpp"
+
+/**
+ * @file
+ * Memory alias analysis for region formation and checkpoint pruning.
+ *
+ * The analysis runs a flow-sensitive constant propagation over the CFG to
+ * resolve as many load/store addresses as possible to constants (global
+ * arrays at fixed addresses resolve fully; pointer-chasing degrades to
+ * "unknown").  On top of the constant facts it answers may-alias queries
+ * and identifies read-only addresses (never written anywhere in the
+ * program), which are the only loads a recovery block may re-execute.
+ */
+
+namespace gecko::compiler {
+
+/** Constant-propagation lattice value for one register. */
+struct ConstVal {
+    enum class Kind : std::uint8_t {
+        kTop,     ///< unvisited
+        kConst,   ///< known constant
+        kBottom,  ///< varies
+    };
+    Kind kind = Kind::kTop;
+    std::uint32_t value = 0;
+
+    static ConstVal top() { return {Kind::kTop, 0}; }
+    static ConstVal constant(std::uint32_t v) { return {Kind::kConst, v}; }
+    static ConstVal bottom() { return {Kind::kBottom, 0}; }
+
+    bool isConst() const { return kind == Kind::kConst; }
+    bool operator==(const ConstVal&) const = default;
+
+    /** Lattice meet. */
+    static ConstVal meet(const ConstVal& a, const ConstVal& b);
+};
+
+/** May/must-alias verdict. */
+enum class AliasVerdict {
+    kNoAlias,
+    kMayAlias,
+    kMustAlias,
+};
+
+/** Alias analysis over one program. */
+class AliasAnalysis
+{
+  public:
+    /**
+     * Analyse `prog`.  The Cfg and ReachingDefs must describe the same
+     * program snapshot.
+     */
+    static AliasAnalysis build(const ir::Program& prog, const Cfg& cfg,
+                               const ReachingDefs& rdefs);
+
+    /**
+     * Resolved constant address of the kLoad/kStore at `idx`
+     * (base + offset), if the base register is a known constant there.
+     */
+    std::optional<std::uint32_t> constAddr(std::size_t idx) const;
+
+    /** Constant value of register `r` just before instruction `idx`. */
+    ConstVal regAt(std::size_t idx, ir::Reg r) const
+    {
+        return in_.at(idx).at(r);
+    }
+
+    /**
+     * May the memory access at `a` touch the same word as the access at
+     * `b`?  Both must be kLoad or kStore instructions.
+     */
+    AliasVerdict alias(std::size_t a, std::size_t b) const;
+
+    /**
+     * @return true if `addr` is never the target of any store in the
+     * program (loads from it are safe to re-execute in recovery blocks).
+     * If any store has an unresolvable address the answer is always false.
+     */
+    bool isReadOnlyAddr(std::uint32_t addr) const;
+
+    /** @return true if the load at `idx` reads a read-only constant addr. */
+    bool isReadOnlyLoad(std::size_t idx) const;
+
+  private:
+    const ir::Program* prog_ = nullptr;
+    const Cfg* cfg_ = nullptr;
+    const ReachingDefs* rdefs_ = nullptr;
+    // in_[idx][reg]: constant lattice just before instruction idx.
+    std::vector<std::array<ConstVal, ir::kNumRegs>> in_;
+    std::unordered_set<std::uint32_t> writtenAddrs_;
+    bool hasUnknownStore_ = false;
+};
+
+}  // namespace gecko::compiler
+
+#endif  // GECKO_COMPILER_ALIAS_ANALYSIS_HPP_

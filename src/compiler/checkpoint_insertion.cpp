@@ -1,0 +1,52 @@
+#include "compiler/checkpoint_insertion.hpp"
+
+#include "compiler/cfg.hpp"
+
+namespace gecko::compiler {
+
+using ir::Instr;
+using ir::Opcode;
+using ir::Program;
+
+std::vector<RegionSeed>
+CheckpointInsertion::run(Program& prog)
+{
+    Cfg cfg = Cfg::build(prog);
+    Liveness live = Liveness::build(prog, cfg);
+
+    // Collect boundaries and assign ids in program order.
+    std::vector<std::size_t> boundaries;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        if (prog.at(i).op == Opcode::kBoundary) {
+            prog.at(i).imm = static_cast<std::int32_t>(boundaries.size());
+            boundaries.push_back(i);
+        }
+    }
+
+    std::vector<RegionSeed> seeds(boundaries.size());
+    for (std::size_t id = 0; id < boundaries.size(); ++id) {
+        seeds[id].id = static_cast<int>(id);
+        seeds[id].liveIn = live.liveIn(boundaries[id]);
+    }
+
+    // Insert checkpoint stores, highest boundary first so earlier indices
+    // stay valid.  Registers are inserted in descending order so the final
+    // entry sequence checkpoints r0, r1, ... in ascending order.
+    for (std::size_t id = boundaries.size(); id-- > 0;) {
+        std::size_t pos = boundaries[id];
+        RegMask mask = seeds[id].liveIn;
+        for (int r = ir::kNumRegs; r-- > 0;) {
+            if (!(mask & regBit(static_cast<ir::Reg>(r))))
+                continue;
+            Instr ck;
+            ck.op = Opcode::kCkpt;
+            ck.rs1 = static_cast<ir::Reg>(r);
+            ck.imm = -1;  // slot assigned by SlotColoring
+            ck.target = static_cast<std::int32_t>(id);
+            prog.insertBefore(pos, ck, /*before_label=*/true);
+        }
+    }
+    return seeds;
+}
+
+}  // namespace gecko::compiler

@@ -1,0 +1,52 @@
+#ifndef GECKO_COMPILER_CHECKPOINT_INSERTION_HPP_
+#define GECKO_COMPILER_CHECKPOINT_INSERTION_HPP_
+
+#include <vector>
+
+#include "compiler/liveness.hpp"
+#include "compiler/pipeline.hpp"
+#include "ir/program.hpp"
+
+/**
+ * @file
+ * Checkpoint-store insertion (paper §VI-B step 5).
+ *
+ * After the region boundaries are final, every region receives an entry
+ * sequence `kCkpt*  kBoundary`: one checkpoint store per register live at
+ * the region entry, followed by the committing boundary.  Rolling back to
+ * a committed region therefore only ever needs that region's own entry
+ * checkpoints (plus recovery blocks once pruning ran).
+ */
+
+namespace gecko::compiler {
+
+/** Intermediate per-region record threaded through the late passes. */
+struct RegionSeed {
+    int id = 0;
+    RegMask liveIn = 0;
+    /// Filled by CheckpointPruning, in dependency order.
+    std::vector<RecoverySpec> recovery;
+    /**
+     * For conflict-fix regions inserted by SlotColoring: the region whose
+     * restore table covers the registers this region does not checkpoint
+     * itself (-1 for ordinary regions).
+     */
+    int parentId = -1;
+};
+
+/** Checkpoint-store insertion pass. */
+class CheckpointInsertion
+{
+  public:
+    /**
+     * Assign sequential region ids to all kBoundary instructions (program
+     * order) and insert a kCkpt for every live-in register immediately
+     * before each boundary.
+     * @return one RegionSeed per region, indexed by region id.
+     */
+    static std::vector<RegionSeed> run(ir::Program& prog);
+};
+
+}  // namespace gecko::compiler
+
+#endif  // GECKO_COMPILER_CHECKPOINT_INSERTION_HPP_

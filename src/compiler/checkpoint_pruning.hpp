@@ -1,0 +1,38 @@
+#ifndef GECKO_COMPILER_CHECKPOINT_PRUNING_HPP_
+#define GECKO_COMPILER_CHECKPOINT_PRUNING_HPP_
+
+#include <vector>
+
+#include "compiler/checkpoint_insertion.hpp"
+#include "ir/program.hpp"
+
+/**
+ * @file
+ * Checkpoint pruning (paper §VI-C).
+ *
+ * A checkpoint store can be removed when the register's region-entry
+ * value is reconstructible by a recovery block.  The pass builds candidate
+ * recovery blocks for every checkpoint, resolves dependency cycles among
+ * candidates of the same region by demoting members back to real
+ * checkpoints, removes the pruned kCkpt instructions, and records the
+ * surviving blocks in dependency order in each RegionSeed.
+ */
+
+namespace gecko::compiler {
+
+/** Checkpoint pruning pass. */
+class CheckpointPruning
+{
+  public:
+    /**
+     * Prune checkpoints of `prog`, updating `seeds[id].recovery`.
+     * @param maxSliceInstrs per-block slice size limit.
+     * @return the number of checkpoint stores removed.
+     */
+    static int run(ir::Program& prog, std::vector<RegionSeed>& seeds,
+                   int maxSliceInstrs = 16);
+};
+
+}  // namespace gecko::compiler
+
+#endif  // GECKO_COMPILER_CHECKPOINT_PRUNING_HPP_

@@ -1,0 +1,87 @@
+#include "compiler/dominators.hpp"
+
+#include <algorithm>
+
+namespace gecko::compiler {
+
+Dominators
+Dominators::build(const Cfg& cfg)
+{
+    Dominators dom;
+    const std::size_t n = cfg.numBlocks();
+    dom.idom_.assign(n, -1);
+    if (n == 0)
+        return dom;
+
+    // Map block -> RPO position for the intersect walk.
+    std::vector<int> rpo_pos(n, -1);
+    const auto& rpo = cfg.reversePostOrder();
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpo_pos[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+
+    dom.idom_[static_cast<std::size_t>(cfg.entry())] = cfg.entry();
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpo_pos[static_cast<std::size_t>(a)] >
+                   rpo_pos[static_cast<std::size_t>(b)])
+                a = dom.idom_[static_cast<std::size_t>(a)];
+            while (rpo_pos[static_cast<std::size_t>(b)] >
+                   rpo_pos[static_cast<std::size_t>(a)])
+                b = dom.idom_[static_cast<std::size_t>(b)];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo) {
+            if (b == cfg.entry())
+                continue;
+            BlockId new_idom = -1;
+            for (BlockId pred : cfg.block(b).preds) {
+                if (dom.idom_[static_cast<std::size_t>(pred)] == -1)
+                    continue;  // pred not yet processed/unreachable
+                new_idom = (new_idom == -1) ? pred
+                                            : intersect(new_idom, pred);
+            }
+            if (new_idom != -1 &&
+                dom.idom_[static_cast<std::size_t>(b)] != new_idom) {
+                dom.idom_[static_cast<std::size_t>(b)] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+bool
+Dominators::dominates(BlockId a, BlockId b) const
+{
+    if (a == b)
+        return true;
+    BlockId cur = b;
+    while (true) {
+        BlockId up = idom_.at(static_cast<std::size_t>(cur));
+        if (up == -1)
+            return false;
+        if (up == cur)
+            return false;  // reached the entry without meeting `a`
+        if (up == a)
+            return true;
+        cur = up;
+    }
+}
+
+bool
+Dominators::dominatesInstr(const Cfg& cfg, std::size_t i, std::size_t j) const
+{
+    BlockId bi = cfg.blockOf(i);
+    BlockId bj = cfg.blockOf(j);
+    if (bi == bj)
+        return i <= j;
+    return dominates(bi, bj);
+}
+
+}  // namespace gecko::compiler

@@ -1,0 +1,50 @@
+#ifndef GECKO_COMPILER_DOMINATORS_HPP_
+#define GECKO_COMPILER_DOMINATORS_HPP_
+
+#include <vector>
+
+#include "compiler/cfg.hpp"
+
+/**
+ * @file
+ * Dominator tree over a Cfg (Cooper-Harvey-Kennedy iterative algorithm).
+ */
+
+namespace gecko::compiler {
+
+/**
+ * Dominator information for the blocks of a Cfg.
+ *
+ * Blocks unreachable from the entry have no immediate dominator and are
+ * reported as dominated by nothing (dominates() returns false for them
+ * except against themselves).
+ */
+class Dominators
+{
+  public:
+    /** Compute dominators for `cfg`. */
+    static Dominators build(const Cfg& cfg);
+
+    /** Immediate dominator of `b` (entry's idom is itself; -1 unreachable). */
+    BlockId idom(BlockId b) const
+    {
+        return idom_.at(static_cast<std::size_t>(b));
+    }
+
+    /** @return true iff block `a` dominates block `b`. */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /**
+     * Instruction-level dominance: does instruction `i` dominate
+     * instruction `j`?  Within a block this is index order; across blocks
+     * it is block dominance.
+     */
+    bool dominatesInstr(const Cfg& cfg, std::size_t i, std::size_t j) const;
+
+  private:
+    std::vector<BlockId> idom_;
+};
+
+}  // namespace gecko::compiler
+
+#endif  // GECKO_COMPILER_DOMINATORS_HPP_

@@ -1,0 +1,85 @@
+#ifndef GECKO_COMPILER_LIVENESS_HPP_
+#define GECKO_COMPILER_LIVENESS_HPP_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compiler/cfg.hpp"
+#include "ir/program.hpp"
+
+/**
+ * @file
+ * Register liveness and reaching-definition analyses.
+ */
+
+namespace gecko::compiler {
+
+/** Bitmask over the 16 architectural registers. */
+using RegMask = std::uint16_t;
+
+/** Set bit for register `r`. */
+inline RegMask regBit(ir::Reg r) { return static_cast<RegMask>(1u << r); }
+
+/**
+ * Per-instruction register liveness.
+ *
+ * kRet conservatively uses all registers (intra-procedural approximation:
+ * whatever the caller holds live must survive the callee).
+ */
+class Liveness
+{
+  public:
+    /** Run backward liveness dataflow over `prog`/`cfg`. */
+    static Liveness build(const ir::Program& prog, const Cfg& cfg);
+
+    /** Registers live immediately before instruction `idx` executes. */
+    RegMask liveIn(std::size_t idx) const { return liveIn_.at(idx); }
+
+    /** Registers live immediately after instruction `idx` executes. */
+    RegMask liveOut(std::size_t idx) const { return liveOut_.at(idx); }
+
+  private:
+    std::vector<RegMask> liveIn_;
+    std::vector<RegMask> liveOut_;
+};
+
+/**
+ * Reaching definitions per register.
+ *
+ * For every program point (instruction index) and register, the set of
+ * instruction indices whose definition of that register may reach the
+ * point.  Definition index `kEntryDef` denotes "uninitialised at program
+ * entry".
+ */
+class ReachingDefs
+{
+  public:
+    /** Pseudo definition site meaning "value from before program start". */
+    static constexpr std::int32_t kEntryDef = -1;
+
+    static ReachingDefs build(const ir::Program& prog, const Cfg& cfg);
+
+    /**
+     * Definitions of register `r` reaching the point just before
+     * instruction `idx` executes (sorted, may contain kEntryDef).
+     */
+    const std::vector<std::int32_t>& defsAt(std::size_t idx, ir::Reg r) const
+    {
+        return in_.at(idx).at(r);
+    }
+
+    /**
+     * Convenience: if exactly one real definition of `r` reaches `idx`,
+     * return its instruction index; otherwise -2 (ambiguous / entry).
+     */
+    std::int32_t uniqueDefAt(std::size_t idx, ir::Reg r) const;
+
+  private:
+    // in_[idx][reg] -> sorted vector of defining instruction indices.
+    std::vector<std::array<std::vector<std::int32_t>, ir::kNumRegs>> in_;
+};
+
+}  // namespace gecko::compiler
+
+#endif  // GECKO_COMPILER_LIVENESS_HPP_

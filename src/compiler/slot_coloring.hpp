@@ -1,0 +1,79 @@
+#ifndef GECKO_COMPILER_SLOT_COLORING_HPP_
+#define GECKO_COMPILER_SLOT_COLORING_HPP_
+
+#include <tuple>
+#include <vector>
+
+#include "compiler/checkpoint_insertion.hpp"
+#include "ir/program.hpp"
+
+/**
+ * @file
+ * Static double-buffer slot assignment (paper §VI-D) and clean-checkpoint
+ * elimination.
+ *
+ * Slot constraint: two checkpoint stores of the same register that can
+ * execute consecutively *with the register redefined in between* must
+ * write different NVM slots — a power failure during the later entry
+ * sequence rolls back to the earlier region, whose slot must still hold
+ * the earlier value.  The paper formulates this as 2-colouring with
+ * additional checkpoints fixing conflicts; we implement
+ *
+ *  - self-conflicts (a loop whose single region re-checkpoints a
+ *    register it modifies) by inserting a conflict-fix region right
+ *    after the loop region's commit (sharing the parent's restore table
+ *    for everything else — sound because nothing executes between the
+ *    two commits),
+ *  - remaining odd cycles by greedy colouring with up to kMaxSlots
+ *    colours, and
+ *  - *clean elimination*: a checkpoint whose register is unmodified on
+ *    every path from its unique previous checkpoint stores a value the
+ *    slot already holds — it is removed and the region's restore table
+ *    inherits the previous checkpoint's slot.  This is the degenerate
+ *    case of checkpoint pruning (reconstruction is a no-op), so it runs
+ *    only when pruning is enabled.
+ */
+
+namespace gecko::compiler {
+
+/** Number of NVM slot copies reserved per register. */
+inline constexpr int kMaxSlots = 4;
+
+/** An inherited restore-table entry produced by clean elimination. */
+struct InheritedCkpt {
+    int regionId = 0;
+    ir::Reg reg = 0;
+    int slot = 0;
+};
+
+/** Slot colouring pass. */
+class SlotColoring
+{
+  public:
+    struct Result {
+        /// Highest slot index used + 1.
+        int slotsUsed = 0;
+        /// Conflict-fix regions inserted for self-conflicts.
+        int fixRegions = 0;
+        /// Checkpoint stores added by fix regions.
+        int fixCkpts = 0;
+        /// Checkpoint stores removed by clean elimination.
+        int cleanEliminated = 0;
+        /// Restore-table entries inherited from earlier regions.
+        std::vector<InheritedCkpt> inherited;
+    };
+
+    /**
+     * Assign a slot (kCkpt.imm) to every checkpoint store of `prog`,
+     * inserting conflict-fix regions as needed (appended to `seeds`) and
+     * optionally eliminating clean checkpoints.
+     * @throws std::runtime_error if more than kMaxSlots colours would be
+     *         required (not observed on any workload).
+     */
+    static Result run(ir::Program& prog, std::vector<RegionSeed>& seeds,
+                      bool cleanElim);
+};
+
+}  // namespace gecko::compiler
+
+#endif  // GECKO_COMPILER_SLOT_COLORING_HPP_

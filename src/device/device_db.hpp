@@ -1,0 +1,40 @@
+#ifndef GECKO_DEVICE_DEVICE_DB_HPP_
+#define GECKO_DEVICE_DEVICE_DB_HPP_
+
+#include <vector>
+
+#include "device/device_profile.hpp"
+
+/**
+ * @file
+ * Database of the nine commodity MCUs evaluated in the paper (Table I).
+ *
+ * The coupling curves are calibrated so the simulated attack reproduces
+ * the paper's qualitative structure: all MSP430-family ADC paths resonate
+ * near 27 MHz, the F5529 has an additional 16 MHz response, the
+ * STM32L552 resonates near 17–18 MHz, the FR5994's comparator path
+ * resonates at 5/6 MHz, and nothing couples above ~50 MHz.
+ */
+
+namespace gecko::device {
+
+/** Device registry. */
+class DeviceDb
+{
+  public:
+    /** All nine Table-I boards. */
+    static const std::vector<DeviceProfile>& all();
+
+    /**
+     * Look up a board by name (e.g. "MSP430FR5994").
+     * @throws std::out_of_range for unknown names.
+     */
+    static const DeviceProfile& byName(const std::string& name);
+
+    /** The paper's main evaluation board. */
+    static const DeviceProfile& msp430fr5994();
+};
+
+}  // namespace gecko::device
+
+#endif  // GECKO_DEVICE_DEVICE_DB_HPP_

@@ -1,0 +1,16 @@
+#include "device/device_profile.hpp"
+
+namespace gecko::device {
+
+std::unique_ptr<analog::VoltageMonitor>
+DeviceProfile::makeMonitor(analog::MonitorKind kind) const
+{
+    if (kind == analog::MonitorKind::kAdc) {
+        return std::make_unique<analog::AdcMonitor>(
+            adcBits, vccNominal, vBackup, vOn, adcSampleHz);
+    }
+    return std::make_unique<analog::ComparatorMonitor>(
+        vBackup, vOn, compHysteresisV, compCheckHz);
+}
+
+}  // namespace gecko::device

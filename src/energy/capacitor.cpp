@@ -1,0 +1,85 @@
+#include "energy/capacitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gecko::energy {
+
+Capacitor::Capacitor(const CapacitorConfig& config) : config_(config)
+{
+    setVoltage(config.initialV);
+}
+
+double
+Capacitor::voltage() const
+{
+    return std::sqrt(2.0 * energyJ_ / config_.capacitanceF);
+}
+
+double
+Capacitor::discharge(double joules)
+{
+    double drawn = std::min(joules, energyJ_);
+    energyJ_ -= drawn;
+    return drawn;
+}
+
+void
+Capacitor::chargeFrom(double vOc, double rSeries, double dt)
+{
+    // The harvester front end rectifies (Fig. 1): no reverse current
+    // flows into a source below the capacitor voltage.
+    if (vOc <= voltage()) {
+        leak(dt);
+        return;
+    }
+    // dV/dt = (vOc - V)/(Rs C) - (G V)/C  =  b - a V, with
+    //   a = 1/(Rs C) + G/C,  b = vOc/(Rs C).
+    // Exact step: V(t+dt) = V∞ + (V - V∞) e^{-a dt},  V∞ = b/a.
+    const double c = config_.capacitanceF;
+    const double a = 1.0 / (rSeries * c) + config_.leakageS / c;
+    const double b = vOc / (rSeries * c);
+    const double v_inf = b / a;
+    double v = voltage();
+    v = v_inf + (v - v_inf) * std::exp(-a * dt);
+    v = std::clamp(v, 0.0, config_.maxV);
+    setVoltage(v);
+}
+
+void
+Capacitor::leak(double dt)
+{
+    // Pure leakage: V(t) = V e^{-G dt / C}.
+    double v = voltage() *
+               std::exp(-config_.leakageS * dt / config_.capacitanceF);
+    setVoltage(v);
+}
+
+double
+Capacitor::timeToReach(double targetV, double vOc, double rSeries) const
+{
+    const double c = config_.capacitanceF;
+    const double a = 1.0 / (rSeries * c) + config_.leakageS / c;
+    const double v_inf = (vOc / (rSeries * c)) / a;
+    const double v0 = voltage();
+    if (targetV <= v0)
+        return 0.0;
+    if (targetV >= v_inf)
+        return -1.0;
+    return std::log((v_inf - v0) / (v_inf - targetV)) / a;
+}
+
+void
+Capacitor::setVoltage(double v)
+{
+    v = std::clamp(v, 0.0, config_.maxV);
+    energyJ_ = 0.5 * config_.capacitanceF * v * v;
+}
+
+double
+bufferedEnergy(double c, double vHi, double vLo)
+{
+    return 0.5 * c * (vHi * vHi - vLo * vLo);
+}
+
+}  // namespace gecko::energy

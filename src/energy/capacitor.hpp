@@ -1,0 +1,84 @@
+#ifndef GECKO_ENERGY_CAPACITOR_HPP_
+#define GECKO_ENERGY_CAPACITOR_HPP_
+
+/**
+ * @file
+ * Energy-buffer capacitor model.
+ *
+ * The capacitor is the intermittent system's sole energy store (paper
+ * Fig. 1).  State is tracked as stored energy E = ½CV²; computation
+ * discharges it, the harvester charges it through a Thevenin source
+ * resistance (which makes charge time grow superlinearly with C — the
+ * Fig. 15 effect), and a parallel leakage conductance drains it.
+ */
+
+namespace gecko::energy {
+
+/** Capacitor parameters. */
+struct CapacitorConfig {
+    /// Capacitance in farad (paper sweeps 1 mF .. 10 mF).
+    double capacitanceF = 1e-3;
+    /// Voltage at simulation start.
+    double initialV = 3.3;
+    /// Clamp voltage (harvester/regulator limit).
+    double maxV = 3.3;
+    /// Parallel leakage conductance in siemens.
+    double leakageS = 2e-7;
+};
+
+/** The energy-buffer capacitor. */
+class Capacitor
+{
+  public:
+    explicit Capacitor(const CapacitorConfig& config);
+
+    /** Current terminal voltage (V). */
+    double voltage() const;
+
+    /** Stored energy (J). */
+    double energy() const { return energyJ_; }
+
+    double capacitance() const { return config_.capacitanceF; }
+
+    /**
+     * Draw `joules` from the buffer.
+     * @return the energy actually drawn (less than requested iff the
+     *         buffer ran dry).
+     */
+    double discharge(double joules);
+
+    /**
+     * Charge from a Thevenin source (`vOc`, `rSeries`) for `dt` seconds,
+     * including leakage.  Uses the exact solution of the linear RC ODE,
+     * so arbitrarily large steps are stable.
+     */
+    void chargeFrom(double vOc, double rSeries, double dt);
+
+    /** Let only leakage act for `dt` seconds. */
+    void leak(double dt);
+
+    /**
+     * Time needed for `chargeFrom(vOc, rSeries, ·)` to lift the voltage
+     * to `targetV`.
+     * @return seconds, or a negative value if `targetV` is unreachable
+     *         (above the steady-state voltage).
+     */
+    double timeToReach(double targetV, double vOc, double rSeries) const;
+
+    /** Force the voltage (used by tests and scenario setup). */
+    void setVoltage(double v);
+
+  private:
+    CapacitorConfig config_;
+    double energyJ_;
+};
+
+/**
+ * Energy between two voltage levels for capacitance `c`:
+ * ½c(v_hi² − v_lo²).
+ */
+double bufferedEnergy(double c, double vHi, double vLo);
+
+}  // namespace gecko::energy
+
+#endif  // GECKO_ENERGY_CAPACITOR_HPP_

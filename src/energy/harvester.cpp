@@ -1,0 +1,97 @@
+#include "energy/harvester.hpp"
+
+#include <cmath>
+
+namespace gecko::energy {
+
+bool
+SquareWaveHarvester::isOn(double t) const
+{
+    double period = on_ + off_;
+    double phase = std::fmod(t, period);
+    if (phase < 0)
+        phase += period;
+    return phase < on_;
+}
+
+bool
+SquareWaveHarvester::steadyOver(double t, double dt) const
+{
+    double period = on_ + off_;
+    double phase = std::fmod(t, period);
+    if (phase < 0)
+        phase += period;
+    double boundary = (phase < on_) ? on_ : period;
+    return phase + dt <= boundary;
+}
+
+TraceHarvester::TraceHarvester(std::vector<double> vocSamples,
+                               double sampleIntervalS, double rSeries)
+    : samples_(std::move(vocSamples)), interval_(sampleIntervalS),
+      rSeries_(rSeries)
+{
+    if (samples_.empty())
+        samples_.push_back(0.0);
+}
+
+std::size_t
+TraceHarvester::indexAt(double t) const
+{
+    double pos = t / interval_;
+    auto idx = static_cast<long long>(pos);
+    auto n = static_cast<long long>(samples_.size());
+    long long wrapped = idx % n;
+    if (wrapped < 0)
+        wrapped += n;
+    return static_cast<std::size_t>(wrapped);
+}
+
+double
+TraceHarvester::openCircuitVoltage(double t) const
+{
+    return samples_[indexAt(t)];
+}
+
+bool
+TraceHarvester::steadyOver(double t, double dt) const
+{
+    return indexAt(t) == indexAt(t + dt);
+}
+
+TraceHarvester
+makeRfTrace(double vOc, double rSeries, double outageRateHz,
+            double onFraction, double durationS, unsigned seed)
+{
+    // Deterministic xorshift so runs are reproducible.
+    auto next = [state = seed ? seed : 1u]() mutable {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        return state;
+    };
+
+    // Sample interval: ~32 samples per outage period.
+    double period = 1.0 / outageRateHz;
+    double interval = period / 32.0;
+    auto count = static_cast<std::size_t>(durationS / interval) + 1;
+
+    std::vector<double> samples;
+    samples.reserve(count);
+    double t = 0.0;
+    while (samples.size() < count) {
+        // Jittered on/off durations around the requested duty cycle.
+        double jitter_on = 0.5 + (next() % 1000) / 1000.0;   // 0.5..1.5
+        double jitter_off = 0.5 + (next() % 1000) / 1000.0;
+        double on_time = period * onFraction * jitter_on;
+        double off_time = period * (1.0 - onFraction) * jitter_off;
+        for (double e = t + on_time; t < e && samples.size() < count;
+             t += interval)
+            samples.push_back(vOc);
+        for (double e = t + off_time; t < e && samples.size() < count;
+             t += interval)
+            samples.push_back(0.0);
+    }
+    return TraceHarvester(std::move(samples), interval, rSeries);
+}
+
+}  // namespace gecko::energy

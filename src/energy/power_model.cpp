@@ -1,0 +1,5 @@
+#include "energy/power_model.hpp"
+
+// PowerModel is a plain parameter aggregate; this translation unit exists
+// so the build has a home for future model extensions (DVFS curves,
+// peripheral power states).

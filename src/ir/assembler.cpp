@@ -1,0 +1,305 @@
+#include "ir/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace gecko::ir {
+
+namespace {
+
+/** Token stream over one assembly line. */
+class LineLexer
+{
+  public:
+    LineLexer(std::string text, int line) : text_(std::move(text)), line_(line)
+    {
+        // Strip comment.
+        auto semi = text_.find(';');
+        if (semi != std::string::npos)
+            text_.resize(semi);
+        tokenize();
+    }
+
+    bool empty() const { return tokens_.empty(); }
+    bool done() const { return next_ >= tokens_.size(); }
+
+    const std::string& peek() const
+    {
+        if (done())
+            throw AsmError(line_, "unexpected end of line");
+        return tokens_[next_];
+    }
+
+    std::string get()
+    {
+        std::string t = peek();
+        ++next_;
+        return t;
+    }
+
+    void expect(const std::string& tok)
+    {
+        std::string t = get();
+        if (t != tok)
+            throw AsmError(line_, "expected '" + tok + "', got '" + t + "'");
+    }
+
+    int line() const { return line_; }
+
+  private:
+    void tokenize()
+    {
+        std::size_t i = 0;
+        while (i < text_.size()) {
+            char c = text_[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+                continue;
+            }
+            if (c == ',' || c == '[' || c == ']' || c == '+' || c == ':' ||
+                c == '#') {
+                tokens_.push_back(std::string(1, c));
+                ++i;
+                continue;
+            }
+            std::size_t start = i;
+            while (i < text_.size()) {
+                char d = text_[i];
+                if (std::isspace(static_cast<unsigned char>(d)) || d == ',' ||
+                    d == '[' || d == ']' || d == '+' || d == ':' || d == '#')
+                    break;
+                ++i;
+            }
+            tokens_.push_back(text_.substr(start, i - start));
+        }
+    }
+
+    std::string text_;
+    std::vector<std::string> tokens_;
+    std::size_t next_ = 0;
+    int line_;
+};
+
+Reg
+parseReg(LineLexer& lex)
+{
+    std::string t = lex.get();
+    if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R'))
+        throw AsmError(lex.line(), "expected register, got '" + t + "'");
+    int n = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(t[i])))
+            throw AsmError(lex.line(), "bad register '" + t + "'");
+        n = n * 10 + (t[i] - '0');
+    }
+    if (n >= kNumRegs)
+        throw AsmError(lex.line(), "register out of range: " + t);
+    return static_cast<Reg>(n);
+}
+
+std::int32_t
+parseImm(LineLexer& lex)
+{
+    std::string t = lex.get();
+    bool neg = false;
+    std::size_t i = 0;
+    if (!t.empty() && (t[0] == '-' || t[0] == '+')) {
+        neg = (t[0] == '-');
+        i = 1;
+    }
+    if (i >= t.size())
+        throw AsmError(lex.line(), "expected number, got '" + t + "'");
+    std::int64_t value = 0;
+    int base = 10;
+    if (t.size() > i + 1 && t[i] == '0' && (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+    }
+    for (; i < t.size(); ++i) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(t[i])));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            throw AsmError(lex.line(), "bad number '" + t + "'");
+        value = value * base + digit;
+    }
+    if (neg)
+        value = -value;
+    return static_cast<std::int32_t>(value);
+}
+
+const std::map<std::string, Opcode>&
+opcodeTable()
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> t;
+        for (int i = 0; i < kNumOpcodes; ++i) {
+            Opcode op = static_cast<Opcode>(i);
+            t.emplace(mnemonic(op), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace
+
+Program
+Assembler::assemble(const std::string& name, const std::string& source)
+{
+    Program prog(name);
+    std::istringstream stream(source);
+    std::string raw;
+    int line_no = 0;
+
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        LineLexer lex(raw, line_no);
+        if (lex.empty())
+            continue;
+
+        // Optional leading labels ("name:"), possibly several on one line.
+        while (!lex.done()) {
+            std::string first = lex.peek();
+            // Lookahead: is the next-next token a colon?
+            LineLexer probe = lex;
+            probe.get();
+            if (probe.done() || probe.peek() != ":")
+                break;
+            lex.get();       // label name
+            lex.expect(":");
+            LabelId id = prog.internLabel(first);
+            if (prog.labelPos(id) != Program::npos)
+                throw AsmError(line_no, "duplicate label '" + first + "'");
+            prog.bindLabel(id, prog.size());
+        }
+        if (lex.done())
+            continue;
+
+        std::string mn = lex.get();
+        std::transform(mn.begin(), mn.end(), mn.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        auto it = opcodeTable().find(mn);
+        if (it == opcodeTable().end())
+            throw AsmError(line_no, "unknown mnemonic '" + mn + "'");
+        Opcode op = it->second;
+
+        Instr ins;
+        ins.op = op;
+        switch (op) {
+          case Opcode::kNop:
+          case Opcode::kHalt:
+          case Opcode::kRet:
+            break;
+          case Opcode::kMovi:
+            ins.rd = parseReg(lex);
+            lex.expect(",");
+            if (lex.peek() == "#")
+                lex.get();
+            ins.imm = parseImm(lex);
+            break;
+          case Opcode::kMov:
+          case Opcode::kNot:
+          case Opcode::kNeg:
+            ins.rd = parseReg(lex);
+            lex.expect(",");
+            ins.rs1 = parseReg(lex);
+            break;
+          case Opcode::kLoad:
+            // load rd, [base+off]
+            ins.rd = parseReg(lex);
+            lex.expect(",");
+            lex.expect("[");
+            ins.rs1 = parseReg(lex);
+            if (lex.peek() == "+") {
+                lex.get();
+                ins.imm = parseImm(lex);
+            }
+            lex.expect("]");
+            break;
+          case Opcode::kStore:
+            // store [base+off], rs
+            lex.expect("[");
+            ins.rs1 = parseReg(lex);
+            if (lex.peek() == "+") {
+                lex.get();
+                ins.imm = parseImm(lex);
+            }
+            lex.expect("]");
+            lex.expect(",");
+            ins.rs2 = parseReg(lex);
+            break;
+          case Opcode::kBeq:
+          case Opcode::kBne:
+          case Opcode::kBlt:
+          case Opcode::kBge:
+          case Opcode::kBltu:
+          case Opcode::kBgeu:
+            ins.rs1 = parseReg(lex);
+            lex.expect(",");
+            ins.rs2 = parseReg(lex);
+            lex.expect(",");
+            ins.target = prog.internLabel(lex.get());
+            break;
+          case Opcode::kJmp:
+            ins.target = prog.internLabel(lex.get());
+            break;
+          case Opcode::kCall:
+            ins.rd = kLinkReg;
+            ins.target = prog.internLabel(lex.get());
+            break;
+          case Opcode::kIn:
+            ins.rd = parseReg(lex);
+            lex.expect(",");
+            ins.imm = parseImm(lex);
+            break;
+          case Opcode::kOut:
+            ins.imm = parseImm(lex);
+            lex.expect(",");
+            ins.rs1 = parseReg(lex);
+            break;
+          case Opcode::kBoundary:
+            ins.imm = parseImm(lex);
+            break;
+          case Opcode::kCkpt:
+            // ckpt rs, slot, region
+            ins.rs1 = parseReg(lex);
+            lex.expect(",");
+            ins.imm = parseImm(lex);
+            lex.expect(",");
+            ins.target = parseImm(lex);
+            break;
+          default:
+            // Binary ALU: op rd, rs1, (rs2 | #imm)
+            ins.rd = parseReg(lex);
+            lex.expect(",");
+            ins.rs1 = parseReg(lex);
+            lex.expect(",");
+            if (lex.peek() == "#") {
+                lex.get();
+                ins.useImm = true;
+                ins.imm = parseImm(lex);
+            } else {
+                ins.rs2 = parseReg(lex);
+            }
+            break;
+        }
+        if (!lex.done())
+            throw AsmError(line_no, "trailing tokens after instruction");
+        prog.append(ins);
+    }
+
+    std::string err = prog.validate();
+    if (!err.empty())
+        throw AsmError(line_no, err);
+    return prog;
+}
+
+}  // namespace gecko::ir

@@ -1,0 +1,52 @@
+#ifndef GECKO_IR_ASSEMBLER_HPP_
+#define GECKO_IR_ASSEMBLER_HPP_
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/program.hpp"
+
+/**
+ * @file
+ * Text assembler for the GECKO mini-ISA.
+ *
+ * Syntax (one instruction per line, `;` starts a comment):
+ * @code
+ *   loop:                 ; label
+ *       movi r1, 10
+ *       add  r2, r2, r1   ; register form
+ *       add  r2, r2, #5   ; immediate form ('#' prefix)
+ *       load r3, [r4+8]
+ *       store [r4+8], r3
+ *       bne  r1, r0, loop
+ *       in   r5, 0
+ *       out  1, r5
+ *       halt
+ * @endcode
+ */
+
+namespace gecko::ir {
+
+/** Error thrown by Assembler on malformed input, with a line number. */
+struct AsmError : std::runtime_error {
+    AsmError(int line, const std::string& msg)
+        : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+          line(line) {}
+    int line;
+};
+
+/** Two-pass text assembler. */
+class Assembler
+{
+  public:
+    /**
+     * Assemble `source` into a Program named `name`.
+     * @throws AsmError on syntax errors or undefined labels.
+     */
+    static Program assemble(const std::string& name,
+                            const std::string& source);
+};
+
+}  // namespace gecko::ir
+
+#endif  // GECKO_IR_ASSEMBLER_HPP_

@@ -1,0 +1,25 @@
+#ifndef GECKO_IR_DISASSEMBLER_HPP_
+#define GECKO_IR_DISASSEMBLER_HPP_
+
+#include <string>
+
+#include "ir/program.hpp"
+
+/**
+ * @file
+ * Disassembler: renders a Program back to assembler text.  The output
+ * round-trips through Assembler::assemble (modulo pseudo-op region ids,
+ * which are printed as raw immediates).
+ */
+
+namespace gecko::ir {
+
+/** Render one instruction (without any label prefix). */
+std::string formatInstr(const Program& prog, const Instr& ins);
+
+/** Render a whole program with labels, one instruction per line. */
+std::string disassemble(const Program& prog);
+
+}  // namespace gecko::ir
+
+#endif  // GECKO_IR_DISASSEMBLER_HPP_

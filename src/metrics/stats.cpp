@@ -1,0 +1,69 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gecko::metrics {
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs)
+        logsum += std::log(x);
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double
+minimum(const std::vector<double>& xs)
+{
+    double m = std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        m = std::min(m, x);
+    return m;
+}
+
+double
+maximum(const std::vector<double>& xs)
+{
+    double m = -std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        m = std::max(m, x);
+    return m;
+}
+
+std::size_t
+argminY(const Series& s)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < s.y.size(); ++i)
+        if (s.y[i] < s.y[best])
+            best = i;
+    return best;
+}
+
+std::size_t
+argmaxY(const Series& s)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < s.y.size(); ++i)
+        if (s.y[i] > s.y[best])
+            best = i;
+    return best;
+}
+
+}  // namespace gecko::metrics

@@ -1,0 +1,41 @@
+#ifndef GECKO_METRICS_STATS_HPP_
+#define GECKO_METRICS_STATS_HPP_
+
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Small statistics helpers for the benchmark harnesses.
+ */
+
+namespace gecko::metrics {
+
+/** Arithmetic mean (0 for empty input). */
+double mean(const std::vector<double>& xs);
+
+/** Geometric mean (0 for empty input; requires positive values). */
+double geomean(const std::vector<double>& xs);
+
+/** Minimum (+inf for empty input). */
+double minimum(const std::vector<double>& xs);
+
+/** Maximum (-inf for empty input). */
+double maximum(const std::vector<double>& xs);
+
+/** One named (x, y) series of an experiment figure. */
+struct Series {
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/** Index of the minimal y in a series (0 if empty). */
+std::size_t argminY(const Series& s);
+
+/** Index of the maximal y in a series (0 if empty). */
+std::size_t argmaxY(const Series& s);
+
+}  // namespace gecko::metrics
+
+#endif  // GECKO_METRICS_STATS_HPP_

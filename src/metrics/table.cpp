@@ -1,0 +1,74 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gecko::metrics {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string>& cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cells[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::string rule;
+        for (std::size_t w : widths)
+            rule += std::string(w + 2, '-');
+        os << rule << "\n";
+    }
+    for (const auto& r : rows_)
+        emit(r);
+}
+
+std::string
+fmt(double x, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << x;
+    return os.str();
+}
+
+std::string
+fmtPercent(double ratio, int digits)
+{
+    return fmt(ratio * 100.0, digits) + "%";
+}
+
+std::string
+fmtMhz(double freqHz, int digits)
+{
+    return fmt(freqHz / 1e6, digits) + " MHz";
+}
+
+}  // namespace gecko::metrics

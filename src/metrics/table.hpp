@@ -1,0 +1,45 @@
+#ifndef GECKO_METRICS_TABLE_HPP_
+#define GECKO_METRICS_TABLE_HPP_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Plain-text table/series printing for the benchmark harnesses, so every
+ * bench binary regenerates its paper table or figure as aligned rows.
+ */
+
+namespace gecko::metrics {
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    void print(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format `x` with `digits` decimal places. */
+std::string fmt(double x, int digits = 2);
+
+/** Format a ratio as a percentage string ("41.3%"). */
+std::string fmtPercent(double ratio, int digits = 1);
+
+/** Format a frequency in MHz ("27 MHz"). */
+std::string fmtMhz(double freqHz, int digits = 0);
+
+}  // namespace gecko::metrics
+
+#endif  // GECKO_METRICS_TABLE_HPP_

@@ -1,0 +1,193 @@
+#include "runtime/gecko_runtime.hpp"
+
+namespace gecko::runtime {
+
+using compiler::CkptSpec;
+using compiler::RecoverySpec;
+using compiler::RegionInfo;
+using compiler::Scheme;
+
+GeckoRuntime::GeckoRuntime(const compiler::CompiledProgram& compiled,
+                           sim::Machine& machine, sim::Nvm& nvm)
+    : compiled_(&compiled), machine_(&machine), nvm_(&nvm),
+      jitImageFresh_(true)  // an all-zero area is a valid cold start
+{
+    // The system is designed so any legitimate power-on period covers
+    // at least the region budget the compiler sized regions against.
+    if (compiled.minOnPeriodCycles > 0)
+        minOnCycles_ =
+            static_cast<std::uint64_t>(compiled.minOnPeriodCycles);
+}
+
+bool
+GeckoRuntime::jitActive() const
+{
+    switch (compiled_->scheme) {
+      case Scheme::kNvp:
+        return true;
+      case Scheme::kRatchet:
+        return false;
+      default:
+        return nvm_->jitDisabledFlag == 0;
+    }
+}
+
+void
+GeckoRuntime::onBackupSignal()
+{
+    sawBackupSinceBoot_ = true;
+}
+
+void
+GeckoRuntime::onProgress()
+{
+    // Rollback resumes at the interrupted region's entry sequence, whose
+    // own boundary re-commits almost immediately — that re-commit is not
+    // progress.  The probe therefore waits for a *second* commit (a full
+    // region completed after boot).
+    if (!probeArmed_ || nvm_->commitCount < commitsAtProbeArm_ + 2)
+        return;
+    // The first full region after boot committed.  If the (ignored)
+    // voltage monitor stayed silent through it, assume the attack has
+    // ended and re-arm the JIT protocol (§VI-F).  A wrong guess is
+    // harmless: the idempotent program recovers either way.
+    probeArmed_ = false;
+    if (!sawBackupSinceBoot_) {
+        nvm_->jitDisabledFlag = 0;
+        ++stats.jitReenables;
+    }
+}
+
+std::uint64_t
+GeckoRuntime::jitRestore()
+{
+    ++stats.jitRestores;
+    if (!jitImageFresh_)
+        ++stats.corruptedRestores;
+    return sim::JitCheckpoint::restore(*machine_, *nvm_, jitRamWords_);
+}
+
+std::uint64_t
+GeckoRuntime::rollback()
+{
+    machine_->powerCycle();
+
+    const auto& regions = compiled_->regions;
+    std::uint32_t id = nvm_->committedRegion;
+    if (regions.empty())
+        return 0;
+    if (id >= regions.size())
+        id = 0;
+    const RegionInfo& info = regions[id];
+    const RegionInfo* parent =
+        info.parentId >= 0
+            ? &regions[static_cast<std::size_t>(info.parentId)]
+            : nullptr;
+
+    // Walking the region lookup table costs roughly its size (the paper
+    // reports a ~130-instruction table).
+    std::uint64_t cycles = 130;
+
+    auto& regs = machine_->regs();
+    compiler::RegMask covered = 0;
+
+    // Slot restores: the region's own table first, then the parent's for
+    // anything a conflict-fix region does not checkpoint itself.
+    for (const RegionInfo* r : {&info, parent}) {
+        if (!r)
+            continue;
+        for (const CkptSpec& ck : r->ckpts) {
+            if (covered & compiler::regBit(ck.reg))
+                continue;
+            regs[ck.reg] =
+                nvm_->slots[ck.reg][static_cast<std::size_t>(ck.slot)];
+            covered |= compiler::regBit(ck.reg);
+            cycles += 3;
+        }
+    }
+
+    // Recovery blocks reconstruct the pruned registers, in dependency
+    // order; each executes against a snapshot and publishes its target.
+    for (const RegionInfo* r : {&info, parent}) {
+        if (!r)
+            continue;
+        for (const RecoverySpec& spec : r->recovery) {
+            if (covered & compiler::regBit(spec.reg))
+                continue;
+            std::array<std::uint32_t, 16> env = regs;
+            for (const ir::Instr& ins : spec.code) {
+                sim::Machine::execRecoveryInstr(ins, env, *nvm_);
+                cycles += static_cast<std::uint64_t>(ir::cycleCost(ins));
+                ++stats.recoveryInstrRuns;
+            }
+            regs[spec.reg] = env[spec.reg];
+            covered |= compiler::regBit(spec.reg);
+            ++stats.recoveryBlockRuns;
+        }
+    }
+
+    machine_->setPc(static_cast<std::uint32_t>(info.entryIdx));
+    ++stats.rollbacks;
+    return cycles;
+}
+
+std::uint64_t
+GeckoRuntime::onBoot(std::uint64_t prevOnCycles)
+{
+    bool first_boot = (nvm_->bootCount == 0);
+    ++nvm_->bootCount;
+
+    bool ack_changed =
+        nvm_->jit[sim::Nvm::kJitAckIndex] != nvm_->lastBootAck;
+    nvm_->lastBootAck = nvm_->jit[sim::Nvm::kJitAckIndex];
+
+    std::uint32_t commits_since = nvm_->commitCount - nvm_->commitsAtLastBoot;
+    nvm_->commitsAtLastBoot = nvm_->commitCount;
+
+    probeArmed_ = false;
+    sawBackupSinceBoot_ = false;
+
+    switch (compiled_->scheme) {
+      case Scheme::kNvp:
+        return jitRestore();
+      case Scheme::kRatchet:
+        return rollback();
+      default:
+        break;
+    }
+
+    // GECKO boot protocol.
+    if (nvm_->jitDisabledFlag != 0) {
+        // Attack mode: rollback recovery and probe for the all-clear.
+        probeArmed_ = true;
+        commitsAtProbeArm_ = nvm_->commitCount;
+        return rollback();
+    }
+
+    bool attack = false;
+    if (!first_boot) {
+        if (ackDetectorOn_ && !ack_changed) {
+            attack = true;
+            ++stats.ackDetections;
+        }
+        // Timer-based detection: a power outage recurring before one
+        // region's worth of execution could complete means the wake or
+        // backup signal was forged ("a power outage occurs more than
+        // once in the same program region", §VI-A).
+        if (timerDetectorOn_ &&
+            (commits_since == 0 || prevOnCycles < minOnCycles_)) {
+            attack = true;
+            ++stats.dosDetections;
+        }
+    }
+    if (attack) {
+        ++stats.attackDetections;
+        nvm_->jitDisabledFlag = 1;
+        probeArmed_ = true;
+        commitsAtProbeArm_ = nvm_->commitCount;
+        return rollback();
+    }
+    return jitRestore();
+}
+
+}  // namespace gecko::runtime

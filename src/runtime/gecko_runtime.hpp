@@ -1,0 +1,130 @@
+#ifndef GECKO_RUNTIME_GECKO_RUNTIME_HPP_
+#define GECKO_RUNTIME_GECKO_RUNTIME_HPP_
+
+#include <cstdint>
+
+#include "compiler/pipeline.hpp"
+#include "sim/jit_checkpoint.hpp"
+#include "sim/machine.hpp"
+#include "sim/nvm.hpp"
+
+/**
+ * @file
+ * The GECKO runtime: boot protocol with EMI-attack detection, rollback
+ * recovery with recovery-block execution, and JIT re-enable (paper
+ * §VI-A, §VI-E, §VI-F).  The same class also implements the plain
+ * NVP and Ratchet boot paths so the simulator treats all schemes
+ * uniformly.
+ */
+
+namespace gecko::runtime {
+
+/** Counters maintained by the runtime. */
+struct RuntimeStats {
+    std::uint64_t rollbacks = 0;
+    std::uint64_t jitRestores = 0;
+    std::uint64_t corruptedRestores = 0;
+    std::uint64_t attackDetections = 0;
+    std::uint64_t ackDetections = 0;
+    std::uint64_t dosDetections = 0;
+    std::uint64_t jitReenables = 0;
+    std::uint64_t recoveryBlockRuns = 0;
+    std::uint64_t recoveryInstrRuns = 0;
+};
+
+/** Per-scheme recovery runtime. */
+class GeckoRuntime
+{
+  public:
+    /**
+     * @param compiled program + region metadata (must outlive the runtime)
+     * @param machine / nvm the simulated core and its persistent memory
+     */
+    GeckoRuntime(const compiler::CompiledProgram& compiled,
+                 sim::Machine& machine, sim::Nvm& nvm);
+
+    /**
+     * Boot after a power cycle: runs the scheme's restore path, performs
+     * GECKO's attack detection, and arms the re-enable probe.
+     *
+     * @param prevOnCycles cycles the machine executed during the
+     *        previous power-on period (the timer-based detector's
+     *        input, §VI-A: the compiler guarantees a *legitimate* period
+     *        covers at least the largest region's WCET, so a shorter
+     *        period means the backup or wake signal was forged).  Pass
+     *        the default when no timer evidence is available.
+     * @return cycles consumed by the boot path.
+     */
+    std::uint64_t onBoot(
+        std::uint64_t prevOnCycles = ~std::uint64_t{0});
+
+    /** Minimum legitimate power-on period (cycles) for the timer check. */
+    std::uint64_t minOnCycles() const { return minOnCycles_; }
+
+    /**
+     * Is the JIT checkpoint protocol currently armed?  NVP: always.
+     * Ratchet: never.  GECKO: unless disabled by attack detection.
+     */
+    bool jitActive() const;
+
+    /**
+     * The intermittent simulator reports every backup signal here (even
+     * ignored ones) so the re-enable probe can see the monitor's
+     * behaviour during the first region after boot.
+     */
+    void onBackupSignal();
+
+    /**
+     * The simulator reports committed-region progress after each
+     * execution chunk; the runtime uses it to conclude the re-enable
+     * probe ("no checkpoint signal within the initial region ⇒ the
+     * threat is over", §VI-F).
+     */
+    void onProgress();
+
+    /**
+     * Whether the JIT image in NVM is a consistent roll-forward target
+     * (complete, and no instruction has executed since it was taken).
+     * Maintained by the simulator via the two notifications below.
+     */
+    void noteJitCheckpointComplete() { jitImageFresh_ = true; }
+    void noteExecutionSinceCheckpoint() { jitImageFresh_ = false; }
+
+    /** Extra CTPL SRAM-snapshot words included in JIT restore cost. */
+    void setJitRamWords(int words) { jitRamWords_ = words; }
+
+    /**
+     * Enable/disable the two detection mechanisms individually
+     * (ablation knob; both default on, as in the paper).
+     */
+    void
+    setDetectors(bool ack, bool timer)
+    {
+        ackDetectorOn_ = ack;
+        timerDetectorOn_ = timer;
+    }
+
+    RuntimeStats stats;
+
+  private:
+    std::uint64_t rollback();
+    std::uint64_t jitRestore();
+
+    const compiler::CompiledProgram* compiled_;
+    sim::Machine* machine_;
+    sim::Nvm* nvm_;
+
+    bool jitImageFresh_ = false;
+    int jitRamWords_ = 0;
+    std::uint64_t minOnCycles_ = 0;
+    bool ackDetectorOn_ = true;
+    bool timerDetectorOn_ = true;
+    // Re-enable probe state (volatile; re-armed at each boot).
+    bool probeArmed_ = false;
+    bool sawBackupSinceBoot_ = false;
+    std::uint64_t commitsAtProbeArm_ = 0;
+};
+
+}  // namespace gecko::runtime
+
+#endif  // GECKO_RUNTIME_GECKO_RUNTIME_HPP_

@@ -1,0 +1,356 @@
+#include "sim/intermittent_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gecko::sim {
+
+using compiler::Scheme;
+
+IntermittentSim::IntermittentSim(const compiler::CompiledProgram& compiled,
+                                 const device::DeviceProfile& device,
+                                 const SimConfig& config,
+                                 energy::Harvester& harvester, IoHub& io)
+    : device_(device), config_(config), harvester_(harvester),
+      nvm_(config.memWords), machine_(compiled, nvm_, io),
+      runtime_(compiled, machine_, nvm_), cap_(config.cap)
+{
+    vOn_ = config.vOnOverride > 0 ? config.vOnOverride : device.vOn;
+    vBackup_ =
+        config.vBackupOverride > 0 ? config.vBackupOverride : device.vBackup;
+    vOff_ = device.vOff;
+    energyAtVoff_ = 0.5 * cap_.capacitance() * vOff_ * vOff_;
+    epc_ = device.power.energyPerCycleJ;
+    spc_ = device.power.secondsPerCycle();
+
+    monitor_ = device.makeMonitor(config.monitorKind);
+    // Thresholds may be overridden (capacitor-size sweep); rebuild the
+    // monitor if so.
+    if (config.vOnOverride > 0 || config.vBackupOverride > 0) {
+        if (config.monitorKind == analog::MonitorKind::kAdc) {
+            monitor_ = std::make_unique<analog::AdcMonitor>(
+                device.adcBits, device.vccNominal, vBackup_, vOn_,
+                device.adcSampleHz);
+        } else {
+            monitor_ = std::make_unique<analog::ComparatorMonitor>(
+                vBackup_, vOn_, device.compHysteresisV, device.compCheckHz);
+        }
+    }
+    monitor_->reset(cap_.voltage());
+
+    bool staged = compiled.scheme != Scheme::kNvp;
+    machine_.setStagedIo(staged);
+    machine_.setContinuous(config.continuous);
+    machine_.setFaultTolerant(true);
+    runtime_.setJitRamWords(config.jitRamWords);
+}
+
+bool
+IntermittentSim::attackActive() const
+{
+    return emi_ != nullptr && emi_->enabled() && emi_->amplitude() > 1e-4;
+}
+
+void
+IntermittentSim::updateAttack()
+{
+    if (!schedule_ || !emi_)
+        return;
+    auto window = schedule_->activeAt(now_);
+    if (window) {
+        if (!emi_->enabled() || emi_->freqHz() != window->freqHz ||
+            emi_->powerDbm() != window->powerDbm)
+            emi_->setTone(window->freqHz, window->powerDbm);
+        emi_->setEnabled(true);
+    } else {
+        emi_->setEnabled(false);
+    }
+}
+
+double
+IntermittentSim::emiAt(double t)
+{
+    if (!emi_)
+        return 0.0;
+    // DCO-clocked sampling: the conversion trigger jitters by tens of
+    // nanoseconds, decorrelating the carrier phase between samples.
+    // A full avalanche hash keeps successive jitters independent while
+    // runs stay reproducible.
+    std::uint32_t h = ++sampleSeq_;
+    h ^= h >> 16;
+    h *= 0x45d9f3bu;
+    h ^= h >> 16;
+    h *= 0x45d9f3bu;
+    h ^= h >> 16;
+    double jitter = (h >> 8) * (config_.sampleJitterS / double(1u << 24));
+    return emi_->voltageAt(t + jitter);
+}
+
+analog::MonitorEvent
+IntermittentSim::observeMonitor()
+{
+    double v = cap_.voltage();
+    // Continuous (comparator) monitors react to every excursion inside
+    // the window: feed them the window's envelope under attack.
+    if (monitor_->continuous() && attackActive())
+        return monitor_->observeEnvelope(v - emi_->amplitude(),
+                                         v + emi_->amplitude());
+    return monitor_->observe(v + emiAt(now_));
+}
+
+void
+IntermittentSim::doJitCheckpoint()
+{
+    ++stats.jitCheckpointAttempts;
+    // CTPL re-checks the wake condition during the first part of the
+    // powerdown routine; a (possibly forged) wake signal there vetoes
+    // the checkpoint and resumes execution — leaving the *previous*
+    // image in place with the ACK untouched.
+    int words = 0;
+    bool aborted = false;
+    bool veto_done = false;
+    auto spend = [&](int cycles) {
+        double e = cycles * epc_;
+        if (cap_.energy() - e <= energyAtVoff_)
+            return false;  // buffer dead: checkpoint torn
+        cap_.discharge(e);
+        now_ += cycles * spc_;
+        ++words;
+        // The harvester keeps feeding the buffer during the routine.
+        if ((words & 63) == 0)
+            cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
+                            harvester_.seriesResistance(now_),
+                            64 * cycles * spc_);
+        if (!veto_done && words >= config_.jitAbortWindowWords) {
+            veto_done = true;
+            // The veto is one extra monitor read (a single ADC
+            // conversion / one comparator-output read) — a point sample
+            // of the EMI-distorted rail, never the envelope.
+            if (monitor_->observe(cap_.voltage() + emiAt(now_)).wake) {
+                aborted = true;
+                return false;
+            }
+        }
+        return true;
+    };
+    JitResult result = JitCheckpoint::checkpoint(machine_, nvm_, spend,
+                                                 config_.jitRamWords);
+    if (result.complete) {
+        ++stats.jitCheckpointsComplete;
+        runtime_.noteJitCheckpointComplete();
+        state_ = State::kSleeping;
+    } else if (aborted) {
+        ++stats.jitCheckpointsAborted;
+        // The wake ISR cancels the powerdown: keep running with the
+        // volatile state intact.
+        state_ = State::kRunning;
+    } else {
+        ++stats.jitCheckpointsTorn;
+        state_ = State::kSleeping;
+    }
+}
+
+void
+IntermittentSim::hardDeath()
+{
+    ++stats.hardDeaths;
+    if (runtime_.jitActive())
+        ++stats.missedCheckpoints;
+    state_ = State::kSleeping;
+}
+
+void
+IntermittentSim::boot()
+{
+    ++stats.reboots;
+    machine_.powerCycle();
+    // Timer evidence for the boot protocol: how long did the previous
+    // power-on period actually run?
+    std::uint64_t prev_on = machine_.stats.cycles - cyclesAtBoot_;
+    std::uint64_t cycles = config_.bootOverheadCycles +
+                           runtime_.onBoot(stats.reboots == 1
+                                               ? ~std::uint64_t{0}
+                                               : prev_on);
+    cyclesAtBoot_ = machine_.stats.cycles;
+    cap_.discharge(cycles * epc_);
+    cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
+                    harvester_.seriesResistance(now_),
+                    cycles * spc_);
+    now_ += cycles * spc_;
+    stats.bootCycles += cycles;
+    state_ = State::kRunning;
+}
+
+void
+IntermittentSim::stepRunning()
+{
+    bool attacked = attackActive();
+    int stride = attacked ? 1 : config_.quietStride;
+    // Near the backup threshold, sample at full rate even when quiet so
+    // the crossing is caught with fine granularity.
+    if (stride > 1) {
+        double e_backup = 0.5 * cap_.capacitance() * vBackup_ * vBackup_;
+        double quantum = monitor_->sampleIntervalS() * stride *
+                         device_.power.clockHz * epc_;
+        if (cap_.energy() - e_backup < 4.0 * quantum)
+            stride = 1;
+    }
+    double dt = monitor_->sampleIntervalS() * stride;
+
+    // Cycles this quantum affords (clock-rated, then energy-limited).
+    // The interpreter may overshoot the budget by one instruction (an
+    // I/O transaction is hundreds of cycles); the debt is carried so
+    // the long-run rate matches the clock exactly.
+    cycleCarry_ += dt * device_.power.clockHz;
+    std::uint64_t budget =
+        cycleCarry_ > 0 ? static_cast<std::uint64_t>(cycleCarry_) : 0;
+
+    double avail = cap_.energy() - energyAtVoff_;
+    std::uint64_t can_run =
+        avail > 0 ? static_cast<std::uint64_t>(avail / epc_) : 0;
+    std::uint64_t n = std::min(budget, can_run);
+
+    std::uint64_t consumed = 0;
+    if (n > 0) {
+        machine_.run(n, &consumed);
+        if (consumed > 0)
+            runtime_.noteExecutionSinceCheckpoint();
+        cap_.discharge(static_cast<double>(consumed) * epc_);
+        runtime_.onProgress();
+        cycleCarry_ -= static_cast<double>(consumed);
+    }
+    cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
+                    harvester_.seriesResistance(now_), dt);
+    now_ += dt;
+
+    if (n < budget) {
+        // The buffer could not afford the whole quantum: V_CC crossed
+        // V_off mid-step and the brown-out detector resets the MCU (it
+        // cannot throttle through an undervoltage).
+        hardDeath();
+        return;
+    }
+
+    analog::MonitorEvent ev = observeMonitor();
+    if (ev.backup) {
+        ++stats.backupSignals;
+        runtime_.onBackupSignal();
+        if (runtime_.jitActive())
+            doJitCheckpoint();
+        else
+            ++stats.ignoredBackups;
+    }
+    if (ev.wake)
+        ++stats.wakeSignals;
+}
+
+void
+IntermittentSim::stepSleeping()
+{
+    // Fast path: no tone now or during the whole charge, steady source —
+    // jump straight to the wake threshold.
+    if (!attackActive()) {
+        double voc = harvester_.openCircuitVoltage(now_);
+        double rs = harvester_.seriesResistance(now_);
+        double t_wake = cap_.timeToReach(vOn_, voc, rs);
+        bool tone_later = false;
+        if (schedule_ && emi_) {
+            double horizon = t_wake >= 0 ? now_ + t_wake : now_ + 1.0;
+            for (const auto& w : schedule_->windows())
+                if (w.startS < horizon && w.endS > now_)
+                    tone_later = true;
+        }
+        if (!tone_later && t_wake >= 0 &&
+            harvester_.steadyOver(now_, t_wake)) {
+            cap_.chargeFrom(voc, rs, t_wake);
+            now_ += t_wake + monitor_->sampleIntervalS();
+            monitor_->reset(cap_.voltage());
+            ++stats.wakeSignals;
+            boot();
+            return;
+        }
+    }
+
+    bool attacked = attackActive();
+    double dt = monitor_->sampleIntervalS() *
+                (attacked ? 1 : config_.quietStride);
+    cap_.discharge(device_.power.sleepPowerW * dt);
+    cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
+                    harvester_.seriesResistance(now_), dt);
+    now_ += dt;
+
+    analog::MonitorEvent ev = observeMonitor();
+    if (ev.wake) {
+        ++stats.wakeSignals;
+        // Brown-out lockout: the PMU holds reset until V_CC clears
+        // V_off plus hysteresis.  A fake wake can only boot the system
+        // inside the paper's malicious window V_off < V_fail < V_backup
+        // (or legitimately above).
+        if (cap_.voltage() > vOff_ + config_.bootLockoutV)
+            boot();
+    }
+}
+
+void
+IntermittentSim::run(double simSeconds)
+{
+    double end = now_ + simSeconds;
+    // Initial power-up.
+    if (nvm_.bootCount == 0 && cap_.voltage() >= vOn_ &&
+        state_ == State::kSleeping) {
+        ++stats.wakeSignals;
+        boot();
+    }
+    while (now_ < end) {
+        updateAttack();
+        if (state_ == State::kRunning)
+            stepRunning();
+        else
+            stepSleeping();
+    }
+    stats.simTimeS = now_;
+}
+
+bool
+IntermittentSim::runUntilCompletions(std::uint64_t target,
+                                     double maxSimSeconds)
+{
+    double end = now_ + maxSimSeconds;
+    while (machine_.stats.completions < target && now_ < end)
+        run(std::min(0.01, end - now_));
+    return machine_.stats.completions >= target;
+}
+
+double
+IntermittentSim::checkpointFailureRate() const
+{
+    std::uint64_t fails = stats.jitCheckpointsTorn +
+                          stats.jitCheckpointsAborted +
+                          stats.missedCheckpoints;
+    std::uint64_t total = stats.jitCheckpointAttempts + stats.missedCheckpoints;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(fails) / static_cast<double>(total);
+}
+
+std::uint64_t
+runToCompletion(const compiler::CompiledProgram& compiled, Nvm& nvm,
+                IoHub& io)
+{
+    Machine machine(compiled, nvm, io);
+    machine.setStagedIo(compiled.scheme != Scheme::kNvp);
+    machine.setContinuous(false);
+    std::uint64_t total = 0;
+    while (!machine.halted()) {
+        std::uint64_t consumed = 0;
+        RunExit exit = machine.run(1u << 20, &consumed);
+        total += consumed;
+        if (exit == RunExit::kFaulted)
+            throw std::runtime_error("program faulted in golden run");
+        if (total > (1ull << 36))
+            throw std::runtime_error("golden run did not terminate");
+    }
+    return total;
+}
+
+}  // namespace gecko::sim

@@ -1,0 +1,188 @@
+#ifndef GECKO_SIM_INTERMITTENT_SIM_HPP_
+#define GECKO_SIM_INTERMITTENT_SIM_HPP_
+
+#include <memory>
+
+#include "analog/voltage_monitor.hpp"
+#include "attack/attack_schedule.hpp"
+#include "attack/emi_source.hpp"
+#include "compiler/pipeline.hpp"
+#include "device/device_profile.hpp"
+#include "energy/capacitor.hpp"
+#include "energy/harvester.hpp"
+#include "runtime/gecko_runtime.hpp"
+#include "sim/machine.hpp"
+
+/**
+ * @file
+ * The full intermittent-system simulation (paper Fig. 1): harvester →
+ * capacitor → MCU, with a voltage monitor watching V_CC — and an
+ * optional EMI source superimposing an attack tone on what the monitor
+ * sees.
+ *
+ * Time advances in monitor-sample quanta.  While running, the machine
+ * executes the cycles each quantum affords (energy-limited), the
+ * capacitor discharges/charges, and the monitor observes
+ * V_CC + v_EMI(t).  A backup event triggers the word-by-word JIT
+ * checkpoint (when armed); a hard brown-out (monitor never fired — e.g.
+ * EMI masking the window) loses the volatile state.  While sleeping the
+ * capacitor recharges until a wake event boots the scheme's runtime.
+ */
+
+namespace gecko::sim {
+
+/** Simulation parameters beyond the device profile. */
+struct SimConfig {
+    analog::MonitorKind monitorKind = analog::MonitorKind::kAdc;
+    energy::CapacitorConfig cap;
+    /// NVM data size in words.
+    std::size_t memWords = 16384;
+    /// CTPL SRAM/peripheral snapshot size included in every JIT
+    /// checkpoint/restore (cost-only words; makes the checkpoint-churn
+    /// DoS expensive, as on real boards — the FR5994 has 8 KiB SRAM).
+    int jitRamWords = 4096;
+    /// Brown-out lockout hysteresis: the PMU releases reset only once
+    /// V_CC exceeds V_off by this margin (V).
+    double bootLockoutV = 0.02;
+    /// Monitor sample-timing jitter (s).  ADC conversions are triggered
+    /// from the DCO (an RC oscillator with %-level cycle jitter), so
+    /// successive samples land at effectively random phases of an RF
+    /// carrier.
+    double sampleJitterS = 100e-9;
+    /// Words at the start of the JIT checkpoint routine during which a
+    /// wake signal still vetoes/aborts it (CTPL re-checks the wake
+    /// condition before committing to the powerdown path).
+    int jitAbortWindowWords = 48;
+    /// Fixed cold-boot overhead on every wake (clock/DCO settling,
+    /// peripheral re-initialisation — milliseconds-scale on real
+    /// MSP430 boards), independent of the recovery scheme.
+    std::uint64_t bootOverheadCycles = 16000;
+    /// Restart the program on completion (continuous sensing loop).
+    bool continuous = true;
+    /// Threshold overrides; NaN means "use the device profile's value".
+    double vOnOverride = -1.0;
+    double vBackupOverride = -1.0;
+    /// Stride multiplier applied to the monitor sampling interval while
+    /// no attack tone is active (pure speed knob; crossings detect a few
+    /// µs late, which the V_backup→V_off energy margin absorbs).
+    int quietStride = 64;
+};
+
+/** Simulation-level counters. */
+struct SimStats {
+    double simTimeS = 0.0;
+    std::uint64_t reboots = 0;
+    std::uint64_t hardDeaths = 0;
+    std::uint64_t backupSignals = 0;
+    std::uint64_t wakeSignals = 0;
+    std::uint64_t ignoredBackups = 0;
+    std::uint64_t jitCheckpointAttempts = 0;
+    std::uint64_t jitCheckpointsComplete = 0;
+    std::uint64_t jitCheckpointsTorn = 0;
+    /// Checkpoints vetoed by a (possibly forged) wake signal inside the
+    /// abort window — they leave the previous image in place unflagged.
+    std::uint64_t jitCheckpointsAborted = 0;
+    /// Hard deaths with the JIT protocol armed but no checkpoint taken
+    /// in that power cycle (EMI masked the backup window).
+    std::uint64_t missedCheckpoints = 0;
+    std::uint64_t bootCycles = 0;
+};
+
+/** Harvester + capacitor + monitor + MCU + (optional) attacker. */
+class IntermittentSim
+{
+  public:
+    /**
+     * @param compiled  program + region metadata (not owned)
+     * @param device    board profile supplying thresholds and monitors
+     * @param config    simulation knobs
+     * @param harvester energy source (not owned)
+     * @param io        peripherals (not owned)
+     */
+    IntermittentSim(const compiler::CompiledProgram& compiled,
+                    const device::DeviceProfile& device,
+                    const SimConfig& config, energy::Harvester& harvester,
+                    IoHub& io);
+
+    /** Attach the attacker's signal source (nullptr = no attack). */
+    void setEmiSource(attack::EmiSource* source) { emi_ = source; }
+
+    /**
+     * Drive the source from a schedule (tone windows over time).  The
+     * source must also be set.
+     */
+    void setAttackSchedule(const attack::AttackSchedule* schedule)
+    {
+        schedule_ = schedule;
+    }
+
+    /** Advance the simulation by `simSeconds` of simulated time. */
+    void run(double simSeconds);
+
+    /**
+     * Run until the program completed `target` times or `maxSimSeconds`
+     * elapsed.
+     * @return true if the target was reached.
+     */
+    bool runUntilCompletions(std::uint64_t target, double maxSimSeconds);
+
+    double now() const { return now_; }
+    Machine& machine() { return machine_; }
+    const Machine& machine() const { return machine_; }
+    runtime::GeckoRuntime& geckoRuntime() { return runtime_; }
+    Nvm& nvm() { return nvm_; }
+    energy::Capacitor& capacitor() { return cap_; }
+
+    /** Checkpoint failure rate F = N_fail / N_checkpoints (§IV-B2). */
+    double checkpointFailureRate() const;
+
+    SimStats stats;
+
+  private:
+    bool attackActive() const;
+    void updateAttack();
+    double emiAt(double t);
+    analog::MonitorEvent observeMonitor();
+    void stepRunning();
+    void stepSleeping();
+    void doJitCheckpoint();
+    void hardDeath();
+    void boot();
+
+    enum class State { kRunning, kSleeping };
+
+    const device::DeviceProfile& device_;
+    SimConfig config_;
+    energy::Harvester& harvester_;
+    Nvm nvm_;
+    Machine machine_;
+    runtime::GeckoRuntime runtime_;
+    energy::Capacitor cap_;
+    std::unique_ptr<analog::VoltageMonitor> monitor_;
+    attack::EmiSource* emi_ = nullptr;
+    const attack::AttackSchedule* schedule_ = nullptr;
+
+    State state_ = State::kSleeping;
+    double now_ = 0.0;
+    double cycleCarry_ = 0.0;
+    std::uint64_t cyclesAtBoot_ = 0;
+    std::uint32_t sampleSeq_ = 0;
+    double vOn_;
+    double vBackup_;
+    double vOff_;
+    double energyAtVoff_;
+    double epc_;  // energy per cycle
+    double spc_;  // seconds per cycle
+};
+
+/**
+ * Convenience: execute `compiled` start-to-halt on a fresh machine with
+ * no power failures.
+ * @return total cycles (the scheme's failure-free execution time).
+ */
+std::uint64_t runToCompletion(const compiler::CompiledProgram& compiled,
+                              Nvm& nvm, IoHub& io);
+
+}  // namespace gecko::sim
+
+#endif  // GECKO_SIM_INTERMITTENT_SIM_HPP_

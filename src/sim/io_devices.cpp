@@ -1,0 +1,30 @@
+#include "sim/io_devices.hpp"
+
+namespace gecko::sim {
+
+IoHub::IoHub()
+{
+    for (auto& in : inputs_)
+        in = std::make_shared<VectorInput>(std::vector<std::uint32_t>{0});
+}
+
+void
+IoHub::setInput(int port, std::shared_ptr<InputDevice> dev)
+{
+    inputs_.at(static_cast<std::size_t>(port)) = std::move(dev);
+}
+
+InputDevice&
+IoHub::input(int port)
+{
+    return *inputs_.at(static_cast<std::size_t>(port));
+}
+
+void
+IoHub::clearOutputs()
+{
+    for (auto& out : outputs_)
+        out.clear();
+}
+
+}  // namespace gecko::sim

@@ -1,0 +1,65 @@
+#include "sim/jit_checkpoint.hpp"
+
+namespace gecko::sim {
+
+JitResult
+JitCheckpoint::checkpoint(const Machine& machine, Nvm& nvm,
+                          const std::function<bool(int cycles)>& spendCycles,
+                          int ramPaddingWords)
+{
+    JitResult result;
+
+    // SRAM/peripheral snapshot first (cost only; see header).
+    for (int i = 0; i < ramPaddingWords; ++i) {
+        if (!spendCycles(kJitStoreCycles))
+            return result;
+        ++nvm.jitAreaWrites;
+        ++result.wordsWritten;
+        result.cycles += kJitStoreCycles;
+    }
+
+    // Assemble the image in write order: regs, pc, staged-I/O, ACK last.
+    std::array<std::uint32_t, Nvm::kJitWords> image{};
+    std::size_t w = 0;
+    for (int r = 0; r < 16; ++r)
+        image[w++] = machine.regs()[static_cast<std::size_t>(r)];
+    image[w++] = machine.pc();
+    for (int p = 0; p < kIoPorts; ++p)
+        image[w++] = machine.pendingIn()[static_cast<std::size_t>(p)];
+    for (int p = 0; p < kIoPorts; ++p)
+        image[w++] = machine.pendingOut()[static_cast<std::size_t>(p)];
+    image[Nvm::kJitAckIndex] = nvm.jit[Nvm::kJitAckIndex] ^ 1u;
+
+    for (std::size_t i = 0; i < Nvm::kJitWords; ++i) {
+        if (!spendCycles(kJitStoreCycles))
+            return result;  // torn: ACK not yet toggled
+        nvm.jit[i] = image[i];
+        ++nvm.jitAreaWrites;
+        ++result.wordsWritten;
+        result.cycles += kJitStoreCycles;
+    }
+    result.complete = true;
+    return result;
+}
+
+std::uint64_t
+JitCheckpoint::restore(Machine& machine, const Nvm& nvm,
+                       int ramPaddingWords)
+{
+    std::size_t w = 0;
+    for (int r = 0; r < 16; ++r)
+        machine.regs()[static_cast<std::size_t>(r)] = nvm.jit[w++];
+    machine.setPc(nvm.jit[w++]);
+    for (int p = 0; p < kIoPorts; ++p)
+        machine.pendingIn()[static_cast<std::size_t>(p)] = nvm.jit[w++];
+    for (int p = 0; p < kIoPorts; ++p)
+        machine.pendingOut()[static_cast<std::size_t>(p)] = nvm.jit[w++];
+    machine.clearHalt();
+    machine.clearFault();
+    return (static_cast<std::uint64_t>(Nvm::kJitWords) +
+            static_cast<std::uint64_t>(ramPaddingWords)) *
+               2 +
+           kJitRestoreOverheadCycles;
+}
+
+}  // namespace gecko::sim

@@ -1,0 +1,72 @@
+#ifndef GECKO_SIM_JIT_CHECKPOINT_HPP_
+#define GECKO_SIM_JIT_CHECKPOINT_HPP_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/machine.hpp"
+#include "sim/nvm.hpp"
+
+/**
+ * @file
+ * The JIT (just-in-time) checkpoint protocol — TI's CTPL in miniature
+ * (paper §II-B/C).
+ *
+ * On a backup signal the protocol saves the volatile state (registers,
+ * PC, staged-I/O counters) word by word into the NVM's JIT area, using
+ * the energy still buffered in the capacitor, and finally toggles the
+ * ACK word.  The word-by-word structure is the attack surface: if the
+ * buffer runs dry mid-way the ACK is never toggled and the area holds a
+ * torn image.
+ */
+
+namespace gecko::sim {
+
+/** Outcome of one checkpoint attempt. */
+struct JitResult {
+    /// All words written and the ACK toggled.
+    bool complete = false;
+    int wordsWritten = 0;
+    std::uint64_t cycles = 0;
+};
+
+/** Cycles to write one word of the JIT area (FRAM store + bookkeeping). */
+inline constexpr int kJitStoreCycles = 4;
+
+/** Fixed cycles of the wake-up/restore path. */
+inline constexpr int kJitRestoreOverheadCycles = 60;
+
+/** The roll-forward checkpoint protocol. */
+class JitCheckpoint
+{
+  public:
+    /**
+     * Checkpoint `machine`'s volatile state into `nvm`.
+     *
+     * @param spendCycles called once per word with the word's cycle
+     *        cost; returns false when the energy buffer died (the
+     *        checkpoint is then abandoned, torn).
+     * @param ramPaddingWords extra cost-only words modelling CTPL's
+     *        SRAM/peripheral snapshot (our machine keeps data in NVM, so
+     *        these words carry cost and tear semantics but no content).
+     *        They are written *before* the context words so most tears
+     *        leave the previous image intact.
+     */
+    static JitResult checkpoint(
+        const Machine& machine, Nvm& nvm,
+        const std::function<bool(int cycles)>& spendCycles,
+        int ramPaddingWords = 0);
+
+    /**
+     * Restore volatile state from the JIT area (used on wake-up
+     * regardless of image integrity — exactly what makes a torn image a
+     * data-corruption vector for NVP).
+     * @return cycles consumed.
+     */
+    static std::uint64_t restore(Machine& machine, const Nvm& nvm,
+                                 int ramPaddingWords = 0);
+};
+
+}  // namespace gecko::sim
+
+#endif  // GECKO_SIM_JIT_CHECKPOINT_HPP_

@@ -1,0 +1,145 @@
+#ifndef GECKO_SIM_MACHINE_HPP_
+#define GECKO_SIM_MACHINE_HPP_
+
+#include <array>
+#include <cstdint>
+
+#include "compiler/pipeline.hpp"
+#include "sim/io_devices.hpp"
+#include "sim/nvm.hpp"
+
+/**
+ * @file
+ * The MCU core: a cycle-counting interpreter for the mini-ISA with
+ * volatile registers/PC, NVM main memory, and replay-consistent I/O.
+ *
+ * I/O staging: in rollback schemes the per-port progress counters commit
+ * at region boundaries.  kIn reads `inCount + pendingIn` so re-executing
+ * a rolled-back region replays identical inputs; kOut writes its sink at
+ * `outCount + pendingOut`, making re-executed outputs idempotent keyed
+ * overwrites.  The kBoundary commit (a single logical step, standing for
+ * a one-word FRAM write) folds the pending counters into NVM.  In
+ * roll-forward schemes (NVP) the counters commit immediately and the
+ * pending values are part of the JIT checkpoint, mirroring CTPL's
+ * peripheral checkpointing.
+ */
+
+namespace gecko::sim {
+
+/** Why Machine::run returned. */
+enum class RunExit {
+    kBudget,   ///< cycle budget exhausted
+    kHalted,   ///< program halted (stop-on-halt mode only)
+    kFaulted,  ///< machine fault (bad PC/address while fault-tolerant)
+};
+
+/** Execution counters. */
+struct ExecStats {
+    std::uint64_t instrs = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t ckptStores = 0;
+    std::uint64_t boundaryCommits = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t faults = 0;
+};
+
+/** The simulated MCU core. */
+class Machine
+{
+  public:
+    /**
+     * @param prog compiled program to execute (must outlive the machine)
+     * @param nvm  persistent memory (not owned)
+     * @param io   peripherals (not owned)
+     */
+    Machine(const compiler::CompiledProgram& prog, Nvm& nvm, IoHub& io);
+
+    /** Enable boundary-committed I/O staging (rollback schemes). */
+    void setStagedIo(bool staged) { stagedIo_ = staged; }
+
+    /**
+     * Keep running after kHalt by restarting the program (continuous
+     * sensing loop).  Completions are counted either way.
+     */
+    void setContinuous(bool continuous) { continuous_ = continuous; }
+
+    /**
+     * Convert bad PCs / out-of-range addresses into a machine fault
+     * instead of throwing (used when simulating corrupted NVP restores).
+     */
+    void setFaultTolerant(bool tolerant) { faultTolerant_ = tolerant; }
+
+    /**
+     * Execute until ~`cycleBudget` cycles are consumed (may overshoot by
+     * one instruction).  A faulted machine spins, consuming the budget
+     * without progress.
+     * @param consumed out: cycles actually consumed.
+     */
+    RunExit run(std::uint64_t cycleBudget, std::uint64_t* consumed);
+
+    /** Cold boot: zero registers/PC, clear staging, clear fault/halt. */
+    void powerCycle();
+
+    /** Restart the program after a completion (PC=0, registers zeroed). */
+    void restartProgram();
+
+    bool halted() const { return halted_; }
+    bool faulted() const { return faulted_; }
+
+    std::array<std::uint32_t, 16>& regs() { return regs_; }
+    const std::array<std::uint32_t, 16>& regs() const { return regs_; }
+    std::uint32_t pc() const { return pc_; }
+    void setPc(std::uint32_t pc) { pc_ = pc; }
+    void clearHalt() { halted_ = false; }
+    void clearFault() { faulted_ = false; }
+
+    std::array<std::uint32_t, kIoPorts>& pendingIn() { return pendingIn_; }
+    std::array<std::uint32_t, kIoPorts>& pendingOut() { return pendingOut_; }
+    const std::array<std::uint32_t, kIoPorts>& pendingIn() const
+    {
+        return pendingIn_;
+    }
+    const std::array<std::uint32_t, kIoPorts>& pendingOut() const
+    {
+        return pendingOut_;
+    }
+
+    const compiler::CompiledProgram& program() const { return *prog_; }
+    Nvm& nvm() { return *nvm_; }
+
+    /**
+     * Execute one recovery-block instruction against an explicit register
+     * environment (used by the GECKO runtime; supports the safe subset:
+     * ALU, moves, read-only loads).
+     */
+    static void execRecoveryInstr(const ir::Instr& ins,
+                                  std::array<std::uint32_t, 16>& env,
+                                  const Nvm& nvm);
+
+    ExecStats stats;
+
+  private:
+    void commitIo();
+    bool step(std::uint64_t* cycles);
+    bool fault();
+
+    const compiler::CompiledProgram* prog_;
+    Nvm* nvm_;
+    IoHub* io_;
+    // Branch targets resolved to instruction indices at load time.
+    std::vector<std::uint32_t> targets_;
+
+    std::array<std::uint32_t, 16> regs_{};
+    std::uint32_t pc_ = 0;
+    std::array<std::uint32_t, kIoPorts> pendingIn_{};
+    std::array<std::uint32_t, kIoPorts> pendingOut_{};
+    bool halted_ = false;
+    bool faulted_ = false;
+    bool stagedIo_ = false;
+    bool continuous_ = false;
+    bool faultTolerant_ = false;
+};
+
+}  // namespace gecko::sim
+
+#endif  // GECKO_SIM_MACHINE_HPP_

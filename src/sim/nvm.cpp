@@ -1,0 +1,4 @@
+#include "sim/nvm.hpp"
+
+// Nvm is header-only state; this translation unit anchors the build
+// target.

@@ -1,0 +1,116 @@
+#ifndef GECKO_SIM_NVM_HPP_
+#define GECKO_SIM_NVM_HPP_
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "compiler/slot_coloring.hpp"
+
+/**
+ * @file
+ * Non-volatile memory of the intermittent system.
+ *
+ * Intermittent platforms use FRAM as their main memory (paper §II-B), so
+ * program data lives here and survives power failures.  Besides the data
+ * array the NVM holds the persistent control state of the two recovery
+ * protocols:
+ *  - the JIT checkpoint area (registers, PC, staged-I/O counters, ACK),
+ *  - the compiler checkpoint slots (kMaxSlots double-buffer copies per
+ *    register), the committed-region word, and the detection counters
+ *    GECKO reads at boot.
+ *
+ * Word writes are atomic (FRAM semantics); multi-word sequences such as
+ * the JIT checkpoint can be interrupted between words.
+ */
+
+namespace gecko::sim {
+
+/** Number of architectural I/O ports. */
+inline constexpr int kIoPorts = 4;
+
+/** Persistent memory and protocol state. */
+class Nvm
+{
+  public:
+    /// Words in the JIT checkpoint area: 16 regs + pc + in/out staging +
+    /// ACK (written last).
+    static constexpr std::size_t kJitWords = 16 + 1 + 2 * kIoPorts + 1;
+    static constexpr std::size_t kJitAckIndex = kJitWords - 1;
+
+    explicit Nvm(std::size_t dataWords) : data_(dataWords, 0) {}
+
+    std::size_t dataWords() const { return data_.size(); }
+
+    /** Load a data word. @throws std::out_of_range on bad addresses. */
+    std::uint32_t load(std::uint32_t addr) const
+    {
+        if (addr >= data_.size())
+            throw std::out_of_range("NVM load out of range");
+        return data_[addr];
+    }
+
+    /** Store a data word. @throws std::out_of_range on bad addresses. */
+    void store(std::uint32_t addr, std::uint32_t value)
+    {
+        if (addr >= data_.size())
+            throw std::out_of_range("NVM store out of range");
+        data_[addr] = value;
+    }
+
+    /** True if `addr` is a valid data address. */
+    bool inRange(std::uint32_t addr) const { return addr < data_.size(); }
+
+    /** Raw data access for workload setup / golden comparisons. */
+    const std::vector<std::uint32_t>& data() const { return data_; }
+    std::vector<std::uint32_t>& data() { return data_; }
+
+    // ------------------------------------------------------------------
+    // JIT checkpoint area (roll-forward protocol).
+    // ------------------------------------------------------------------
+    std::array<std::uint32_t, kJitWords> jit{};
+
+    // ------------------------------------------------------------------
+    // Endurance accounting (related work [19], Cronin et al.: frequent
+    // checkpoints wear out the NV checkpoint storage; a checkpoint-churn
+    // EMI attack is also a wear-out attack).  Writers bump these.
+    // ------------------------------------------------------------------
+    /// Word-writes into the JIT checkpoint area (incl. SRAM-snapshot
+    /// padding words).
+    std::uint64_t jitAreaWrites = 0;
+    /// Word-writes into the compiler checkpoint slots.
+    std::uint64_t slotWrites = 0;
+
+    // ------------------------------------------------------------------
+    // Compiler checkpoint storage (rollback protocol).
+    // ------------------------------------------------------------------
+    /// Double-buffered register slots: slots[reg][colour].
+    std::array<std::array<std::uint32_t, compiler::kMaxSlots>, 16> slots{};
+    /// Id of the last committed region (written atomically by kBoundary).
+    std::uint32_t committedRegion = 0;
+    /// Total boundary commits (region-completion detector input).
+    std::uint32_t commitCount = 0;
+
+    // ------------------------------------------------------------------
+    // Boot-protocol state (GECKO detection, §VI-A).
+    // ------------------------------------------------------------------
+    std::uint32_t bootCount = 0;
+    std::uint32_t lastBootAck = 0;
+    std::uint32_t commitsAtLastBoot = 0;
+    /// GECKO runtime: 1 while the JIT protocol is disabled.
+    std::uint32_t jitDisabledFlag = 0;
+
+    // ------------------------------------------------------------------
+    // Committed I/O progress counters (exactly-once I/O, see Machine).
+    // ------------------------------------------------------------------
+    std::array<std::uint32_t, kIoPorts> inCount{};
+    std::array<std::uint32_t, kIoPorts> outCount{};
+
+  private:
+    std::vector<std::uint32_t> data_;
+};
+
+}  // namespace gecko::sim
+
+#endif  // GECKO_SIM_NVM_HPP_

@@ -1,0 +1,63 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * basicmath: integer square roots (Newton's method) and GCDs (Euclid)
+ * over 64 LCG-generated inputs, accumulating all results.
+ */
+ir::Program
+buildBasicmath()
+{
+    ir::ProgramBuilder b("basicmath");
+    b.movi(0, 0)
+        .movi(1, 0)   // i
+        .movi(2, 64)  // N
+        .movi(3, 0)   // accumulator
+        .movi(4, 99)  // LCG state
+        .label("outer")
+        .muli(4, 4, 1664525)
+        .addi(4, 4, 1013904223)
+        .shri(5, 4, 16)  // n in [0, 65535]
+        // --- isqrt(n): Newton iteration, counted with early exit ---
+        .mov(6, 5)  // result defaults to n (covers n == 0)
+        .beq(5, 0, "sq_done")
+        .mov(8, 5)    // x0 = n
+        .movi(11, 0)  // iteration counter
+        .movi(12, 16)
+        .label("newton")
+        .divu(9, 5, 8)
+        .add(9, 9, 8)
+        .shri(9, 9, 1)  // x1 = (x0 + n/x0) / 2
+        .bgeu(9, 8, "newton_done")  // converged: early exit
+        .mov(8, 9)
+        .addi(11, 11, 1)
+        .blt(11, 12, "newton")
+        .label("newton_done")
+        .mov(6, 8)
+        .label("sq_done")
+        .add(3, 3, 6)
+        // --- gcd(1 + (lcg & 1023), 840): Euclid, counted w/ early exit ---
+        .andi(10, 4, 1023)
+        .addi(10, 10, 1)
+        .movi(11, 840)
+        .movi(12, 0)  // iteration counter
+        .movi(13, 48)
+        .label("gcd")
+        .beq(11, 0, "gcd_done")  // done: early exit
+        .remu(14, 10, 11)
+        .mov(10, 11)
+        .mov(11, 14)
+        .addi(12, 12, 1)
+        .blt(12, 13, "gcd")
+        .label("gcd_done")
+        .add(3, 3, 10)
+        .addi(1, 1, 1)
+        .blt(1, 2, "outer")
+        .out(0, 3)
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

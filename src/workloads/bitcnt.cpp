@@ -1,0 +1,40 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * bitcnt: population count of 256 LCG-generated words by shift-and-mask,
+ * accumulating the total.
+ */
+ir::Program
+buildBitcnt()
+{
+    ir::ProgramBuilder b("bitcnt");
+    b.movi(0, 0)
+        .movi(1, 0)      // i
+        .movi(2, 256)    // N
+        .movi(3, 12345)  // LCG state
+        .movi(4, 0)      // total bits
+        .label("outer")
+        .muli(3, 3, 1103515245)
+        .addi(3, 3, 12345)
+        .mov(5, 3)   // v
+        .movi(6, 0)  // bits in v
+        .movi(8, 0)  // bit index (counted loop: WCET-analysable)
+        .movi(9, 32)
+        .label("inner")
+        .andi(7, 5, 1)
+        .add(6, 6, 7)
+        .shri(5, 5, 1)
+        .addi(8, 8, 1)
+        .blt(8, 9, "inner")
+        .add(4, 4, 6)
+        .addi(1, 1, 1)
+        .blt(1, 2, "outer")
+        .out(0, 4)
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

@@ -1,0 +1,26 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * blink: toggle an output "LED" 64 times.  The smallest benchmark —
+ * the paper reports only 6 checkpoint stores for it (Table III).
+ */
+ir::Program
+buildBlink()
+{
+    ir::ProgramBuilder b("blink");
+    b.movi(0, 0)
+        .movi(1, 64)  // iterations
+        .movi(2, 0)   // led state
+        .label("loop")
+        .xori(2, 2, 1)
+        .out(0, 2)
+        .subi(1, 1, 1)
+        .bne(1, 0, "loop")
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

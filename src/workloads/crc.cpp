@@ -1,0 +1,73 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+namespace {
+
+/**
+ * Shared structure of the two CRC kernels: initialise a 64-word buffer
+ * at NVM address 256 from an LCG, then run a bitwise CRC over the low
+ * byte of every word.
+ */
+ir::Program
+buildCrc(const char* name, std::int32_t init, std::int32_t poly,
+         bool thirtyTwoBit)
+{
+    ir::ProgramBuilder b(name);
+    b.movi(0, 0)
+        // --- data initialisation ---
+        .movi(1, 0)    // i
+        .movi(2, 64)   // N
+        .movi(3, 777)  // LCG state
+        .movi(4, 256)  // buffer base
+        .label("init")
+        .muli(3, 3, 1103515245)
+        .addi(3, 3, 12345)
+        .add(6, 4, 1)
+        .store(6, 0, 3)
+        .addi(1, 1, 1)
+        .blt(1, 2, "init")
+        // --- CRC ---
+        .movi(7, init)  // crc
+        .movi(1, 0)
+        .label("crcloop")
+        .add(6, 4, 1)
+        .load(5, 6, 0)
+        .andi(5, 5, 255)
+        .xor_(7, 7, 5)
+        .movi(8, 8)  // bits per byte
+        .label("bitloop")
+        .andi(9, 7, 1)
+        .shri(7, 7, 1)
+        .beq(9, 0, "skip")
+        .xori(7, 7, poly)
+        .label("skip")
+        .subi(8, 8, 1)
+        .bne(8, 0, "bitloop")
+        .addi(1, 1, 1)
+        .blt(1, 2, "crcloop");
+    if (thirtyTwoBit)
+        b.not_(7, 7);  // final inversion of CRC-32
+    b.out(0, 7).halt();
+    return b.take();
+}
+
+}  // namespace
+
+/** crc16: CRC-16/ARC (reflected polynomial 0xA001). */
+ir::Program
+buildCrc16()
+{
+    return buildCrc("crc16", 0xFFFF, 0xA001, false);
+}
+
+/** crc32: CRC-32 (reflected polynomial 0xEDB88320). */
+ir::Program
+buildCrc32()
+{
+    return buildCrc("crc32", static_cast<std::int32_t>(0xFFFFFFFFu),
+                    static_cast<std::int32_t>(0xEDB88320u), true);
+}
+
+}  // namespace gecko::workloads

@@ -1,0 +1,92 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * dhrystone: the classic synthetic integer mix — record copies, array
+ * assignments, word-string comparison and branchy procedure logic over
+ * two 50-word "records" (A at 512, B at 600), 40 iterations.
+ */
+ir::Program
+buildDhrystone()
+{
+    constexpr int kA = 512;
+    constexpr int kB = 600;
+    constexpr int kRec = 50;
+
+    ir::ProgramBuilder b("dhrystone");
+    b.movi(0, 0)
+        // --- initialise record A ---
+        .movi(1, 0)
+        .movi(2, kRec)
+        .movi(3, 31)  // LCG
+        .movi(4, kA)
+        .label("init")
+        .muli(3, 3, 1103515245)
+        .addi(3, 3, 12345)
+        .shri(5, 3, 20)
+        .add(6, 4, 1)
+        .store(6, 0, 5)
+        .addi(1, 1, 1)
+        .blt(1, 2, "init")
+        // --- main loop: 40 iterations ---
+        .movi(7, 0)   // iter
+        .movi(8, 40)  // iterations
+        .movi(14, 0)  // checksum
+        .label("main")
+        // Proc1: copy record A -> B with per-field adjustment.
+        .movi(1, 0)
+        .label("copy")
+        .add(6, 4, 1)
+        .load(5, 6, 0)
+        .add(5, 5, 7)       // fields get the iteration mixed in
+        .movi(9, kB)
+        .add(9, 9, 1)
+        .store(9, 0, 5)
+        .addi(1, 1, 1)
+        .blt(1, 2, "copy")
+        // Proc2: branchy identifier logic.
+        .andi(10, 7, 3)
+        .beq(10, 0, "ident1")
+        .movi(11, 2)
+        .jmp("proc3")
+        .label("ident1")
+        .movi(11, 1)
+        .label("proc3")
+        // Proc3: B[5] = B[iter % 25] + identifier
+        .remui(12, 7, 25)
+        .movi(9, kB)
+        .add(9, 9, 12)
+        .load(5, 9, 0)
+        .add(5, 5, 11)
+        .movi(9, kB)
+        .store(9, 5, 5)
+        // Func2: word-string comparison of A[0..7] vs B[0..7].
+        .movi(1, 0)
+        .movi(13, 0)  // mismatch count
+        .label("cmp")
+        .add(6, 4, 1)
+        .load(5, 6, 0)
+        .movi(9, kB)
+        .add(9, 9, 1)
+        .load(10, 9, 0)
+        .beq(5, 10, "cmp_eq")
+        .addi(13, 13, 1)
+        .label("cmp_eq")
+        .addi(1, 1, 1)
+        .movi(9, 8)
+        .blt(1, 9, "cmp")
+        .add(14, 14, 13)
+        // Fold in B[5].
+        .movi(9, kB)
+        .load(5, 9, 5)
+        .add(14, 14, 5)
+        .addi(7, 7, 1)
+        .blt(7, 8, "main")
+        .out(0, 14)
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

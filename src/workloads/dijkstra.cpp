@@ -1,0 +1,118 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * dijkstra: single-source shortest paths on a dense 12-node graph
+ * (O(N²) scan, no heap), LCG-generated edge weights.  Layout: adjacency
+ * matrix at 1024 (row-major), dist[] at 1200, visited[] at 1220.
+ */
+ir::Program
+buildDijkstra()
+{
+    constexpr int kN = 12;
+    constexpr int kAdj = 1024;
+    constexpr int kDist = 1200;
+    constexpr int kVis = 1220;
+    constexpr int kInf = 0x3fffffff;
+
+    ir::ProgramBuilder b("dijkstra");
+    b.movi(0, 0)
+        // --- init adjacency matrix: weights 1..16 ---
+        .movi(1, 0)            // flat index
+        .movi(2, kN * kN)
+        .movi(3, 555)          // LCG
+        .label("init_adj")
+        .muli(3, 3, 1103515245)
+        .addi(3, 3, 12345)
+        .shri(4, 3, 12)
+        .andi(4, 4, 15)
+        .addi(4, 4, 1)
+        .movi(5, kAdj)
+        .add(5, 5, 1)
+        .store(5, 0, 4)
+        .addi(1, 1, 1)
+        .blt(1, 2, "init_adj")
+        // --- init dist/visited ---
+        .movi(1, 0)
+        .movi(2, kN)
+        .movi(4, kInf)
+        .label("init_dv")
+        .movi(5, kDist)
+        .add(5, 5, 1)
+        .store(5, 0, 4)
+        .movi(5, kVis)
+        .add(5, 5, 1)
+        .store(5, 0, 0)
+        .addi(1, 1, 1)
+        .blt(1, 2, "init_dv")
+        .movi(5, kDist)
+        .store(5, 0, 0)  // dist[0] = 0
+        // --- N rounds ---
+        .movi(6, 0)  // round
+        .label("round")
+        // find unvisited u with minimal dist
+        .movi(7, -1)        // u
+        .movi(8, kInf + 1)  // best
+        .movi(1, 0)
+        .label("scan")
+        .movi(5, kVis)
+        .add(5, 5, 1)
+        .load(9, 5, 0)
+        .bne(9, 0, "scan_next")
+        .movi(5, kDist)
+        .add(5, 5, 1)
+        .load(9, 5, 0)
+        .bgeu(9, 8, "scan_next")
+        .mov(8, 9)
+        .mov(7, 1)
+        .label("scan_next")
+        .addi(1, 1, 1)
+        .blt(1, 2, "scan")
+        // visited[u] = 1
+        .movi(5, kVis)
+        .add(5, 5, 7)
+        .movi(9, 1)
+        .store(5, 0, 9)
+        // relax all v
+        .movi(1, 0)
+        .label("relax")
+        .movi(5, kVis)
+        .add(5, 5, 1)
+        .load(9, 5, 0)
+        .bne(9, 0, "relax_next")
+        // cand = dist[u] + adj[u][v]
+        .muli(10, 7, kN)
+        .add(10, 10, 1)
+        .movi(5, kAdj)
+        .add(5, 5, 10)
+        .load(10, 5, 0)
+        .add(10, 10, 8)
+        // compare to dist[v]
+        .movi(5, kDist)
+        .add(5, 5, 1)
+        .load(9, 5, 0)
+        .bgeu(10, 9, "relax_next")
+        .store(5, 0, 10)
+        .label("relax_next")
+        .addi(1, 1, 1)
+        .blt(1, 2, "relax")
+        .addi(6, 6, 1)
+        .blt(6, 2, "round")
+        // --- output: sum of distances ---
+        .movi(1, 0)
+        .movi(4, 0)
+        .label("sum")
+        .movi(5, kDist)
+        .add(5, 5, 1)
+        .load(9, 5, 0)
+        .add(4, 4, 9)
+        .addi(1, 1, 1)
+        .blt(1, 2, "sum")
+        .out(0, 4)
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

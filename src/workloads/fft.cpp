@@ -1,0 +1,87 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * fft: 16-point integer Fourier transform (direct O(N²) form with a
+ * quarter-scaled integer twiddle table).  Input at 1400, sine table at
+ * 1360; emits a checksum over the spectrum.
+ */
+ir::Program
+buildFft()
+{
+    constexpr int kSin = 1360;
+    constexpr int kIn = 1400;
+    constexpr int kN = 16;
+    // round(127 * sin(2πk/16)) for k = 0..15.
+    constexpr int kTab[kN] = {0,   49,  90,   117,  127,  117,  90,  49,
+                              0,   -49, -90,  -117, -127, -117, -90, -49};
+
+    ir::ProgramBuilder b("fft");
+    b.movi(0, 0);
+    // --- twiddle table ---
+    b.movi(4, kSin);
+    for (int k = 0; k < kN; ++k) {
+        b.movi(5, kTab[k]);
+        b.store(4, k, 5);
+    }
+    // --- input signal: LCG in [-128, 127] ---
+    b.movi(1, 0)
+        .movi(2, kN)
+        .movi(3, 2024)
+        .label("init")
+        .muli(3, 3, 1103515245)
+        .addi(3, 3, 12345)
+        .shri(5, 3, 16)
+        .andi(5, 5, 255)
+        .subi(5, 5, 128)
+        .movi(6, kIn)
+        .add(6, 6, 1)
+        .store(6, 0, 5)
+        .addi(1, 1, 1)
+        .blt(1, 2, "init")
+        // --- DFT ---
+        .movi(7, 0)   // k
+        .movi(14, 0)  // checksum
+        .label("kloop")
+        .movi(8, 0)  // re
+        .movi(9, 0)  // im
+        .movi(1, 0)  // n
+        .label("nloop")
+        .mul(10, 7, 1)
+        .andi(10, 10, kN - 1)  // twiddle index
+        // x[n]
+        .movi(6, kIn)
+        .add(6, 6, 1)
+        .load(5, 6, 0)
+        // cos = sin[(idx+4) & 15]
+        .addi(11, 10, 4)
+        .andi(11, 11, kN - 1)
+        .movi(6, kSin)
+        .add(6, 6, 11)
+        .load(12, 6, 0)
+        .mul(12, 12, 5)
+        .add(8, 8, 12)
+        // im -= x[n] * sin[idx]
+        .movi(6, kSin)
+        .add(6, 6, 10)
+        .load(12, 6, 0)
+        .mul(12, 12, 5)
+        .sub(9, 9, 12)
+        .addi(1, 1, 1)
+        .blt(1, 2, "nloop")
+        // checksum += (re >> 7) + (im >> 7)  (logical shifts; determinism
+        // is all that matters here)
+        .shri(8, 8, 7)
+        .shri(9, 9, 7)
+        .add(14, 14, 8)
+        .add(14, 14, 9)
+        .addi(7, 7, 1)
+        .blt(7, 2, "kloop")
+        .out(0, 14)
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

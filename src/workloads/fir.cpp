@@ -1,0 +1,67 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * fir: 8-tap FIR filter over 64 sensor samples read from input port 1,
+ * emitting every filtered value on port 0 — the I/O-heavy benchmark.
+ * Taps at 1500, ring buffer at 1520.
+ */
+ir::Program
+buildFir()
+{
+    constexpr int kTaps = 1500;
+    constexpr int kRing = 1520;
+    constexpr int kNTaps = 8;
+    constexpr int kSamples = 64;
+    // A small symmetric low-pass kernel.
+    constexpr int kKernel[kNTaps] = {1, 3, 7, 13, 13, 7, 3, 1};
+
+    ir::ProgramBuilder b("fir");
+    b.movi(0, 0);
+    b.movi(4, kTaps);
+    for (int i = 0; i < kNTaps; ++i) {
+        b.movi(5, kKernel[i]);
+        b.store(4, i, 5);
+    }
+    // Zero the ring buffer.
+    b.movi(4, kRing);
+    for (int i = 0; i < kNTaps; ++i)
+        b.store(4, i, 0);
+
+    b.movi(1, 0)         // sample index
+        .movi(2, kSamples)
+        .label("sample")
+        .in(3, 1)  // read sensor
+        // ring[i % 8] = x
+        .andi(5, 1, kNTaps - 1)
+        .movi(4, kRing)
+        .add(4, 4, 5)
+        .store(4, 0, 3)
+        // y = Σ taps[t] * ring[(i - t) % 8]
+        .movi(6, 0)  // t
+        .movi(7, 0)  // acc
+        .movi(8, kNTaps)
+        .label("mac")
+        .sub(9, 1, 6)
+        .andi(9, 9, kNTaps - 1)
+        .movi(4, kRing)
+        .add(4, 4, 9)
+        .load(10, 4, 0)
+        .movi(4, kTaps)
+        .add(4, 4, 6)
+        .load(11, 4, 0)
+        .mul(10, 10, 11)
+        .add(7, 7, 10)
+        .addi(6, 6, 1)
+        .blt(6, 8, "mac")
+        .shri(7, 7, 6)  // normalise by 64 (not exact gain; deterministic)
+        .out(0, 7)
+        .addi(1, 1, 1)
+        .blt(1, 2, "sample")
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

@@ -1,0 +1,119 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * qsort: iterative quicksort (Lomuto partition, explicit range stack in
+ * NVM) over a 64-word LCG array at 1600; stack at 1700.  Emits a
+ * position-weighted checksum of the sorted array.
+ */
+ir::Program
+buildQsort()
+{
+    constexpr int kArr = 1600;
+    constexpr int kStack = 1700;
+    constexpr int kN = 64;
+
+    ir::ProgramBuilder b("qsort");
+    b.movi(0, 0)
+        // --- init array ---
+        .movi(1, 0)
+        .movi(2, kN)
+        .movi(3, 4242)
+        .label("init")
+        .muli(3, 3, 1103515245)
+        .addi(3, 3, 12345)
+        .shri(4, 3, 8)
+        .andi(4, 4, 1023)
+        .movi(5, kArr)
+        .add(5, 5, 1)
+        .store(5, 0, 4)
+        .addi(1, 1, 1)
+        .blt(1, 2, "init")
+        // --- push initial range (0, N-1); r13 = stack pointer ---
+        .movi(13, 0)
+        .movi(5, kStack)
+        .store(5, 0, 0)  // lo = 0
+        .movi(4, kN - 1)
+        .store(5, 1, 4)  // hi = N-1
+        .movi(13, 2)
+        .label("work")
+        .beq(13, 0, "done")
+        // pop hi, lo
+        .subi(13, 13, 1)
+        .movi(5, kStack)
+        .add(5, 5, 13)
+        .load(2, 5, 0)  // hi
+        .subi(13, 13, 1)
+        .movi(5, kStack)
+        .add(5, 5, 13)
+        .load(1, 5, 0)  // lo
+        .bge(1, 2, "work")  // empty range
+        // pivot = arr[hi]
+        .movi(5, kArr)
+        .add(5, 5, 2)
+        .load(6, 5, 0)  // pivot
+        .mov(7, 1)      // i = lo
+        .mov(8, 1)      // j = lo
+        .label("part")
+        .bge(8, 2, "part_done")
+        .movi(5, kArr)
+        .add(5, 5, 8)
+        .load(9, 5, 0)  // arr[j]
+        .bge(9, 6, "no_swap")
+        // swap arr[i], arr[j]
+        .movi(5, kArr)
+        .add(5, 5, 7)
+        .load(10, 5, 0)
+        .store(5, 0, 9)
+        .movi(5, kArr)
+        .add(5, 5, 8)
+        .store(5, 0, 10)
+        .addi(7, 7, 1)
+        .label("no_swap")
+        .addi(8, 8, 1)
+        .jmp("part")
+        .label("part_done")
+        // swap arr[i], arr[hi]
+        .movi(5, kArr)
+        .add(5, 5, 7)
+        .load(10, 5, 0)
+        .movi(5, kArr)
+        .add(5, 5, 2)
+        .load(9, 5, 0)
+        .store(5, 0, 10)
+        .movi(5, kArr)
+        .add(5, 5, 7)
+        .store(5, 0, 9)
+        // push (lo, i-1), (i+1, hi)
+        .movi(5, kStack)
+        .add(5, 5, 13)
+        .store(5, 0, 1)
+        .subi(9, 7, 1)
+        .store(5, 1, 9)
+        .addi(9, 7, 1)
+        .store(5, 2, 9)
+        .store(5, 3, 2)
+        .addi(13, 13, 4)
+        .jmp("work")
+        .label("done")
+        // --- checksum Σ arr[i] * (i+1) ---
+        .movi(1, 0)
+        .movi(2, kN)
+        .movi(4, 0)
+        .label("sum")
+        .movi(5, kArr)
+        .add(5, 5, 1)
+        .load(9, 5, 0)
+        .addi(10, 1, 1)
+        .mul(9, 9, 10)
+        .add(4, 4, 9)
+        .addi(1, 1, 1)
+        .blt(1, 2, "sum")
+        .out(0, 4)
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

@@ -1,0 +1,89 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * sensor_loop: the continuously-sensing application of the threat model
+ * (§III) — read a sensor sample, exponentially smooth it, raise an
+ * alarm output when the sample jumps above the smoothed baseline, and
+ * report the baseline.  16 samples per completion so throughput
+ * (completions per minute, Fig. 13) is a responsive metric.
+ */
+ir::Program
+buildSensorLoop()
+{
+    constexpr int kEwmaAddr = 2300;  // persistent baseline across runs
+
+    ir::ProgramBuilder b("sensor_loop");
+    b.movi(0, 0)
+        .movi(1, 16)  // samples per completion
+        .movi(6, kEwmaAddr)
+        .load(2, 6, 0)  // baseline persists in NVM across completions
+        .label("loop")
+        .in(3, 1)  // sensor sample
+        // ewma = (3*ewma + x) / 4
+        .muli(4, 2, 3)
+        .add(4, 4, 3)
+        .shri(2, 4, 2)
+        // alarm when x > ewma + 24
+        .addi(5, 2, 24)
+        .bgeu(5, 3, "no_alarm")
+        .out(2, 3)  // alarm port carries the offending sample
+        .label("no_alarm")
+        .out(0, 2)  // report the baseline
+        .subi(1, 1, 1)
+        .bne(1, 0, "loop")
+        .movi(6, kEwmaAddr)
+        .store(6, 0, 2)
+        .halt();
+    return b.take();
+}
+
+/**
+ * sensor_app: the Fig. 13 evaluation application — sense a batch of
+ * samples, then run a substantial register-only feature-extraction stage
+ * (~60 k cycles) before reporting.  The compute stage has no memory
+ * anti-dependence, so Ratchet keeps it in a single region that cannot
+ * complete inside the short power-on windows an EMI attack leaves —
+ * the paper's Ratchet DoS — while GECKO's WCET pass splits it.
+ */
+ir::Program
+buildSensorApp()
+{
+    ir::ProgramBuilder b("sensor_app");
+    b.movi(0, 0)
+        .movi(1, 4)  // samples per completion
+        .movi(2, 0)  // accumulated feature
+        .label("sample")
+        .in(3, 1)
+        // Feature extraction: 64 x 64 rounds of register mixing (~50 k
+        // cycles), nested counted loops so the WCET pass can split at
+        // the outer level (one region per ~1 k-cycle chunk) while
+        // Ratchet keeps the whole thing in a single region — too long
+        // for the short power cycles a forged-wake attack leaves.
+        .movi(4, 0)
+        .movi(5, 64)
+        .mov(6, 3)
+        .label("mix_outer")
+        .movi(8, 0)
+        .movi(9, 64)
+        .label("mix")
+        .muli(6, 6, 1103515245)
+        .addi(6, 6, 12345)
+        .shri(7, 6, 13)
+        .xor_(6, 6, 7)
+        .add(2, 2, 6)
+        .addi(8, 8, 1)
+        .blt(8, 9, "mix")
+        .addi(4, 4, 1)
+        .blt(4, 5, "mix_outer")
+        .subi(1, 1, 1)
+        .bne(1, 0, "sample")
+        .andi(2, 2, 0xffff)
+        .out(0, 2)
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

@@ -1,0 +1,93 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * stringsearch: naive substring search of four 6-"character" patterns in
+ * a 256-word text over an 8-symbol alphabet.  Patterns are copied from
+ * text positions, guaranteeing matches.  Text at 1800, patterns at 2100.
+ * The densest benchmark (highest checkpoint count in Table III).
+ */
+ir::Program
+buildStringsearch()
+{
+    constexpr int kText = 1800;
+    constexpr int kPat = 2100;
+    constexpr int kTextLen = 256;
+    constexpr int kPatLen = 6;
+    constexpr int kNumPats = 4;
+
+    ir::ProgramBuilder b("stringsearch");
+    b.movi(0, 0)
+        // --- text: LCG symbols 0..7 ---
+        .movi(1, 0)
+        .movi(2, kTextLen)
+        .movi(3, 31337)
+        .label("init_text")
+        .muli(3, 3, 1103515245)
+        .addi(3, 3, 12345)
+        .shri(4, 3, 13)
+        .andi(4, 4, 7)
+        .movi(5, kText)
+        .add(5, 5, 1)
+        .store(5, 0, 4)
+        .addi(1, 1, 1)
+        .blt(1, 2, "init_text")
+        // --- patterns: copies of text[17p + 3 .. +8] ---
+        .movi(6, 0)  // p
+        .movi(7, kNumPats)
+        .label("init_pat")
+        .movi(1, 0)
+        .movi(2, kPatLen)
+        .label("copy_pat")
+        .muli(8, 6, 17)
+        .addi(8, 8, 3)
+        .add(8, 8, 1)
+        .movi(5, kText)
+        .add(5, 5, 8)
+        .load(4, 5, 0)
+        .muli(8, 6, kPatLen)
+        .add(8, 8, 1)
+        .movi(5, kPat)
+        .add(5, 5, 8)
+        .store(5, 0, 4)
+        .addi(1, 1, 1)
+        .blt(1, 2, "copy_pat")
+        .addi(6, 6, 1)
+        .blt(6, 7, "init_pat")
+        // --- search each pattern ---
+        .movi(14, 0)  // total matches
+        .movi(6, 0)   // p
+        .label("search_pat")
+        .movi(9, 0)  // text position
+        .movi(10, kTextLen - kPatLen)
+        .label("slide")
+        .movi(1, 0)  // offset in pattern
+        .label("cmp")
+        .add(8, 9, 1)
+        .movi(5, kText)
+        .add(5, 5, 8)
+        .load(4, 5, 0)
+        .muli(8, 6, kPatLen)
+        .add(8, 8, 1)
+        .movi(5, kPat)
+        .add(5, 5, 8)
+        .load(11, 5, 0)
+        .bne(4, 11, "mismatch")
+        .addi(1, 1, 1)
+        .movi(12, kPatLen)
+        .blt(1, 12, "cmp")
+        .addi(14, 14, 1)  // full match
+        .label("mismatch")
+        .addi(9, 9, 1)
+        .bltu(9, 10, "slide")
+        .addi(6, 6, 1)
+        .movi(7, kNumPats)
+        .blt(6, 7, "search_pat")
+        .out(0, 14)
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

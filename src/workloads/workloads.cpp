@@ -1,0 +1,72 @@
+#include "workloads/workloads.hpp"
+
+#include <stdexcept>
+
+namespace gecko::workloads {
+
+const std::vector<std::string>&
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "basicmath", "bitcnt", "blink",  "crc16", "crc32",       "dhrystone",
+        "dijkstra",  "fft",    "fir",    "qsort", "stringsearch",
+    };
+    return names;
+}
+
+ir::Program
+build(const std::string& name)
+{
+    if (name == "basicmath")
+        return buildBasicmath();
+    if (name == "bitcnt")
+        return buildBitcnt();
+    if (name == "blink")
+        return buildBlink();
+    if (name == "crc16")
+        return buildCrc16();
+    if (name == "crc32")
+        return buildCrc32();
+    if (name == "dhrystone")
+        return buildDhrystone();
+    if (name == "dijkstra")
+        return buildDijkstra();
+    if (name == "fft")
+        return buildFft();
+    if (name == "fir")
+        return buildFir();
+    if (name == "qsort")
+        return buildQsort();
+    if (name == "stringsearch")
+        return buildStringsearch();
+    if (name == "sensor_loop")
+        return buildSensorLoop();
+    if (name == "sensor_app")
+        return buildSensorApp();
+    if (name == "xtea")
+        return buildXtea();
+    throw std::out_of_range("unknown workload: " + name);
+}
+
+void
+setupIo(const std::string& name, sim::IoHub& io)
+{
+    if (name == "fir" || name == "sensor_loop" || name == "sensor_app") {
+        // Deterministic pseudo-sensor: a slow triangle wave with a
+        // pseudo-random ripple, the kind of signal a glucose monitor or
+        // temperature node would smooth.
+        io.setInput(1, std::make_shared<sim::FunctionInput>(
+                           [](std::uint64_t i) -> std::uint32_t {
+                               std::uint32_t tri =
+                                   static_cast<std::uint32_t>(i % 64);
+                               if (tri >= 32)
+                                   tri = 64 - tri;
+                               std::uint32_t noise =
+                                   static_cast<std::uint32_t>(
+                                       (i * 2654435761u) >> 28);
+                               return 100 + tri * 4 + noise;
+                           }));
+    }
+}
+
+}  // namespace gecko::workloads

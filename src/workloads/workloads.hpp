@@ -1,0 +1,59 @@
+#ifndef GECKO_WORKLOADS_WORKLOADS_HPP_
+#define GECKO_WORKLOADS_WORKLOADS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "sim/io_devices.hpp"
+
+/**
+ * @file
+ * The benchmark suite of the paper's evaluation (Table III):
+ * basicmath, bitcnt, blink, crc16, crc32, dhrystone, dijkstra, fft,
+ * fir, qsort, stringsearch — MiBench-style kernels hand-written in the
+ * mini-ISA — plus `sensor_loop`, the continuously-sensing application
+ * used for the attack experiments (§III "Applications").
+ *
+ * Conventions: every workload initialises its own input data in NVM
+ * (deterministic LCG patterns), keeps r0 == 0 throughout, and emits its
+ * results on output port 0.  fir and sensor_loop additionally read
+ * samples from input port 1.
+ */
+
+namespace gecko::workloads {
+
+/** Names of the 11 paper benchmarks, in Table III order. */
+const std::vector<std::string>& benchmarkNames();
+
+/**
+ * Build a workload program by name (a benchmark or "sensor_loop").
+ * @throws std::out_of_range for unknown names.
+ */
+ir::Program build(const std::string& name);
+
+/**
+ * Install the input devices a workload expects on `io` (no-op for the
+ * pure-compute benchmarks).
+ */
+void setupIo(const std::string& name, sim::IoHub& io);
+
+// Individual builders.
+ir::Program buildBasicmath();
+ir::Program buildBitcnt();
+ir::Program buildBlink();
+ir::Program buildCrc16();
+ir::Program buildCrc32();
+ir::Program buildDhrystone();
+ir::Program buildDijkstra();
+ir::Program buildFft();
+ir::Program buildFir();
+ir::Program buildQsort();
+ir::Program buildStringsearch();
+ir::Program buildSensorLoop();
+ir::Program buildSensorApp();
+ir::Program buildXtea();
+
+}  // namespace gecko::workloads
+
+#endif  // GECKO_WORKLOADS_WORKLOADS_HPP_

@@ -1,0 +1,125 @@
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::workloads {
+
+/**
+ * xtea: XTEA block encryption of 16 sensor words (8 blocks of 64 bits,
+ * 32 rounds each) with a fixed 128-bit key — the "encrypt readings
+ * before transmitting" stage of a secure sensing node.  Not part of the
+ * paper's Table III set; used by the examples and the ablation benches.
+ *
+ * Layout: plaintext at 2400 (16 words, LCG), ciphertext at 2420,
+ * key in registers.
+ *
+ * Register use: r1=block index, r2=#blocks, r3=v0, r4=v1, r5=sum,
+ * r6=round, r7=tmp, r8=tmp2, r9=addr/tmp, r10..r13=key, r14=checksum.
+ */
+ir::Program
+buildXtea()
+{
+    constexpr int kPlain = 2400;
+    constexpr int kCipher = 2420;
+    constexpr int kBlocks = 8;
+    constexpr std::int32_t kDelta =
+        static_cast<std::int32_t>(0x9E3779B9u);
+
+    ir::ProgramBuilder b("xtea");
+    b.movi(0, 0)
+        // --- plaintext: LCG words ---
+        .movi(1, 0)
+        .movi(2, kBlocks * 2)
+        .movi(3, 90210)
+        .label("init")
+        .muli(3, 3, 1103515245)
+        .addi(3, 3, 12345)
+        .movi(9, kPlain)
+        .add(9, 9, 1)
+        .store(9, 0, 3)
+        .addi(1, 1, 1)
+        .blt(1, 2, "init")
+        // --- key schedule (constants in registers) ---
+        .movi(10, static_cast<std::int32_t>(0xA56BABCDu))
+        .movi(11, 0x00000000)
+        .movi(12, static_cast<std::int32_t>(0xFFFFFFFFu))
+        .movi(13, static_cast<std::int32_t>(0xABCDEF01u))
+        .movi(14, 0)  // checksum
+        // --- per block ---
+        .movi(1, 0)
+        .movi(2, kBlocks)
+        .label("block")
+        .shli(9, 1, 1)
+        .addi(9, 9, kPlain)
+        .load(3, 9, 0)  // v0
+        .load(4, 9, 1)  // v1
+        .movi(5, 0)     // sum
+        .movi(6, 0)     // round
+        .movi(7, 32)
+        .label("round")
+        // v0 += (((v1<<4) ^ (v1>>5)) + v1) ^ (sum + key[sum & 3])
+        .shli(8, 4, 4)
+        .shri(9, 4, 5)
+        .xor_(8, 8, 9)
+        .add(8, 8, 4)
+        .andi(9, 5, 3)
+        // select key[sum&3] via compare chain
+        .mov(15, 10)
+        .movi(0, 1)
+        .bne(9, 0, "k_not1")
+        .mov(15, 11)
+        .label("k_not1")
+        .movi(0, 2)
+        .bne(9, 0, "k_not2")
+        .mov(15, 12)
+        .label("k_not2")
+        .movi(0, 3)
+        .bne(9, 0, "k_not3")
+        .mov(15, 13)
+        .label("k_not3")
+        .movi(0, 0)
+        .add(9, 5, 15)
+        .xor_(8, 8, 9)
+        .add(3, 3, 8)
+        // sum += delta
+        .addi(5, 5, kDelta)
+        // v1 += (((v0<<4) ^ (v0>>5)) + v0) ^ (sum + key[(sum>>11) & 3])
+        .shli(8, 3, 4)
+        .shri(9, 3, 5)
+        .xor_(8, 8, 9)
+        .add(8, 8, 3)
+        .shri(9, 5, 11)
+        .andi(9, 9, 3)
+        .mov(15, 10)
+        .movi(0, 1)
+        .bne(9, 0, "k2_not1")
+        .mov(15, 11)
+        .label("k2_not1")
+        .movi(0, 2)
+        .bne(9, 0, "k2_not2")
+        .mov(15, 12)
+        .label("k2_not2")
+        .movi(0, 3)
+        .bne(9, 0, "k2_not3")
+        .mov(15, 13)
+        .label("k2_not3")
+        .movi(0, 0)
+        .add(9, 5, 15)
+        .xor_(8, 8, 9)
+        .add(4, 4, 8)
+        .addi(6, 6, 1)
+        .blt(6, 7, "round")
+        // store ciphertext, fold checksum
+        .shli(9, 1, 1)
+        .addi(9, 9, kCipher)
+        .store(9, 0, 3)
+        .store(9, 1, 4)
+        .add(14, 14, 3)
+        .xor_(14, 14, 4)
+        .addi(1, 1, 1)
+        .blt(1, 2, "block")
+        .out(0, 14)
+        .halt();
+    return b.take();
+}
+
+}  // namespace gecko::workloads

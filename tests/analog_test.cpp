@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/adc.hpp"
+#include "analog/comparator.hpp"
+#include "analog/emi_coupling.hpp"
+#include "analog/resonance.hpp"
+#include "analog/voltage_monitor.hpp"
+
+namespace gecko::analog {
+namespace {
+
+TEST(AdcTest, QuantizationAndClamping)
+{
+    Adc adc(12, 3.3);
+    EXPECT_EQ(adc.sample(0.0), 0u);
+    EXPECT_EQ(adc.sample(-1.0), 0u);
+    EXPECT_EQ(adc.sample(3.3), adc.maxCode());
+    EXPECT_EQ(adc.sample(10.0), adc.maxCode());
+    // Mid-scale code maps back near the input.
+    double v = 1.65;
+    EXPECT_NEAR(adc.quantize(v), v, 3.3 / 4096 + 1e-12);
+    // Monotone.
+    EXPECT_LE(adc.sample(1.0), adc.sample(1.1));
+}
+
+TEST(AdcTest, ResolutionMatters)
+{
+    Adc coarse(10, 3.3);
+    Adc fine(12, 3.3);
+    EXPECT_EQ(coarse.maxCode(), 1023u);
+    EXPECT_EQ(fine.maxCode(), 4095u);
+}
+
+TEST(ComparatorTest, HysteresisPreventsChatter)
+{
+    Comparator comp(2.2, 0.1, true);
+    EXPECT_TRUE(comp.evaluate(2.21));   // inside the band: holds
+    EXPECT_TRUE(comp.evaluate(2.16));   // still inside
+    EXPECT_FALSE(comp.evaluate(2.14));  // below band: trips low
+    EXPECT_FALSE(comp.evaluate(2.24));  // inside: holds low
+    EXPECT_TRUE(comp.evaluate(2.26));   // above band: trips high
+}
+
+TEST(VoltageMonitorTest, AdcMonitorBackupEdge)
+{
+    AdcMonitor mon(12, 3.3, 2.2, 3.0, 100e3);
+    mon.reset(3.3);
+    EXPECT_FALSE(mon.observe(3.2).backup);
+    MonitorEvent ev = mon.observe(2.1);
+    EXPECT_TRUE(ev.backup);
+    // Edge-triggered: staying below does not re-fire.
+    EXPECT_FALSE(mon.observe(2.0).backup);
+    // Rising above and dipping again re-fires.
+    mon.observe(3.1);
+    EXPECT_TRUE(mon.observe(2.1).backup);
+}
+
+TEST(VoltageMonitorTest, AdcMonitorWakeEdge)
+{
+    AdcMonitor mon(12, 3.3, 2.2, 3.0, 100e3);
+    mon.reset(1.0);
+    EXPECT_FALSE(mon.observe(2.9).wake);
+    EXPECT_TRUE(mon.observe(3.05).wake);
+    EXPECT_FALSE(mon.observe(3.2).wake);
+}
+
+TEST(VoltageMonitorTest, ComparatorMonitorEdges)
+{
+    ComparatorMonitor mon(2.2, 3.0, 0.02, 2e6);
+    mon.reset(3.3);
+    EXPECT_FALSE(mon.observe(3.2).backup);
+    EXPECT_TRUE(mon.observe(2.1).backup);
+    EXPECT_FALSE(mon.observe(2.0).backup);
+    EXPECT_TRUE(mon.observe(3.1).wake);
+}
+
+TEST(VoltageMonitorTest, SampleIntervals)
+{
+    AdcMonitor adc(12, 3.3, 2.2, 3.0, 100e3);
+    ComparatorMonitor comp(2.2, 3.0, 0.02, 2e6);
+    EXPECT_DOUBLE_EQ(adc.sampleIntervalS(), 1e-5);
+    EXPECT_DOUBLE_EQ(comp.sampleIntervalS(), 5e-7);
+}
+
+TEST(ResonanceTest, PeakAndRolloff)
+{
+    ResonanceCurve curve;
+    curve.peaks.push_back({27e6, 12.0, 0.5});
+    curve.lowPassHz = 40e6;
+
+    double at_peak = curve.gainAt(27e6);
+    double detuned = curve.gainAt(35e6);
+    double far = curve.gainAt(200e6);
+    EXPECT_GT(at_peak, detuned);
+    EXPECT_GT(detuned, far);
+    EXPECT_LT(far, 0.01);  // >50 MHz: no effect, as measured in §IV
+    // Peak gain is attenuated by the low-pass but still substantial.
+    EXPECT_GT(at_peak, 0.2);
+}
+
+TEST(ResonanceTest, BroadbandFloor)
+{
+    ResonanceCurve p2;
+    p2.broadbandGain = 0.25;
+    p2.lowPassHz = 40e6;
+    // Wideband response below the corner, dead above.
+    EXPECT_GT(p2.gainAt(5e6), 0.2);
+    EXPECT_GT(p2.gainAt(20e6), 0.15);
+    EXPECT_LT(p2.gainAt(500e6), 0.005);
+}
+
+TEST(EmiCouplingTest, DbmConversions)
+{
+    EXPECT_NEAR(dbmToWatts(30.0), 1.0, 1e-12);
+    EXPECT_NEAR(dbmToWatts(0.0), 1e-3, 1e-15);
+    EXPECT_NEAR(wattsToDbm(1.0), 30.0, 1e-9);
+    // 35 dBm into 50 Ω: ~17.8 V peak.
+    EXPECT_NEAR(sourceAmplitude(35.0), 17.78, 0.05);
+}
+
+TEST(EmiCouplingTest, PathLossFollowsDistanceAndFrequency)
+{
+    double near = freeSpacePathLoss(27e6, 1.0);
+    double far = freeSpacePathLoss(27e6, 5.0);
+    EXPECT_NEAR(near / far, 5.0, 1e-9);
+    // Higher frequency, shorter wavelength, more loss.
+    EXPECT_GT(freeSpacePathLoss(27e6, 5.0), freeSpacePathLoss(270e6, 5.0));
+    // Clamped at short range.
+    EXPECT_LE(freeSpacePathLoss(1e6, 0.05), 1.0);
+}
+
+TEST(EmiCouplingTest, RemoteAmplitudeIsMeaningfulAtResonance)
+{
+    ResonanceCurve curve;
+    curve.peaks.push_back({27e6, 12.0, 0.45});
+    curve.lowPassHz = 40e6;
+
+    // The paper's strongest remote setup: 35 dBm at 5 m.
+    double a = inducedAmplitudeRemote(35.0, 27e6, curve, 5.0);
+    EXPECT_GT(a, 0.5);  // enough to drag a 3.3 V rail below V_backup
+    EXPECT_LT(a, 5.0);
+
+    // Off-resonance: negligible.
+    EXPECT_LT(inducedAmplitudeRemote(35.0, 120e6, curve, 5.0), 0.05);
+    // Walls attenuate.
+    EXPECT_LT(inducedAmplitudeRemote(35.0, 27e6, curve, 5.0, 10.0), a);
+    // Power scales monotonically.
+    EXPECT_LT(inducedAmplitudeRemote(20.0, 27e6, curve, 5.0), a);
+}
+
+TEST(EmiCouplingTest, DpiBypassesPathLoss)
+{
+    ResonanceCurve curve;
+    curve.peaks.push_back({27e6, 12.0, 0.45});
+    curve.lowPassHz = 40e6;
+    double dpi = inducedAmplitudeDpi(20.0, 27e6, curve, 0.4);
+    double remote = inducedAmplitudeRemote(20.0, 27e6, curve, 5.0);
+    EXPECT_GT(dpi, remote);
+}
+
+}  // namespace
+}  // namespace gecko::analog

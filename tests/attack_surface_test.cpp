@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "attack/emi_source.hpp"
+#include "attack/rigs.hpp"
+#include "device/device_db.hpp"
+#include "metrics/stats.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * Per-device attack-surface properties (the Table I inventory as
+ * parameterized tests): every board must be disruptable at its
+ * resonance, none above the front-end's low-pass corner, and the
+ * monitor-path differences must order as measured in the paper.
+ */
+
+namespace gecko {
+namespace {
+
+using attack::EmiSource;
+using attack::RemoteRig;
+using compiler::Scheme;
+using device::DeviceDb;
+using device::DeviceProfile;
+
+/** Executed cycles in 40 ms with an optional tone. */
+std::uint64_t
+runCycles(const DeviceProfile& dev, analog::MonitorKind kind,
+          const RemoteRig* rig, double freqHz)
+{
+    static std::map<int, compiler::CompiledProgram> cache;
+    auto it = cache.find(0);
+    if (it == cache.end())
+        it = cache
+                 .emplace(0, compiler::compile(
+                                 workloads::build("sensor_loop"),
+                                 Scheme::kNvp))
+                 .first;
+    sim::IoHub io;
+    workloads::setupIo("sensor_loop", io);
+    energy::ConstantHarvester supply(3.3, 5.0);
+    sim::SimConfig config;
+    config.monitorKind = kind;
+    sim::IntermittentSim simulation(it->second, dev, config, supply, io);
+    std::unique_ptr<EmiSource> source;
+    if (rig) {
+        source = std::make_unique<EmiSource>(*rig, freqHz, 35.0);
+        simulation.setEmiSource(source.get());
+    }
+    simulation.run(0.04);
+    return simulation.machine().stats.cycles;
+}
+
+/** Peak frequency of the device's ADC coupling path. */
+double
+resonantFreq(const DeviceProfile& dev)
+{
+    double best_f = 1e6, best_g = 0;
+    for (double f = 1e6; f < 60e6; f += 0.5e6) {
+        double g = dev.adcRemote.gainAt(f);
+        if (g > best_g) {
+            best_g = g;
+            best_f = f;
+        }
+    }
+    return best_f;
+}
+
+class DeviceAttackTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const DeviceProfile& dev() const
+    {
+        return DeviceDb::byName(GetParam());
+    }
+};
+
+TEST_P(DeviceAttackTest, ResonantToneCausesSevereDisruption)
+{
+    RemoteRig rig(dev(), analog::MonitorKind::kAdc, 0.1);
+    std::uint64_t clean =
+        runCycles(dev(), analog::MonitorKind::kAdc, nullptr, 0);
+    std::uint64_t attacked = runCycles(dev(), analog::MonitorKind::kAdc,
+                                       &rig, resonantFreq(dev()));
+    EXPECT_LT(attacked, clean / 5)
+        << dev().name << " should lose >80% forward progress at "
+        << resonantFreq(dev()) / 1e6 << " MHz";
+}
+
+TEST_P(DeviceAttackTest, HighFrequenciesAreHarmless)
+{
+    RemoteRig rig(dev(), analog::MonitorKind::kAdc, 0.1);
+    std::uint64_t clean =
+        runCycles(dev(), analog::MonitorKind::kAdc, nullptr, 0);
+    for (double f : {120e6, 300e6, 900e6}) {
+        std::uint64_t attacked =
+            runCycles(dev(), analog::MonitorKind::kAdc, &rig, f);
+        EXPECT_GT(attacked, clean * 9 / 10)
+            << dev().name << " must be unaffected at " << f / 1e6
+            << " MHz (paper: nothing above ~50 MHz)";
+    }
+}
+
+TEST_P(DeviceAttackTest, AttackWeakensWithDistance)
+{
+    double f = resonantFreq(dev());
+    RemoteRig near(dev(), analog::MonitorKind::kAdc, 0.1);
+    RemoteRig far(dev(), analog::MonitorKind::kAdc, 25.0);
+    std::uint64_t clean =
+        runCycles(dev(), analog::MonitorKind::kAdc, nullptr, 0);
+    std::uint64_t at_near =
+        runCycles(dev(), analog::MonitorKind::kAdc, &near, f);
+    std::uint64_t at_far =
+        runCycles(dev(), analog::MonitorKind::kAdc, &far, f);
+    EXPECT_LT(at_near, clean);
+    EXPECT_GT(at_far, at_near) << "25 m must be weaker than 0.1 m";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBoards, DeviceAttackTest,
+                         ::testing::ValuesIn([] {
+                             std::vector<std::string> names;
+                             for (const auto& d : DeviceDb::all())
+                                 names.push_back(d.name);
+                             return names;
+                         }()),
+                         [](const auto& info) { return info.param; });
+
+TEST(AttackSurfaceTest, ComparatorMonitorIsWorseThanAdc)
+{
+    // Table I: the FR5994's comparator path R_min is orders of
+    // magnitude below its ADC path's.
+    const auto& dev = DeviceDb::msp430fr5994();
+    RemoteRig adc_rig(dev, analog::MonitorKind::kAdc, 0.1);
+    RemoteRig comp_rig(dev, analog::MonitorKind::kComparator, 0.1);
+    std::uint64_t adc =
+        runCycles(dev, analog::MonitorKind::kAdc, &adc_rig, 27e6);
+    std::uint64_t comp =
+        runCycles(dev, analog::MonitorKind::kComparator, &comp_rig, 5e6);
+    EXPECT_LT(comp, adc / 2);
+}
+
+TEST(AttackSurfaceTest, GeckoOutperformsNvpOnEveryBoardUnderAttack)
+{
+    // The defense generalizes beyond the FR5994 evaluation board.
+    auto gecko = compiler::compile(workloads::build("sensor_loop"),
+                                   Scheme::kGecko);
+    auto nvp = compiler::compile(workloads::build("sensor_loop"),
+                                 Scheme::kNvp);
+    for (const auto& dev : DeviceDb::all()) {
+        double f = resonantFreq(dev);
+        std::uint64_t done[2];
+        int i = 0;
+        for (const auto* prog : {&nvp, &gecko}) {
+            sim::IoHub io;
+            workloads::setupIo("sensor_loop", io);
+            energy::ConstantHarvester supply(3.3, 5.0);
+            sim::SimConfig config;
+            sim::IntermittentSim simulation(*prog, dev, config, supply,
+                                            io);
+            RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.1);
+            EmiSource source(rig, f, 35.0);
+            simulation.setEmiSource(&source);
+            simulation.run(0.1);
+            done[i++] = simulation.machine().stats.completions;
+        }
+        EXPECT_GT(done[1], done[0] * 3)
+            << dev.name << ": GECKO must out-serve NVP under attack";
+    }
+}
+
+}  // namespace
+}  // namespace gecko

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "compiler/cfg.hpp"
+#include "compiler/dominators.hpp"
+#include "ir/builder.hpp"
+
+namespace gecko::compiler {
+namespace {
+
+using ir::Program;
+using ir::ProgramBuilder;
+
+Program
+diamond()
+{
+    // B0: cond -> B1 or B2; B1 -> B3; B2 -> B3; B3: halt
+    ProgramBuilder b("diamond");
+    b.movi(1, 1)
+        .beq(1, 0, "left")   // B0
+        .movi(2, 2)          // B1 (fall-through)
+        .jmp("join")
+        .label("left")
+        .movi(2, 3)          // B2
+        .label("join")
+        .out(0, 2)           // B3
+        .halt();
+    return b.take();
+}
+
+Program
+loop()
+{
+    ProgramBuilder b("loop");
+    b.movi(1, 10)          // B0
+        .label("head")
+        .subi(1, 1, 1)     // B1 (loop header)
+        .bne(1, 0, "head")
+        .halt();           // B2
+    return b.take();
+}
+
+TEST(CfgTest, DiamondStructure)
+{
+    Program p = diamond();
+    Cfg cfg = Cfg::build(p);
+    ASSERT_EQ(cfg.numBlocks(), 4u);
+    const BasicBlock& b0 = cfg.block(0);
+    EXPECT_EQ(b0.succs.size(), 2u);
+    // Both sides join.
+    BlockId join = cfg.blockOf(p.labelPos(*p.findLabel("join")));
+    EXPECT_EQ(cfg.block(join).preds.size(), 2u);
+    EXPECT_FALSE(cfg.isLoopHeader(join));
+}
+
+TEST(CfgTest, LoopHeaderDetection)
+{
+    Program p = loop();
+    Cfg cfg = Cfg::build(p);
+    BlockId head = cfg.blockOf(p.labelPos(*p.findLabel("head")));
+    EXPECT_TRUE(cfg.isLoopHeader(head));
+    // The header has two preds: entry and the back edge.
+    EXPECT_EQ(cfg.block(head).preds.size(), 2u);
+}
+
+TEST(CfgTest, ReversePostOrderStartsAtEntry)
+{
+    Program p = diamond();
+    Cfg cfg = Cfg::build(p);
+    ASSERT_FALSE(cfg.reversePostOrder().empty());
+    EXPECT_EQ(cfg.reversePostOrder().front(), cfg.entry());
+    EXPECT_EQ(cfg.reversePostOrder().size(), cfg.numBlocks());
+}
+
+TEST(CfgTest, BlockOfMapsEveryInstruction)
+{
+    Program p = diamond();
+    Cfg cfg = Cfg::build(p);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        BlockId b = cfg.blockOf(i);
+        EXPECT_GE(i, cfg.block(b).first);
+        EXPECT_LE(i, cfg.block(b).last);
+    }
+}
+
+TEST(CfgTest, CallHasTargetAndFallthroughSuccessors)
+{
+    ProgramBuilder b("call");
+    b.movi(1, 1)
+        .call("fn")
+        .halt()
+        .label("fn")
+        .ret();
+    Program p = b.take();
+    Cfg cfg = Cfg::build(p);
+    BlockId caller = cfg.blockOf(1);
+    EXPECT_EQ(cfg.block(caller).succs.size(), 2u);
+    BlockId fn = cfg.blockOf(p.labelPos(*p.findLabel("fn")));
+    EXPECT_TRUE(cfg.block(fn).succs.empty());  // ret
+}
+
+TEST(DominatorsTest, DiamondDominance)
+{
+    Program p = diamond();
+    Cfg cfg = Cfg::build(p);
+    Dominators dom = Dominators::build(cfg);
+
+    BlockId entry = cfg.entry();
+    BlockId join = cfg.blockOf(p.labelPos(*p.findLabel("join")));
+    BlockId left = cfg.blockOf(p.labelPos(*p.findLabel("left")));
+
+    EXPECT_TRUE(dom.dominates(entry, join));
+    EXPECT_TRUE(dom.dominates(entry, left));
+    EXPECT_FALSE(dom.dominates(left, join));
+    EXPECT_TRUE(dom.dominates(join, join));
+    EXPECT_EQ(dom.idom(join), entry);
+}
+
+TEST(DominatorsTest, InstructionLevelDominance)
+{
+    Program p = diamond();
+    Cfg cfg = Cfg::build(p);
+    Dominators dom = Dominators::build(cfg);
+
+    // Entry instruction dominates everything.
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_TRUE(dom.dominatesInstr(cfg, 0, i));
+    // Within a block, order decides.
+    EXPECT_TRUE(dom.dominatesInstr(cfg, 0, 1));
+    EXPECT_FALSE(dom.dominatesInstr(cfg, 1, 0));
+    // A branch side does not dominate the join.
+    std::size_t left_pos = p.labelPos(*p.findLabel("left"));
+    std::size_t join_pos = p.labelPos(*p.findLabel("join"));
+    EXPECT_FALSE(dom.dominatesInstr(cfg, left_pos, join_pos));
+}
+
+TEST(DominatorsTest, LoopHeaderDominatesBody)
+{
+    Program p = loop();
+    Cfg cfg = Cfg::build(p);
+    Dominators dom = Dominators::build(cfg);
+    BlockId head = cfg.blockOf(p.labelPos(*p.findLabel("head")));
+    BlockId exit = cfg.blockOf(p.size() - 1);
+    EXPECT_TRUE(dom.dominates(head, exit));
+}
+
+}  // namespace
+}  // namespace gecko::compiler

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "compiler/checkpoint_insertion.hpp"
+#include "compiler/pipeline.hpp"
+#include "compiler/region_formation.hpp"
+#include "compiler/slot_coloring.hpp"
+#include "compiler/wcet.hpp"
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::compiler {
+namespace {
+
+using ir::Opcode;
+using ir::Program;
+using ir::ProgramBuilder;
+
+/** Compile a loop whose single region re-checkpoints modified regs. */
+Program
+loopProgram()
+{
+    ProgramBuilder b("t");
+    return b.movi(1, 0)
+        .movi(2, 100)
+        .label("head")
+        .addi(1, 1, 1)
+        .addi(3, 3, 7)
+        .blt(1, 2, "head")
+        .out(0, 3)
+        .halt()
+        .take();
+}
+
+TEST(SlotColoringTest, SelfConflictGetsFixRegion)
+{
+    Program p = loopProgram();
+    // Default formation config puts the boundary at the loop header:
+    // one region per iteration, so the loop-modified registers
+    // self-conflict.
+    RegionFormation::run(p, {});
+
+    auto seeds = CheckpointInsertion::run(p);
+    std::size_t regions_before = seeds.size();
+    SlotColoring::Result result =
+        SlotColoring::run(p, seeds, /*cleanElim=*/false);
+
+    EXPECT_GE(result.fixRegions, 1);
+    EXPECT_GT(seeds.size(), regions_before);
+    // The fix region records its parent.
+    bool has_parent = false;
+    for (const auto& seed : seeds)
+        if (seed.parentId >= 0)
+            has_parent = true;
+    EXPECT_TRUE(has_parent);
+}
+
+TEST(SlotColoringTest, ConsecutiveDirtyCheckpointsGetDistinctSlots)
+{
+    Program p = loopProgram();
+    RegionFormation::run(p, {});
+
+    auto seeds = CheckpointInsertion::run(p);
+    SlotColoring::run(p, seeds, false);
+
+    // Collect slots per register in program order; the loop-modified
+    // registers (r1, r3) must alternate between their region and fix
+    // region checkpoints.
+    std::map<int, std::set<int>> slots;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        if (p.at(i).op == Opcode::kCkpt)
+            slots[p.at(i).rs1].insert(p.at(i).imm);
+    EXPECT_GE(slots[1].size(), 2u) << "loop counter needs two slots";
+    EXPECT_GE(slots[3].size(), 2u) << "accumulator needs two slots";
+}
+
+TEST(SlotColoringTest, AllSlotsWithinBudget)
+{
+    for (const std::string& name : workloads::benchmarkNames()) {
+        auto compiled =
+            compile(workloads::build(name), Scheme::kGecko);
+        for (std::size_t i = 0; i < compiled.prog.size(); ++i) {
+            const ir::Instr& ins = compiled.prog.at(i);
+            if (ins.op == Opcode::kCkpt) {
+                EXPECT_GE(ins.imm, 0) << name;
+                EXPECT_LT(ins.imm, kMaxSlots) << name;
+            }
+        }
+    }
+}
+
+TEST(SlotColoringTest, CleanEliminationInheritsSlots)
+{
+    // Two consecutive regions where r2 is unchanged: the second region's
+    // r2 checkpoint is redundant and should be inherited.
+    ProgramBuilder b("t");
+    Program p = b.movi(1, 100)
+                    .movi(2, 7)   // r2: live across both regions, clean
+                    .load(3, 1, 0)
+                    .store(1, 0, 2)  // WAR -> boundary before this store
+                    .add(4, 2, 3)
+                    .out(0, 4)
+                    .out(0, 2)
+                    .halt()
+                    .take();
+    RegionFormation::run(p, {});
+    auto seeds = CheckpointInsertion::run(p);
+    SlotColoring::Result r = SlotColoring::run(p, seeds, true);
+
+    // r2 should be checkpointed once and inherited afterwards.
+    int r2_ckpts = 0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        if (p.at(i).op == Opcode::kCkpt && p.at(i).rs1 == 2)
+            ++r2_ckpts;
+    EXPECT_GE(r.cleanEliminated, 1);
+    EXPECT_EQ(r2_ckpts, 1);
+    bool inherited_r2 = false;
+    for (const auto& inh : r.inherited)
+        if (inh.reg == 2)
+            inherited_r2 = true;
+    EXPECT_TRUE(inherited_r2);
+}
+
+TEST(SlotColoringTest, CleanEliminationNeverBreaksSelfConflicts)
+{
+    // Regression guard for the subtle bug: removing a clean body
+    // checkpoint must not leave a dirty kept-to-itself cycle uncoloured.
+    for (const std::string& name :
+         {std::string("qsort"), std::string("dijkstra"),
+          std::string("stringsearch")}) {
+        auto compiled = compile(workloads::build(name), Scheme::kGecko);
+        // Re-derive the conflict graph invariant dynamically: no two
+        // consecutive dynamic instances of the same kept checkpoint may
+        // share a slot while the register changed in between.  Handled
+        // exhaustively by the crash-consistency suite; here we at least
+        // re-run the pipeline and demand it did not throw and coloured
+        // everything.
+        for (std::size_t i = 0; i < compiled.prog.size(); ++i) {
+            if (compiled.prog.at(i).op == Opcode::kCkpt) {
+                ASSERT_GE(compiled.prog.at(i).imm, 0) << name;
+            }
+        }
+    }
+}
+
+TEST(SlotColoringTest, RestoreTablesCoverEveryRegionLiveIn)
+{
+    for (const std::string& name : workloads::benchmarkNames()) {
+        auto compiled = compile(workloads::build(name), Scheme::kGecko);
+        for (const RegionInfo& info : compiled.regions) {
+            RegMask covered = 0;
+            for (const CkptSpec& ck : info.ckpts)
+                covered |= regBit(ck.reg);
+            for (const RecoverySpec& rs : info.recovery)
+                covered |= regBit(rs.reg);
+            if (info.parentId >= 0) {
+                const RegionInfo& parent =
+                    compiled.regions[static_cast<std::size_t>(
+                        info.parentId)];
+                for (const CkptSpec& ck : parent.ckpts)
+                    covered |= regBit(ck.reg);
+                for (const RecoverySpec& rs : parent.recovery)
+                    covered |= regBit(rs.reg);
+            }
+            EXPECT_EQ(covered & info.liveIn, info.liveIn)
+                << name << " region " << info.id;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace gecko::compiler

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "compiler/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * Independent dynamic idempotence validation.
+ *
+ * A tiny shadow interpreter (deliberately separate from sim::Machine)
+ * executes each compiled workload and checks, per *dynamic* region, that
+ * no store overwrites an address the region already read without having
+ * written it first (the WARAW exemption).  This is the property the
+ * region-formation pass must establish; validating it on a concrete
+ * trace is an end-to-end check with none of the pass's own machinery.
+ */
+
+namespace gecko {
+namespace {
+
+using compiler::CompiledProgram;
+using compiler::Scheme;
+using ir::Instr;
+using ir::Opcode;
+
+struct ShadowResult {
+    std::uint64_t violations = 0;
+    std::uint64_t regionsEntered = 0;
+    std::uint64_t instrs = 0;
+};
+
+ShadowResult
+traceRegions(const CompiledProgram& compiled)
+{
+    const ir::Program& p = compiled.prog;
+    std::vector<std::uint32_t> mem(16384, 0);
+    std::array<std::uint32_t, 16> regs{};
+    std::uint32_t pc = 0;
+    std::uint64_t in_counter = 0;
+
+    std::set<std::uint32_t> reads, writes;
+    ShadowResult result;
+
+    while (result.instrs < 80'000'000) {
+        ++result.instrs;
+        const Instr& ins = p.at(pc);
+        std::uint32_t next = pc + 1;
+        switch (ins.op) {
+          case Opcode::kMovi:
+            regs[ins.rd] = static_cast<std::uint32_t>(ins.imm);
+            break;
+          case Opcode::kMov:
+            regs[ins.rd] = regs[ins.rs1];
+            break;
+          case Opcode::kNot:
+          case Opcode::kNeg:
+            regs[ins.rd] = ir::evalUnary(ins.op, regs[ins.rs1]);
+            break;
+          case Opcode::kLoad: {
+            std::uint32_t addr =
+                regs[ins.rs1] + static_cast<std::uint32_t>(ins.imm);
+            regs[ins.rd] = mem.at(addr);
+            if (!writes.count(addr))
+                reads.insert(addr);
+            break;
+          }
+          case Opcode::kStore: {
+            std::uint32_t addr =
+                regs[ins.rs1] + static_cast<std::uint32_t>(ins.imm);
+            if (reads.count(addr))
+                ++result.violations;  // WAR without same-region W first
+            writes.insert(addr);
+            mem.at(addr) = regs[ins.rs2];
+            break;
+          }
+          case Opcode::kJmp:
+            next = static_cast<std::uint32_t>(p.labelPos(ins.target));
+            break;
+          case Opcode::kCall:
+            regs[ir::kLinkReg] = pc + 1;
+            next = static_cast<std::uint32_t>(p.labelPos(ins.target));
+            break;
+          case Opcode::kRet:
+            next = regs[ir::kLinkReg];
+            break;
+          case Opcode::kIn:
+            regs[ins.rd] = static_cast<std::uint32_t>(
+                100 + (in_counter++ % 64));
+            break;
+          case Opcode::kOut:
+            break;
+          case Opcode::kHalt:
+            return result;
+          case Opcode::kBoundary:
+            ++result.regionsEntered;
+            reads.clear();
+            writes.clear();
+            break;
+          case Opcode::kCkpt:
+            break;
+          default:
+            if (ir::isBinaryAlu(ins.op)) {
+                std::uint32_t rhs =
+                    ins.useImm ? static_cast<std::uint32_t>(ins.imm)
+                               : regs[ins.rs2];
+                regs[ins.rd] =
+                    ir::evalBinary(ins.op, regs[ins.rs1], rhs);
+            } else if (ir::isCondBranch(ins.op)) {
+                if (ir::evalBranch(ins.op, regs[ins.rs1], regs[ins.rs2]))
+                    next =
+                        static_cast<std::uint32_t>(p.labelPos(ins.target));
+            }
+            break;
+        }
+        pc = next;
+    }
+    ADD_FAILURE() << "shadow interpreter did not terminate";
+    return result;
+}
+
+class IdempotenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, Scheme>>
+{
+};
+
+TEST_P(IdempotenceTest, NoUnprotectedWarInAnyDynamicRegion)
+{
+    auto [name, scheme] = GetParam();
+    CompiledProgram compiled =
+        compiler::compile(workloads::build(name), scheme);
+    ShadowResult r = traceRegions(compiled);
+    EXPECT_EQ(r.violations, 0u)
+        << name << ": a dynamic region overwrote data it had read — "
+           "re-execution would not be idempotent";
+    EXPECT_GT(r.regionsEntered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, IdempotenceTest,
+    ::testing::Combine(::testing::ValuesIn([] {
+                           auto v = workloads::benchmarkNames();
+                           v.push_back("sensor_loop");
+                           v.push_back("sensor_app");
+                           return v;
+                       }()),
+                       ::testing::Values(Scheme::kRatchet, Scheme::kGecko)),
+    [](const auto& info) {
+        std::string n = std::get<0>(info.param) + "_" +
+                        compiler::schemeName(std::get<1>(info.param));
+        for (char& c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+}  // namespace
+}  // namespace gecko

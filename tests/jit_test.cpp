@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "ir/assembler.hpp"
+#include "sim/jit_checkpoint.hpp"
+#include "sim/machine.hpp"
+
+namespace gecko::sim {
+namespace {
+
+using compiler::CompiledProgram;
+using compiler::Scheme;
+
+CompiledProgram
+tinyProgram()
+{
+    return compiler::compile(ir::Assembler::assemble("t", R"(
+        movi r1, 11
+        movi r2, 22
+        in   r3, 1
+        halt
+)"),
+                             Scheme::kNvp);
+}
+
+TEST(JitCheckpointTest, RoundTripRestoresVolatileState)
+{
+    CompiledProgram prog = tinyProgram();
+    Nvm nvm(1024);
+    IoHub io;
+    Machine m(prog, nvm, io);
+    m.regs()[1] = 0xdead;
+    m.regs()[15] = 0xbeef;
+    m.setPc(3);
+    m.pendingIn()[1] = 2;
+    m.pendingOut()[0] = 5;
+
+    auto res = JitCheckpoint::checkpoint(m, nvm, [](int) { return true; });
+    EXPECT_TRUE(res.complete);
+    EXPECT_EQ(res.wordsWritten, static_cast<int>(Nvm::kJitWords));
+    EXPECT_EQ(nvm.jit[Nvm::kJitAckIndex], 1u);  // toggled from 0
+
+    Machine m2(prog, nvm, io);
+    JitCheckpoint::restore(m2, nvm);
+    EXPECT_EQ(m2.regs()[1], 0xdeadu);
+    EXPECT_EQ(m2.regs()[15], 0xbeefu);
+    EXPECT_EQ(m2.pc(), 3u);
+    EXPECT_EQ(m2.pendingIn()[1], 2u);
+    EXPECT_EQ(m2.pendingOut()[0], 5u);
+}
+
+TEST(JitCheckpointTest, AckTogglesEveryCompleteCheckpoint)
+{
+    CompiledProgram prog = tinyProgram();
+    Nvm nvm(1024);
+    IoHub io;
+    Machine m(prog, nvm, io);
+    auto always = [](int) { return true; };
+    JitCheckpoint::checkpoint(m, nvm, always);
+    EXPECT_EQ(nvm.jit[Nvm::kJitAckIndex], 1u);
+    JitCheckpoint::checkpoint(m, nvm, always);
+    EXPECT_EQ(nvm.jit[Nvm::kJitAckIndex], 0u);
+}
+
+TEST(JitCheckpointTest, TornCheckpointLeavesAckUntouched)
+{
+    CompiledProgram prog = tinyProgram();
+    Nvm nvm(1024);
+    IoHub io;
+    Machine m(prog, nvm, io);
+    m.regs()[0] = 0x1111;
+    m.regs()[5] = 0x5555;
+
+    // Die after 6 words.
+    int budget = 6;
+    auto spend = [&budget](int) { return budget-- > 0; };
+    auto res = JitCheckpoint::checkpoint(m, nvm, spend);
+    EXPECT_FALSE(res.complete);
+    EXPECT_EQ(res.wordsWritten, 6);
+    EXPECT_EQ(nvm.jit[Nvm::kJitAckIndex], 0u);  // never toggled
+    EXPECT_EQ(nvm.jit[0], 0x1111u);             // early words landed
+    EXPECT_EQ(nvm.jit[5], 0x5555u);
+    EXPECT_EQ(nvm.jit[10], 0u);                 // later words did not
+}
+
+TEST(JitCheckpointTest, TornImageRestoresMixedState)
+{
+    // The data-corruption vector: old and new words interleaved.
+    CompiledProgram prog = tinyProgram();
+    Nvm nvm(1024);
+    IoHub io;
+    Machine m(prog, nvm, io);
+    auto always = [](int) { return true; };
+
+    m.regs()[1] = 100;
+    m.regs()[10] = 200;
+    JitCheckpoint::checkpoint(m, nvm, always);  // complete, old state
+
+    m.regs()[1] = 111;
+    m.regs()[10] = 222;
+    int budget = 3;
+    auto spend = [&budget](int) { return budget-- > 0; };
+    JitCheckpoint::checkpoint(m, nvm, spend);  // torn after r0..r2
+
+    Machine m2(prog, nvm, io);
+    JitCheckpoint::restore(m2, nvm);
+    EXPECT_EQ(m2.regs()[1], 111u);   // new value (written before death)
+    EXPECT_EQ(m2.regs()[10], 200u);  // stale value — inconsistent image
+}
+
+}  // namespace
+}  // namespace gecko::sim

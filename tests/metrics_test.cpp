@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+
+namespace gecko::metrics {
+namespace {
+
+TEST(StatsTest, Means)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(minimum({3, 1, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(maximum({3, 1, 2}), 3.0);
+}
+
+TEST(StatsTest, SeriesArgExtrema)
+{
+    Series s{"t", {1, 2, 3, 4}, {5.0, 1.0, 9.0, 2.0}};
+    EXPECT_EQ(argminY(s), 1u);
+    EXPECT_EQ(argmaxY(s), 2u);
+}
+
+TEST(TableTest, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // All rows share the same width up to the second column.
+    auto col = out.find("value");
+    auto row1 = out.find("1", out.find("x"));
+    EXPECT_NE(col, std::string::npos);
+    EXPECT_NE(row1, std::string::npos);
+}
+
+TEST(TableTest, Formatters)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(0.413, 1), "41.3%");
+    EXPECT_EQ(fmtMhz(27e6), "27 MHz");
+    EXPECT_EQ(fmtMhz(16.5e6, 1), "16.5 MHz");
+}
+
+}  // namespace
+}  // namespace gecko::metrics

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/checkpoint_insertion.hpp"
+#include "compiler/pipeline.hpp"
+#include "compiler/region_formation.hpp"
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::compiler {
+namespace {
+
+using ir::Opcode;
+using ir::Program;
+using ir::ProgramBuilder;
+
+TEST(CheckpointInsertionTest, ChecksLiveInsAtBoundaries)
+{
+    ProgramBuilder b("t");
+    b.movi(1, 10)
+        .movi(2, 0)
+        .label("head")
+        .add(2, 2, 1)
+        .subi(1, 1, 1)
+        .movi(3, 0)
+        .bne(1, 3, "head")
+        .out(0, 2)
+        .halt();
+    Program p = b.take();
+    RegionFormation::run(p, {});
+    auto seeds = CheckpointInsertion::run(p);
+
+    ASSERT_GE(seeds.size(), 2u);
+    // The loop-header region must checkpoint the loop-carried registers.
+    std::size_t head = p.labelPos(*p.findLabel("head"));
+    // The label now points at the first ckpt of the header's entry
+    // sequence (inserted before the boundary).
+    std::size_t i = head;
+    std::set<int> ckpt_regs;
+    while (p.at(i).op == Opcode::kCkpt) {
+        ckpt_regs.insert(p.at(i).rs1);
+        ++i;
+    }
+    EXPECT_EQ(p.at(i).op, Opcode::kBoundary);
+    int id = p.at(i).imm;
+    EXPECT_TRUE(ckpt_regs.count(1));
+    EXPECT_TRUE(ckpt_regs.count(2));
+    EXPECT_TRUE(seeds[static_cast<std::size_t>(id)].liveIn & regBit(1));
+    EXPECT_TRUE(seeds[static_cast<std::size_t>(id)].liveIn & regBit(2));
+}
+
+TEST(CheckpointInsertionTest, BoundaryIdsAreSequential)
+{
+    Program p = workloads::build("bitcnt");
+    RegionFormation::run(p, {});
+    auto seeds = CheckpointInsertion::run(p);
+    int expected = 0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p.at(i).op == Opcode::kBoundary) {
+            EXPECT_EQ(p.at(i).imm, expected++);
+        }
+    }
+    EXPECT_EQ(static_cast<std::size_t>(expected), seeds.size());
+}
+
+TEST(PipelineTest, NvpIsUntouched)
+{
+    Program p = workloads::build("crc16");
+    std::size_t n = p.size();
+    CompiledProgram out = compile(p, Scheme::kNvp);
+    EXPECT_EQ(out.prog.size(), n);
+    EXPECT_TRUE(out.regions.empty());
+    EXPECT_EQ(out.stats.ckptsAfterPruning, 0);
+}
+
+class PipelineWorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PipelineWorkloadTest, GeckoPipelineInvariants)
+{
+    CompiledProgram out =
+        compile(workloads::build(GetParam()), Scheme::kGecko);
+
+    EXPECT_GT(out.regions.size(), 0u);
+    EXPECT_EQ(out.prog.validate(), "");
+
+    // Every boundary numbered and matching its region record.
+    std::set<int> seen;
+    for (std::size_t i = 0; i < out.prog.size(); ++i) {
+        const ir::Instr& ins = out.prog.at(i);
+        if (ins.op == Opcode::kBoundary) {
+            ASSERT_GE(ins.imm, 0);
+            ASSERT_LT(static_cast<std::size_t>(ins.imm),
+                      out.regions.size());
+            EXPECT_TRUE(seen.insert(ins.imm).second)
+                << "duplicate region id";
+            EXPECT_EQ(out.regions[static_cast<std::size_t>(ins.imm)]
+                          .boundaryIdx,
+                      i);
+        }
+        if (ins.op == Opcode::kCkpt) {
+            EXPECT_GE(ins.imm, 0);
+            EXPECT_LT(ins.imm, kMaxSlots);
+        }
+    }
+    EXPECT_EQ(seen.size(), out.regions.size());
+
+    // Every region: live-in = checkpointed ∪ recovered.
+    for (const RegionInfo& info : out.regions) {
+        RegMask covered = 0;
+        for (const CkptSpec& ck : info.ckpts)
+            covered |= regBit(ck.reg);
+        for (const RecoverySpec& rs : info.recovery)
+            covered |= regBit(rs.reg);
+        if (info.parentId >= 0) {
+            const RegionInfo& parent =
+                out.regions[static_cast<std::size_t>(info.parentId)];
+            for (const CkptSpec& ck : parent.ckpts)
+                covered |= regBit(ck.reg);
+            for (const RecoverySpec& rs : parent.recovery)
+                covered |= regBit(rs.reg);
+        }
+        EXPECT_EQ(covered & info.liveIn, info.liveIn)
+            << "region " << info.id << " cannot restore all live-ins";
+    }
+
+    // Pruning must remove something on nontrivial programs, and stats
+    // must be consistent.
+    EXPECT_EQ(out.stats.numRegions,
+              static_cast<int>(out.regions.size()));
+    EXPECT_LE(out.stats.ckptsAfterPruning + 0,
+              out.stats.ckptsBeforePruning +
+                  out.stats.numRegions * 16 /* colouring fix-ups */);
+    EXPECT_GE(out.stats.recoveryBlocks, 0);
+}
+
+TEST_P(PipelineWorkloadTest, WcetBoundHolds)
+{
+    PipelineConfig config;
+    config.maxRegionCycles = 20000;
+    CompiledProgram out =
+        compile(workloads::build(GetParam()), Scheme::kGecko, config);
+    for (const RegionInfo& info : out.regions) {
+        EXPECT_LE(info.wcetCycles, config.maxRegionCycles)
+            << "region " << info.id << " exceeds the power-on budget";
+    }
+}
+
+TEST_P(PipelineWorkloadTest, PruningReducesCheckpoints)
+{
+    CompiledProgram pruned =
+        compile(workloads::build(GetParam()), Scheme::kGecko);
+    CompiledProgram unpruned =
+        compile(workloads::build(GetParam()), Scheme::kGeckoNoPrune);
+    EXPECT_LE(pruned.stats.ckptsAfterPruning,
+              unpruned.stats.ckptsAfterPruning);
+    if (pruned.stats.ckptsBeforePruning > 2) {
+        EXPECT_GT(pruned.stats.recoveryBlocks +
+                      pruned.stats.cleanEliminated,
+                  0)
+            << "expected at least one prunable checkpoint";
+    }
+}
+
+TEST_P(PipelineWorkloadTest, RatchetHasNoRecoveryBlocks)
+{
+    CompiledProgram out =
+        compile(workloads::build(GetParam()), Scheme::kRatchet);
+    EXPECT_EQ(out.stats.recoveryBlocks, 0);
+    // Nothing pruned; colouring conflict fix-ups may only add stores.
+    EXPECT_GE(out.stats.ckptsAfterPruning, out.stats.ckptsBeforePruning);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PipelineWorkloadTest,
+                         ::testing::ValuesIn(workloads::benchmarkNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(PipelineTest, CodeSizeOverheadIsBounded)
+{
+    // §VII-C reports ~6% binary overhead on average; allow generous slack
+    // but catch runaway instrumentation.
+    std::vector<double> overheads;
+    for (const std::string& name : workloads::benchmarkNames()) {
+        CompiledProgram out =
+            compile(workloads::build(name), Scheme::kGecko);
+        overheads.push_back(out.stats.codeSizeOverhead());
+    }
+    for (double o : overheads)
+        EXPECT_LT(o, 1.5);
+}
+
+}  // namespace
+}  // namespace gecko::compiler

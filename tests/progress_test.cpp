@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "runtime/gecko_runtime.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * Forward-progress guarantees under unbounded power failures.
+ *
+ * GECKO sizes every region to fit one worst-case power-on period
+ * (§VI-B), so with any on-period longer than maxRegionCycles it always
+ * completes.  Ratchet regions can enclose whole loops; with on-periods
+ * shorter than such a region it livelocks — the DoS the paper measures
+ * in §VII-B3.
+ */
+
+namespace gecko {
+namespace {
+
+using compiler::CompiledProgram;
+using compiler::Scheme;
+using runtime::GeckoRuntime;
+using sim::IoHub;
+using sim::Machine;
+using sim::Nvm;
+using sim::RunExit;
+
+/**
+ * Run with a hard power failure every `interval` cycles, forever.
+ * @return true if the program completed within `max_cycles` total.
+ */
+bool
+completesUnderFailureStorm(const CompiledProgram& compiled,
+                           const std::string& name, std::uint64_t interval,
+                           std::uint64_t max_cycles)
+{
+    Nvm nvm(16384);
+    IoHub io;
+    workloads::setupIo(name, io);
+    Machine machine(compiled, nvm, io);
+    machine.setStagedIo(compiled.scheme != Scheme::kNvp);
+    GeckoRuntime runtime(compiled, machine, nvm);
+    runtime.onBoot();
+
+    std::uint64_t total = 0;
+    while (total < max_cycles) {
+        std::uint64_t consumed = 0;
+        RunExit exit = machine.run(interval, &consumed);
+        total += consumed;
+        runtime.onProgress();
+        if (exit == RunExit::kHalted || machine.halted())
+            return true;
+        machine.powerCycle();
+        runtime.onBoot();
+    }
+    return false;
+}
+
+TEST(ForwardProgressTest, GeckoCompletesWhenRegionsFitThePowerPeriod)
+{
+    compiler::PipelineConfig config;
+    config.maxRegionCycles = 2000;
+    for (const std::string& name : workloads::benchmarkNames()) {
+        CompiledProgram compiled =
+            compiler::compile(workloads::build(name), Scheme::kGecko,
+                              config);
+        // On-period 4000 cycles > region bound 2000: must terminate.
+        EXPECT_TRUE(completesUnderFailureStorm(compiled, name, 4000,
+                                               1ull << 30))
+            << name;
+    }
+}
+
+TEST(ForwardProgressTest, RatchetLivelocksOnLoopSizedRegions)
+{
+    // bitcnt has no memory anti-dependences, so Ratchet keeps the whole
+    // nested loop in one region; a 4000-cycle on-period can never finish
+    // it (the paper's Ratchet DoS).
+    CompiledProgram compiled =
+        compiler::compile(workloads::build("bitcnt"), Scheme::kRatchet);
+    EXPECT_FALSE(completesUnderFailureStorm(compiled, "bitcnt", 4000,
+                                            1ull << 24));
+}
+
+TEST(ForwardProgressTest, RatchetCompletesWithLongPowerPeriods)
+{
+    CompiledProgram compiled =
+        compiler::compile(workloads::build("bitcnt"), Scheme::kRatchet);
+    EXPECT_TRUE(completesUnderFailureStorm(compiled, "bitcnt", 1ull << 26,
+                                           1ull << 30));
+}
+
+TEST(ForwardProgressTest, GeckoWcetBoundIsRespectedByAllRegions)
+{
+    compiler::PipelineConfig config;
+    config.maxRegionCycles = 2000;
+    for (const std::string& name : workloads::benchmarkNames()) {
+        CompiledProgram compiled =
+            compiler::compile(workloads::build(name), Scheme::kGecko,
+                              config);
+        for (const auto& region : compiled.regions)
+            EXPECT_LE(region.wcetCycles, 2000) << name;
+    }
+}
+
+}  // namespace
+}  // namespace gecko

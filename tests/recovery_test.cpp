@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "compiler/alias_analysis.hpp"
+#include "compiler/cfg.hpp"
+#include "compiler/dominators.hpp"
+#include "compiler/recovery_block.hpp"
+#include "ir/builder.hpp"
+
+namespace gecko::compiler {
+namespace {
+
+using ir::Opcode;
+using ir::Program;
+using ir::ProgramBuilder;
+
+struct Analyses {
+    Cfg cfg;
+    ReachingDefs rdefs;
+    AliasAnalysis aa;
+    Dominators dom;
+
+    explicit Analyses(const Program& p)
+        : cfg(Cfg::build(p)), rdefs(ReachingDefs::build(p, cfg)),
+          aa(AliasAnalysis::build(p, cfg, rdefs)),
+          dom(Dominators::build(cfg))
+    {
+    }
+
+    RecoveryBuilder::Context ctx(const Program& p) const
+    {
+        return {p, cfg, rdefs, aa, dom};
+    }
+};
+
+/** Find the instruction index of the n-th occurrence of `op`. */
+std::size_t
+findOp(const Program& p, Opcode op, int nth = 0)
+{
+    for (std::size_t i = 0; i < p.size(); ++i)
+        if (p.at(i).op == op && nth-- == 0)
+            return i;
+    return Program::npos;
+}
+
+TEST(RecoveryBlockTest, ConstantIsPrunable)
+{
+    // r2 = 42; boundary — recovery: movi r2, 42.
+    ProgramBuilder b("t");
+    b.movi(1, 1)
+        .movi(2, 42)
+        .nop();
+    ir::Instr boundary;
+    boundary.op = Opcode::kBoundary;
+    b.peek();
+    Program p = b.out(0, 2).halt().take();
+    // Manually place a boundary before the out.
+    std::size_t out_pos = findOp(p, Opcode::kOut);
+    p.insertBefore(out_pos, boundary, true);
+
+    Analyses a(p);
+    std::size_t bidx = findOp(p, Opcode::kBoundary);
+    auto spec = RecoveryBuilder::build(a.ctx(p), bidx, 2, regBit(2));
+    ASSERT_TRUE(spec.has_value());
+    ASSERT_EQ(spec->code.size(), 1u);
+    EXPECT_EQ(spec->code[0].op, Opcode::kMovi);
+    EXPECT_EQ(spec->code[0].imm, 42);
+    EXPECT_TRUE(spec->dependsOn.empty());
+}
+
+TEST(RecoveryBlockTest, DerivedValueUsesTerminal)
+{
+    // r3 = r1 << 2, with r1 also live-in: recovery recomputes r3 from r1.
+    ProgramBuilder b("t");
+    Program p = b.movi(1, 5)
+                    .shli(3, 1, 2)
+                    .out(0, 3)
+                    .out(0, 1)
+                    .halt()
+                    .take();
+    std::size_t out_pos = findOp(p, Opcode::kOut);
+    ir::Instr boundary;
+    boundary.op = Opcode::kBoundary;
+    p.insertBefore(out_pos, boundary, true);
+
+    Analyses a(p);
+    std::size_t bidx = findOp(p, Opcode::kBoundary);
+    RegMask live_in = regBit(1) | regBit(3);
+    auto spec = RecoveryBuilder::build(a.ctx(p), bidx, 3, live_in);
+    ASSERT_TRUE(spec.has_value());
+    ASSERT_EQ(spec->code.size(), 1u);
+    EXPECT_EQ(spec->code[0].op, Opcode::kShl);
+    ASSERT_EQ(spec->dependsOn.size(), 1u);
+    EXPECT_EQ(spec->dependsOn[0], 1);
+}
+
+TEST(RecoveryBlockTest, AmbiguousDefFails)
+{
+    // Two defs of r2 reach the boundary: not reconstructible.
+    ProgramBuilder b("t");
+    Program p = b.movi(1, 1)
+                    .beq(1, 0, "else")
+                    .movi(2, 10)
+                    .jmp("join")
+                    .label("else")
+                    .movi(2, 20)
+                    .label("join")
+                    .out(0, 2)
+                    .halt()
+                    .take();
+    std::size_t out_pos = findOp(p, Opcode::kOut);
+    ir::Instr boundary;
+    boundary.op = Opcode::kBoundary;
+    p.insertBefore(out_pos, boundary, true);
+
+    Analyses a(p);
+    std::size_t bidx = findOp(p, Opcode::kBoundary);
+    auto spec = RecoveryBuilder::build(a.ctx(p), bidx, 2, regBit(2));
+    EXPECT_FALSE(spec.has_value());
+}
+
+TEST(RecoveryBlockTest, InputReadFails)
+{
+    ProgramBuilder b("t");
+    Program p = b.in(2, 0).out(0, 2).halt().take();
+    std::size_t out_pos = findOp(p, Opcode::kOut);
+    ir::Instr boundary;
+    boundary.op = Opcode::kBoundary;
+    p.insertBefore(out_pos, boundary, true);
+
+    Analyses a(p);
+    std::size_t bidx = findOp(p, Opcode::kBoundary);
+    auto spec = RecoveryBuilder::build(a.ctx(p), bidx, 2, regBit(2));
+    EXPECT_FALSE(spec.has_value());
+}
+
+TEST(RecoveryBlockTest, MutableLoadFailsReadOnlyLoadSucceeds)
+{
+    // r2 loaded from a mutable address -> fail; r3 from read-only -> ok.
+    ProgramBuilder b("t");
+    Program p = b.movi(1, 100)
+                    .movi(4, 7)
+                    .store(1, 0, 4)  // @100 is written: mutable
+                    .load(2, 1, 0)   // r2 = @100
+                    .load(3, 1, 50)  // r3 = @150 (read-only)
+                    .out(0, 2)
+                    .halt()
+                    .take();
+    std::size_t out_pos = findOp(p, Opcode::kOut);
+    ir::Instr boundary;
+    boundary.op = Opcode::kBoundary;
+    p.insertBefore(out_pos, boundary, true);
+
+    Analyses a(p);
+    std::size_t bidx = findOp(p, Opcode::kBoundary);
+    RegMask live_in = regBit(1) | regBit(2) | regBit(3);
+    EXPECT_FALSE(
+        RecoveryBuilder::build(a.ctx(p), bidx, 2, live_in).has_value());
+    auto spec3 = RecoveryBuilder::build(a.ctx(p), bidx, 3, live_in);
+    ASSERT_TRUE(spec3.has_value());
+    EXPECT_EQ(spec3->code.back().op, Opcode::kLoad);
+}
+
+TEST(RecoveryBlockTest, ChainedSliceInOrder)
+{
+    // r4 = (r1 + 3) * 2 via an intermediate: slice has both defs in
+    // execution order.
+    ProgramBuilder b("t");
+    Program p = b.movi(1, 5)
+                    .addi(2, 1, 3)
+                    .muli(4, 2, 2)
+                    .out(0, 4)
+                    .out(0, 1)
+                    .halt()
+                    .take();
+    std::size_t out_pos = findOp(p, Opcode::kOut);
+    ir::Instr boundary;
+    boundary.op = Opcode::kBoundary;
+    p.insertBefore(out_pos, boundary, true);
+
+    Analyses a(p);
+    std::size_t bidx = findOp(p, Opcode::kBoundary);
+    RegMask live_in = regBit(1) | regBit(4);
+    auto spec = RecoveryBuilder::build(a.ctx(p), bidx, 4, live_in);
+    ASSERT_TRUE(spec.has_value());
+    ASSERT_EQ(spec->code.size(), 2u);
+    EXPECT_EQ(spec->code[0].op, Opcode::kAdd);
+    EXPECT_EQ(spec->code[1].op, Opcode::kMul);
+}
+
+TEST(RecoveryBlockTest, EntryOnlyRegisterPrunesToZero)
+{
+    ProgramBuilder b("t");
+    Program p = b.movi(1, 1).out(0, 1).halt().take();
+    std::size_t out_pos = findOp(p, Opcode::kOut);
+    ir::Instr boundary;
+    boundary.op = Opcode::kBoundary;
+    p.insertBefore(out_pos, boundary, true);
+
+    Analyses a(p);
+    std::size_t bidx = findOp(p, Opcode::kBoundary);
+    // r9 never written: holds the boot value 0.
+    auto spec = RecoveryBuilder::build(a.ctx(p), bidx, 9, regBit(9));
+    ASSERT_TRUE(spec.has_value());
+    ASSERT_EQ(spec->code.size(), 1u);
+    EXPECT_EQ(spec->code[0].op, Opcode::kMovi);
+    EXPECT_EQ(spec->code[0].imm, 0);
+}
+
+TEST(RecoveryBlockTest, ValueChangedSinceDefRecursesOrFails)
+{
+    // r2 = r1 + 1, then r1 is overwritten before the boundary: the slice
+    // cannot terminate at r1-now and must chase r1's old def (a movi:
+    // succeeds).
+    ProgramBuilder b("t");
+    Program p = b.movi(1, 5)
+                    .addi(2, 1, 1)
+                    .movi(1, 99)  // r1 changed after r2's def
+                    .out(0, 2)
+                    .out(0, 1)
+                    .halt()
+                    .take();
+    std::size_t out_pos = findOp(p, Opcode::kOut);
+    ir::Instr boundary;
+    boundary.op = Opcode::kBoundary;
+    p.insertBefore(out_pos, boundary, true);
+
+    Analyses a(p);
+    std::size_t bidx = findOp(p, Opcode::kBoundary);
+    RegMask live_in = regBit(1) | regBit(2);
+    auto spec = RecoveryBuilder::build(a.ctx(p), bidx, 2, live_in);
+    ASSERT_TRUE(spec.has_value());
+    // Slice must contain movi r1,5 (old def) then addi — and must NOT
+    // clobber the restored r1... which it would. The builder must refuse
+    // instead, OR produce a correct slice. Verify semantics by executing.
+    std::array<std::uint32_t, 16> env{};
+    env[1] = 99;  // restored value of r1 at the boundary
+    for (const ir::Instr& ins : spec->code) {
+        // Emulate exactly what the runtime does.
+        switch (ins.op) {
+          case Opcode::kMovi:
+            env[ins.rd] = static_cast<std::uint32_t>(ins.imm);
+            break;
+          default:
+            if (ir::isBinaryAlu(ins.op)) {
+                std::uint32_t rhs =
+                    ins.useImm ? static_cast<std::uint32_t>(ins.imm)
+                               : env[ins.rs2];
+                env[ins.rd] = ir::evalBinary(ins.op, env[ins.rs1], rhs);
+            }
+            break;
+        }
+    }
+    EXPECT_EQ(env[2], 6u) << "recovery block computed the wrong value";
+}
+
+}  // namespace
+}  // namespace gecko::compiler

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/emi_source.hpp"
+#include "attack/rigs.hpp"
+#include "device/device_db.hpp"
+#include "energy/capacitor.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * Simulator-level invariants: determinism, energy bookkeeping, the
+ * quiet-stride speed knob, and the JIT abort/veto semantics.
+ */
+
+namespace gecko::sim {
+namespace {
+
+using attack::EmiSource;
+using attack::RemoteRig;
+using compiler::Scheme;
+using device::DeviceDb;
+
+struct RunStats {
+    std::uint64_t cycles, completions, reboots, attempts;
+};
+
+RunStats
+runOnce(int quiet_stride, bool attacked, double seconds = 0.3)
+{
+    const auto& dev = DeviceDb::msp430fr5994();
+    auto compiled = compiler::compile(workloads::build("sensor_loop"),
+                                      Scheme::kGecko);
+    IoHub io;
+    workloads::setupIo("sensor_loop", io);
+    energy::SquareWaveHarvester wave(3.3, 5.0, 0.1, 0.1);
+    SimConfig config;
+    config.quietStride = quiet_stride;
+    IntermittentSim simulation(compiled, dev, config, wave, io);
+    RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.1);
+    EmiSource source(rig, 27e6, 35.0);
+    if (attacked)
+        simulation.setEmiSource(&source);
+    simulation.run(seconds);
+    return {simulation.machine().stats.cycles,
+            simulation.machine().stats.completions,
+            simulation.stats.reboots, simulation.stats.jitCheckpointAttempts};
+}
+
+TEST(SimInvariantsTest, RunsAreDeterministic)
+{
+    RunStats a = runOnce(64, true);
+    RunStats b = runOnce(64, true);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.completions, b.completions);
+    EXPECT_EQ(a.reboots, b.reboots);
+    EXPECT_EQ(a.attempts, b.attempts);
+}
+
+TEST(SimInvariantsTest, QuietStrideIsOnlyASpeedKnob)
+{
+    // Without an attack the stride must not change the outcome beyond
+    // small threshold-crossing latency differences.
+    RunStats fine = runOnce(1, false);
+    RunStats coarse = runOnce(64, false);
+    ASSERT_GT(fine.completions, 10u);
+    double ratio = static_cast<double>(coarse.completions) /
+                   static_cast<double>(fine.completions);
+    EXPECT_NEAR(ratio, 1.0, 0.1);
+    EXPECT_EQ(fine.reboots, coarse.reboots);
+}
+
+TEST(SimInvariantsTest, ExecutionNeverExceedsTheClockRate)
+{
+    RunStats r = runOnce(64, true, 0.5);
+    const auto& dev = DeviceDb::msp430fr5994();
+    EXPECT_LE(r.cycles,
+              static_cast<std::uint64_t>(0.5 * dev.power.clockHz * 1.01));
+}
+
+TEST(SimInvariantsTest, EnergyConservationOnDischarge)
+{
+    energy::CapacitorConfig config;
+    config.capacitanceF = 1e-3;
+    config.leakageS = 0.0;
+    energy::Capacitor cap(config);
+    double e0 = cap.energy();
+    double drawn = 0;
+    for (int i = 0; i < 1000; ++i)
+        drawn += cap.discharge(1e-6);
+    EXPECT_NEAR(e0 - cap.energy(), drawn, 1e-12);
+}
+
+TEST(SimInvariantsTest, VetoedCheckpointLeavesPreviousImageIntact)
+{
+    // A wake inside the abort window cancels the checkpoint; the JIT
+    // area must still hold the previous complete image with the old ACK.
+    const auto& dev = DeviceDb::msp430fr5994();
+    auto compiled = compiler::compile(workloads::build("sensor_loop"),
+                                      Scheme::kNvp);
+    IoHub io;
+    workloads::setupIo("sensor_loop", io);
+    energy::ConstantHarvester supply(3.3, 5.0);
+    SimConfig config;
+    IntermittentSim simulation(compiled, dev, config, supply, io);
+    RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.1);
+    EmiSource source(rig, 27e6, 35.0);
+    simulation.setEmiSource(&source);
+    simulation.run(0.1);
+
+    ASSERT_GT(simulation.stats.jitCheckpointsAborted, 0u)
+        << "the resonant attack should veto some checkpoints";
+    // ACK parity must match the number of *completed* checkpoints.
+    EXPECT_EQ(simulation.nvm().jit[Nvm::kJitAckIndex],
+              simulation.stats.jitCheckpointsComplete % 2);
+}
+
+TEST(SimInvariantsTest, EqualBufferedEnergyAcrossCapacitorSizes)
+{
+    // The Fig. 15 configuration invariant: adjusting V_backup keeps the
+    // usable window energy constant.
+    const double v_on = 3.0;
+    const double reference = energy::bufferedEnergy(1e-3, v_on, 2.2);
+    for (double c : {2e-3, 5e-3, 10e-3}) {
+        double v_backup = std::sqrt(v_on * v_on - 2.0 * reference / c);
+        EXPECT_NEAR(energy::bufferedEnergy(c, v_on, v_backup), reference,
+                    1e-9);
+    }
+}
+
+TEST(SimInvariantsTest, AttackScheduleTogglesTheSource)
+{
+    const auto& dev = DeviceDb::msp430fr5994();
+    auto compiled = compiler::compile(workloads::build("sensor_loop"),
+                                      Scheme::kNvp);
+    IoHub io;
+    workloads::setupIo("sensor_loop", io);
+    energy::ConstantHarvester supply(3.3, 5.0);
+    SimConfig config;
+    IntermittentSim simulation(compiled, dev, config, supply, io);
+    RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.1);
+    EmiSource source(rig, 27e6, 35.0);
+    attack::AttackSchedule schedule({{0.05, 0.10, 27e6, 35.0}});
+    simulation.setEmiSource(&source);
+    simulation.setAttackSchedule(&schedule);
+
+    simulation.run(0.05);
+    std::uint64_t before = simulation.stats.backupSignals;
+    EXPECT_EQ(before, 0u) << "no signals before the window";
+    simulation.run(0.05);
+    std::uint64_t during = simulation.stats.backupSignals - before;
+    EXPECT_GT(during, 0u) << "signals inside the window";
+    simulation.run(0.05);
+    // After the window the tone is keyed off.
+    EXPECT_FALSE(source.enabled());
+}
+
+TEST(SimInvariantsTest, NvpUnderAttackShowsDataCorruption)
+{
+    // The paper's §IV-B2 claim end to end: on intermittent power under a
+    // resonant tone, NVP accumulates checkpoint failures and restores
+    // inconsistent images; GECKO in the same environment does not.
+    const auto& dev = DeviceDb::msp430fr5994();
+    struct Outcome {
+        double failureRate;
+        std::uint64_t protocolFailures;  // torn + missed checkpoints
+        std::uint64_t corruptedRestores;
+    };
+    auto run_scheme = [&](Scheme scheme) {
+        auto compiled = compiler::compile(
+            workloads::build("sensor_loop"), scheme);
+        IoHub io;
+        workloads::setupIo("sensor_loop", io);
+        energy::SquareWaveHarvester wave(3.3, 5.0, 0.3, 0.7);
+        SimConfig config;
+        IntermittentSim simulation(compiled, dev, config, wave, io);
+        RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.1);
+        EmiSource source(rig, 27e6, 35.0);
+        simulation.setEmiSource(&source);
+        simulation.run(4.0);
+        return Outcome{
+            simulation.checkpointFailureRate(),
+            simulation.stats.jitCheckpointsTorn +
+                simulation.stats.missedCheckpoints,
+            simulation.geckoRuntime().stats.corruptedRestores};
+    };
+
+    Outcome nvp = run_scheme(Scheme::kNvp);
+    Outcome gecko = run_scheme(Scheme::kGecko);
+
+    EXPECT_GT(nvp.failureRate, 0.05)
+        << "NVP should fail a noticeable share of checkpoints";
+    EXPECT_GT(nvp.protocolFailures, 0u)
+        << "NVP should tear or miss at least one checkpoint (the data-"
+           "corruption vector: the next restore is stale/inconsistent)";
+    EXPECT_EQ(gecko.corruptedRestores, 0u)
+        << "GECKO must never roll forward from a stale image";
+}
+
+TEST(SimInvariantsTest, BrownOutLockoutGatesFakeWakes)
+{
+    // With the capacitor held below V_off + lockout, wake events must
+    // not boot the machine.
+    const auto& dev = DeviceDb::msp430fr5994();
+    auto compiled = compiler::compile(workloads::build("sensor_loop"),
+                                      Scheme::kNvp);
+    IoHub io;
+    workloads::setupIo("sensor_loop", io);
+    // Harvester too weak to ever lift V above the lockout.
+    energy::ConstantHarvester dead(dev.vOff + 0.01, 5.0);
+    SimConfig config;
+    config.cap.initialV = dev.vOff;  // start below the lockout
+    IntermittentSim simulation(compiled, dev, config, dead, io);
+    RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.1);
+    EmiSource source(rig, 27e6, 35.0);
+    simulation.setEmiSource(&source);
+    simulation.run(0.05);
+    EXPECT_EQ(simulation.stats.reboots, 0u)
+        << "forged wakes below the lockout must not boot";
+    EXPECT_EQ(simulation.machine().stats.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace gecko::sim

@@ -1,0 +1,50 @@
+#ifndef GECKO_TESTS_TEST_UTIL_HPP_
+#define GECKO_TESTS_TEST_UTIL_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "sim/io_devices.hpp"
+#include "sim/nvm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::test {
+
+/** Result of a failure-free ("golden") run. */
+struct GoldenRun {
+    std::uint64_t cycles = 0;
+    std::vector<std::uint32_t> out0;
+    std::vector<std::uint32_t> out2;
+    std::vector<std::uint32_t> finalMemory;
+};
+
+/** Compile `name` for `scheme` with default pipeline config. */
+inline compiler::CompiledProgram
+compileWorkload(const std::string& name, compiler::Scheme scheme,
+                const compiler::PipelineConfig& config = {})
+{
+    return compiler::compile(workloads::build(name), scheme, config);
+}
+
+/** Execute to completion with no power failures. */
+inline GoldenRun
+golden(const compiler::CompiledProgram& compiled, const std::string& name,
+       std::size_t memWords = 16384)
+{
+    sim::Nvm nvm(memWords);
+    sim::IoHub io;
+    workloads::setupIo(name, io);
+    GoldenRun run;
+    run.cycles = sim::runToCompletion(compiled, nvm, io);
+    run.out0 = io.output(0).values();
+    run.out2 = io.output(2).values();
+    run.finalMemory = nvm.data();
+    return run;
+}
+
+}  // namespace gecko::test
+
+#endif  // GECKO_TESTS_TEST_UTIL_HPP_
