@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wcet.dir/ablation_wcet.cpp.o"
+  "CMakeFiles/ablation_wcet.dir/ablation_wcet.cpp.o.d"
+  "ablation_wcet"
+  "ablation_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

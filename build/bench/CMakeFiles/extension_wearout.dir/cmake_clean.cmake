@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_wearout.dir/extension_wearout.cpp.o"
+  "CMakeFiles/extension_wearout.dir/extension_wearout.cpp.o.d"
+  "extension_wearout"
+  "extension_wearout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_wearout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

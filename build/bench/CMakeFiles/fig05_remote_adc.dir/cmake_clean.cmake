@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_remote_adc.dir/fig05_remote_adc.cpp.o"
+  "CMakeFiles/fig05_remote_adc.dir/fig05_remote_adc.cpp.o.d"
+  "fig05_remote_adc"
+  "fig05_remote_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_remote_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_remote_comp.dir/fig07_remote_comp.cpp.o"
+  "CMakeFiles/fig07_remote_comp.dir/fig07_remote_comp.cpp.o.d"
+  "fig07_remote_comp"
+  "fig07_remote_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_remote_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_distance.dir/fig08_distance.cpp.o"
+  "CMakeFiles/fig08_distance.dir/fig08_distance.cpp.o.d"
+  "fig08_distance"
+  "fig08_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pruning.dir/fig12_pruning.cpp.o"
+  "CMakeFiles/fig12_pruning.dir/fig12_pruning.cpp.o.d"
+  "fig12_pruning"
+  "fig12_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

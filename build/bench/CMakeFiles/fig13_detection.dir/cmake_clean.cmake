@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_detection.dir/fig13_detection.cpp.o"
+  "CMakeFiles/fig13_detection.dir/fig13_detection.cpp.o.d"
+  "fig13_detection"
+  "fig13_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_harvesting.dir/fig14_harvesting.cpp.o"
+  "CMakeFiles/fig14_harvesting.dir/fig14_harvesting.cpp.o.d"
+  "fig14_harvesting"
+  "fig14_harvesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_harvesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

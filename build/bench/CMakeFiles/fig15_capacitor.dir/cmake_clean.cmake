@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_capacitor.dir/fig15_capacitor.cpp.o"
+  "CMakeFiles/fig15_capacitor.dir/fig15_capacitor.cpp.o.d"
+  "fig15_capacitor"
+  "fig15_capacitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_capacitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ckpt_counts.dir/table3_ckpt_counts.cpp.o"
+  "CMakeFiles/table3_ckpt_counts.dir/table3_ckpt_counts.cpp.o.d"
+  "table3_ckpt_counts"
+  "table3_ckpt_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ckpt_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gecko_cc.dir/gecko_cc.cpp.o"
+  "CMakeFiles/gecko_cc.dir/gecko_cc.cpp.o.d"
+  "gecko_cc"
+  "gecko_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gecko_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glucose_monitor.dir/glucose_monitor.cpp.o"
+  "CMakeFiles/glucose_monitor.dir/glucose_monitor.cpp.o.d"
+  "glucose_monitor"
+  "glucose_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glucose_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/adc.cpp" "src/CMakeFiles/gecko.dir/analog/adc.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/analog/adc.cpp.o.d"
+  "/root/repo/src/analog/comparator.cpp" "src/CMakeFiles/gecko.dir/analog/comparator.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/analog/comparator.cpp.o.d"
+  "/root/repo/src/analog/emi_coupling.cpp" "src/CMakeFiles/gecko.dir/analog/emi_coupling.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/analog/emi_coupling.cpp.o.d"
+  "/root/repo/src/analog/resonance.cpp" "src/CMakeFiles/gecko.dir/analog/resonance.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/analog/resonance.cpp.o.d"
+  "/root/repo/src/analog/voltage_monitor.cpp" "src/CMakeFiles/gecko.dir/analog/voltage_monitor.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/analog/voltage_monitor.cpp.o.d"
+  "/root/repo/src/attack/attack_schedule.cpp" "src/CMakeFiles/gecko.dir/attack/attack_schedule.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/attack/attack_schedule.cpp.o.d"
+  "/root/repo/src/attack/emi_source.cpp" "src/CMakeFiles/gecko.dir/attack/emi_source.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/attack/emi_source.cpp.o.d"
+  "/root/repo/src/attack/rigs.cpp" "src/CMakeFiles/gecko.dir/attack/rigs.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/attack/rigs.cpp.o.d"
+  "/root/repo/src/compiler/alias_analysis.cpp" "src/CMakeFiles/gecko.dir/compiler/alias_analysis.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/alias_analysis.cpp.o.d"
+  "/root/repo/src/compiler/cfg.cpp" "src/CMakeFiles/gecko.dir/compiler/cfg.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/cfg.cpp.o.d"
+  "/root/repo/src/compiler/checkpoint_insertion.cpp" "src/CMakeFiles/gecko.dir/compiler/checkpoint_insertion.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/checkpoint_insertion.cpp.o.d"
+  "/root/repo/src/compiler/checkpoint_pruning.cpp" "src/CMakeFiles/gecko.dir/compiler/checkpoint_pruning.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/checkpoint_pruning.cpp.o.d"
+  "/root/repo/src/compiler/dominators.cpp" "src/CMakeFiles/gecko.dir/compiler/dominators.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/dominators.cpp.o.d"
+  "/root/repo/src/compiler/liveness.cpp" "src/CMakeFiles/gecko.dir/compiler/liveness.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/liveness.cpp.o.d"
+  "/root/repo/src/compiler/loop_analysis.cpp" "src/CMakeFiles/gecko.dir/compiler/loop_analysis.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/loop_analysis.cpp.o.d"
+  "/root/repo/src/compiler/pipeline.cpp" "src/CMakeFiles/gecko.dir/compiler/pipeline.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/pipeline.cpp.o.d"
+  "/root/repo/src/compiler/recovery_block.cpp" "src/CMakeFiles/gecko.dir/compiler/recovery_block.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/recovery_block.cpp.o.d"
+  "/root/repo/src/compiler/region_formation.cpp" "src/CMakeFiles/gecko.dir/compiler/region_formation.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/region_formation.cpp.o.d"
+  "/root/repo/src/compiler/slot_coloring.cpp" "src/CMakeFiles/gecko.dir/compiler/slot_coloring.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/slot_coloring.cpp.o.d"
+  "/root/repo/src/compiler/wcet.cpp" "src/CMakeFiles/gecko.dir/compiler/wcet.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/compiler/wcet.cpp.o.d"
+  "/root/repo/src/device/device_db.cpp" "src/CMakeFiles/gecko.dir/device/device_db.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/device/device_db.cpp.o.d"
+  "/root/repo/src/device/device_profile.cpp" "src/CMakeFiles/gecko.dir/device/device_profile.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/device/device_profile.cpp.o.d"
+  "/root/repo/src/energy/capacitor.cpp" "src/CMakeFiles/gecko.dir/energy/capacitor.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/energy/capacitor.cpp.o.d"
+  "/root/repo/src/energy/harvester.cpp" "src/CMakeFiles/gecko.dir/energy/harvester.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/energy/harvester.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "src/CMakeFiles/gecko.dir/energy/power_model.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/energy/power_model.cpp.o.d"
+  "/root/repo/src/ir/assembler.cpp" "src/CMakeFiles/gecko.dir/ir/assembler.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/ir/assembler.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/gecko.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/disassembler.cpp" "src/CMakeFiles/gecko.dir/ir/disassembler.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/ir/disassembler.cpp.o.d"
+  "/root/repo/src/ir/instr.cpp" "src/CMakeFiles/gecko.dir/ir/instr.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/ir/instr.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/CMakeFiles/gecko.dir/ir/program.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/ir/program.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/CMakeFiles/gecko.dir/metrics/stats.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/metrics/stats.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "src/CMakeFiles/gecko.dir/metrics/table.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/metrics/table.cpp.o.d"
+  "/root/repo/src/runtime/gecko_runtime.cpp" "src/CMakeFiles/gecko.dir/runtime/gecko_runtime.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/runtime/gecko_runtime.cpp.o.d"
+  "/root/repo/src/sim/intermittent_sim.cpp" "src/CMakeFiles/gecko.dir/sim/intermittent_sim.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/sim/intermittent_sim.cpp.o.d"
+  "/root/repo/src/sim/io_devices.cpp" "src/CMakeFiles/gecko.dir/sim/io_devices.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/sim/io_devices.cpp.o.d"
+  "/root/repo/src/sim/jit_checkpoint.cpp" "src/CMakeFiles/gecko.dir/sim/jit_checkpoint.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/sim/jit_checkpoint.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/gecko.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/nvm.cpp" "src/CMakeFiles/gecko.dir/sim/nvm.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/sim/nvm.cpp.o.d"
+  "/root/repo/src/workloads/basicmath.cpp" "src/CMakeFiles/gecko.dir/workloads/basicmath.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/basicmath.cpp.o.d"
+  "/root/repo/src/workloads/bitcnt.cpp" "src/CMakeFiles/gecko.dir/workloads/bitcnt.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/bitcnt.cpp.o.d"
+  "/root/repo/src/workloads/blink.cpp" "src/CMakeFiles/gecko.dir/workloads/blink.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/blink.cpp.o.d"
+  "/root/repo/src/workloads/crc.cpp" "src/CMakeFiles/gecko.dir/workloads/crc.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/crc.cpp.o.d"
+  "/root/repo/src/workloads/dhrystone.cpp" "src/CMakeFiles/gecko.dir/workloads/dhrystone.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/dhrystone.cpp.o.d"
+  "/root/repo/src/workloads/dijkstra.cpp" "src/CMakeFiles/gecko.dir/workloads/dijkstra.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/dijkstra.cpp.o.d"
+  "/root/repo/src/workloads/fft.cpp" "src/CMakeFiles/gecko.dir/workloads/fft.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/fft.cpp.o.d"
+  "/root/repo/src/workloads/fir.cpp" "src/CMakeFiles/gecko.dir/workloads/fir.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/fir.cpp.o.d"
+  "/root/repo/src/workloads/qsort.cpp" "src/CMakeFiles/gecko.dir/workloads/qsort.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/qsort.cpp.o.d"
+  "/root/repo/src/workloads/sensor_loop.cpp" "src/CMakeFiles/gecko.dir/workloads/sensor_loop.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/sensor_loop.cpp.o.d"
+  "/root/repo/src/workloads/stringsearch.cpp" "src/CMakeFiles/gecko.dir/workloads/stringsearch.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/stringsearch.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/gecko.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/workloads.cpp.o.d"
+  "/root/repo/src/workloads/xtea.cpp" "src/CMakeFiles/gecko.dir/workloads/xtea.cpp.o" "gcc" "src/CMakeFiles/gecko.dir/workloads/xtea.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

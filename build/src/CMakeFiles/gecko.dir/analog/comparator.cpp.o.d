@@ -1,0 +1,3 @@
+src/CMakeFiles/gecko.dir/analog/comparator.cpp.o: \
+ /root/repo/src/analog/comparator.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/analog/comparator.hpp

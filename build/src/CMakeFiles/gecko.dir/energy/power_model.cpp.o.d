@@ -1,0 +1,3 @@
+src/CMakeFiles/gecko.dir/energy/power_model.cpp.o: \
+ /root/repo/src/energy/power_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/energy/power_model.hpp

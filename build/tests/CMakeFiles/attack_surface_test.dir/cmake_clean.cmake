@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_surface_test.dir/attack_surface_test.cpp.o"
+  "CMakeFiles/attack_surface_test.dir/attack_surface_test.cpp.o.d"
+  "attack_surface_test"
+  "attack_surface_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_surface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

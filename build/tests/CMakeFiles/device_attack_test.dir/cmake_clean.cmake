@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_attack_test.dir/device_attack_test.cpp.o"
+  "CMakeFiles/device_attack_test.dir/device_attack_test.cpp.o.d"
+  "device_attack_test"
+  "device_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

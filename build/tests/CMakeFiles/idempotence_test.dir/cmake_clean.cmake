@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idempotence_test.dir/idempotence_test.cpp.o"
+  "CMakeFiles/idempotence_test.dir/idempotence_test.cpp.o.d"
+  "idempotence_test"
+  "idempotence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idempotence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_analysis_test.dir/loop_analysis_test.cpp.o"
+  "CMakeFiles/loop_analysis_test.dir/loop_analysis_test.cpp.o.d"
+  "loop_analysis_test"
+  "loop_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
