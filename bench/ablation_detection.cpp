@@ -13,48 +13,39 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Ablation: ACK vs timer detection ===\n\n";
 
     const auto& dev = device::DeviceDb::msp430fr5994();
-    compiler::PipelineConfig pconfig;
-    pconfig.maxRegionCycles = 6000;
-    auto compiled = compiler::compile(workloads::build("sensor_app"),
-                                      compiler::Scheme::kGecko, pconfig);
 
     struct Variant {
         const char* label;
+        bool attacked;
         bool ack, timer;
     };
-    const Variant variants[] = {
-        {"no detection", false, false},
-        {"ACK only", true, false},
-        {"timer only", false, true},
-        {"ACK + timer (GECKO)", true, true},
+    // First entry is the unattacked reference run.
+    const std::vector<Variant> variants = {
+        {"clean", false, true, true},
+        {"no detection", true, false, false},
+        {"ACK only", true, true, false},
+        {"timer only", true, false, true},
+        {"ACK + timer (GECKO)", true, true, true},
     };
 
-    // Clean reference.
-    std::uint64_t clean = 0;
-    {
-        sim::IoHub io;
-        workloads::setupIo("sensor_app", io);
-        energy::ConstantHarvester weak(3.3, 150.0);
-        sim::SimConfig config;
-        config.cap.capacitanceF = 1e-3;
-        sim::IntermittentSim simulation(compiled, dev, config, weak, io);
-        simulation.run(2.0);
-        clean = simulation.machine().stats.completions;
-    }
-
-    metrics::TextTable table;
-    table.header({"detectors", "completions", "vs clean", "detections",
-                  "rollbacks", "output conflicts"});
-
-    for (const Variant& variant : variants) {
+    struct Cell {
+        std::uint64_t done, detections, rollbacks, conflicts;
+    };
+    auto cells = runSweep("detection", variants, [&](const Variant& v) {
+        compiler::PipelineConfig pconfig;
+        pconfig.maxRegionCycles = 6000;
+        auto compiled = compiler::compile(workloads::build("sensor_app"),
+                                          compiler::Scheme::kGecko,
+                                          pconfig);
         sim::IoHub io;
         workloads::setupIo("sensor_app", io);
         energy::ConstantHarvester weak(3.3, 150.0);
@@ -63,18 +54,32 @@ main()
         attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.5);
         attack::EmiSource source(rig, 27e6, 35.0);
         sim::IntermittentSim simulation(compiled, dev, config, weak, io);
-        simulation.geckoRuntime().setDetectors(variant.ack, variant.timer);
-        simulation.setEmiSource(&source);
+        simulation.geckoRuntime().setDetectors(v.ack, v.timer);
+        if (v.attacked)
+            simulation.setEmiSource(&source);
         simulation.run(2.0);
-
+        noteSimCycles(simulation.machine().stats.cycles);
         const auto& rt = simulation.geckoRuntime().stats;
-        std::uint64_t done = simulation.machine().stats.completions;
-        table.row({variant.label, std::to_string(done),
+        return Cell{simulation.machine().stats.completions,
+                    rt.attackDetections, rt.rollbacks,
+                    io.output(0).conflicts()};
+    });
+
+    std::uint64_t clean = cells[0].done;
+
+    metrics::TextTable table;
+    table.header({"detectors", "completions", "vs clean", "detections",
+                  "rollbacks", "output conflicts"});
+
+    for (std::size_t i = 1; i < variants.size(); ++i) {
+        const Cell& c = cells[i];
+        table.row({variants[i].label, std::to_string(c.done),
                    metrics::fmtPercent(
-                       clean ? static_cast<double>(done) / clean : 0.0, 0),
-                   std::to_string(rt.attackDetections),
-                   std::to_string(rt.rollbacks),
-                   std::to_string(io.output(0).conflicts())});
+                       clean ? static_cast<double>(c.done) / clean : 0.0,
+                       0),
+                   std::to_string(c.detections),
+                   std::to_string(c.rollbacks),
+                   std::to_string(c.conflicts)});
     }
     table.print(std::cout);
 
@@ -85,5 +90,5 @@ main()
                  "toggling the ACK); the timer detector is what catches "
                  "churn.  The paper's combination covers both failure "
                  "modes.\n";
-    return 0;
+    return bench::writeBenchReport("ablation_detection");
 }

@@ -12,10 +12,11 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Ablation: checkpoint-minimisation components ===\n\n";
 
@@ -30,38 +31,56 @@ main()
         {"full (recovery + clean-elim)", true, true},
     };
 
+    struct Row {
+        int ckpts[3];
+        double overhead[3];
+    };
+    auto rows = runSweep(
+        "pruning-ablation", workloads::benchmarkNames(),
+        [&](const std::string& name) {
+            ir::Program prog = workloads::build(name);
+            sim::Nvm base_nvm(16384);
+            sim::IoHub base_io;
+            workloads::setupIo(name, base_io);
+            std::uint64_t base = sim::runToCompletion(
+                compiler::compile(prog, compiler::Scheme::kNvp), base_nvm,
+                base_io);
+            noteSimCycles(base);
+
+            Row row{};
+            int v = 0;
+            for (const Variant& variant : variants) {
+                compiler::PipelineConfig config;
+                config.enablePruning = variant.pruning;
+                config.enableCleanElim = variant.cleanElim;
+                auto compiled = compiler::compile(
+                    prog, compiler::Scheme::kGecko, config);
+                sim::Nvm nvm(16384);
+                sim::IoHub io;
+                workloads::setupIo(name, io);
+                std::uint64_t cycles =
+                    sim::runToCompletion(compiled, nvm, io);
+                noteSimCycles(cycles);
+                row.ckpts[v] = compiled.stats.ckptsAfterPruning;
+                row.overhead[v] = static_cast<double>(cycles) / base;
+                ++v;
+            }
+            return row;
+        });
+
     metrics::TextTable table;
     table.header({"benchmark", "none [ckpt/ovh]", "recovery-only",
                   "full"});
 
     std::vector<double> sums[3];
+    std::size_t idx = 0;
     for (const std::string& name : workloads::benchmarkNames()) {
+        const Row& r = rows[idx++];
         std::vector<std::string> row = {name};
-        ir::Program prog = workloads::build(name);
-        sim::Nvm base_nvm(16384);
-        sim::IoHub base_io;
-        workloads::setupIo(name, base_io);
-        std::uint64_t base = sim::runToCompletion(
-            compiler::compile(prog, compiler::Scheme::kNvp), base_nvm,
-            base_io);
-
-        int v = 0;
-        for (const Variant& variant : variants) {
-            compiler::PipelineConfig config;
-            config.enablePruning = variant.pruning;
-            config.enableCleanElim = variant.cleanElim;
-            auto compiled =
-                compiler::compile(prog, compiler::Scheme::kGecko, config);
-            sim::Nvm nvm(16384);
-            sim::IoHub io;
-            workloads::setupIo(name, io);
-            std::uint64_t cycles =
-                sim::runToCompletion(compiled, nvm, io);
-            double overhead = static_cast<double>(cycles) / base;
-            sums[v].push_back(overhead);
-            row.push_back(std::to_string(compiled.stats.ckptsAfterPruning) +
-                          " / " + metrics::fmt(overhead, 2) + "x");
-            ++v;
+        for (int v = 0; v < 3; ++v) {
+            sums[v].push_back(r.overhead[v]);
+            row.push_back(std::to_string(r.ckpts[v]) + " / " +
+                          metrics::fmt(r.overhead[v], 2) + "x");
         }
         table.row(row);
     }
@@ -74,5 +93,5 @@ main()
     std::cout << "\nBoth halves contribute: recovery blocks remove the "
                  "reconstructible checkpoints, clean elimination removes "
                  "the redundant re-stores of unchanged registers.\n";
-    return 0;
+    return bench::writeBenchReport("ablation_pruning");
 }

@@ -12,45 +12,74 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Ablation: WCET region budget vs overhead ===\n\n";
+
+    const std::vector<long> budgets = {2000L, 5000L, 10000L, 20000L,
+                                       50000L};
+
+    struct Point {
+        long budget;
+        std::string name;
+    };
+    std::vector<Point> points;
+    for (long budget : budgets)
+        for (const std::string& name : workloads::benchmarkNames())
+            points.push_back({budget, name});
+
+    struct Cell {
+        double overhead, regions, ckpts;
+        long maxWcet;
+    };
+    auto cells = runSweep("wcet-budget", points, [](const Point& p) {
+        ir::Program prog = workloads::build(p.name);
+        sim::Nvm base_nvm(16384);
+        sim::IoHub base_io;
+        workloads::setupIo(p.name, base_io);
+        std::uint64_t base = sim::runToCompletion(
+            compiler::compile(prog, compiler::Scheme::kNvp), base_nvm,
+            base_io);
+        noteSimCycles(base);
+
+        compiler::PipelineConfig config;
+        config.maxRegionCycles = p.budget;
+        auto compiled =
+            compiler::compile(prog, compiler::Scheme::kGecko, config);
+        sim::Nvm nvm(16384);
+        sim::IoHub io;
+        workloads::setupIo(p.name, io);
+        std::uint64_t cycles = sim::runToCompletion(compiled, nvm, io);
+        noteSimCycles(cycles);
+
+        Cell cell{static_cast<double>(cycles) / base,
+                  static_cast<double>(compiled.regions.size()),
+                  static_cast<double>(compiled.stats.ckptsAfterPruning),
+                  0};
+        for (const auto& r : compiled.regions)
+            cell.maxWcet = std::max(cell.maxWcet, r.wcetCycles);
+        return cell;
+    });
 
     metrics::TextTable table;
     table.header({"maxRegionCycles", "mean overhead", "mean #regions",
                   "max region WCET", "mean #ckpts"});
 
-    for (long budget : {2000L, 5000L, 10000L, 20000L, 50000L}) {
+    std::size_t idx = 0;
+    for (long budget : budgets) {
         std::vector<double> overheads, regions, ckpts;
         long max_wcet = 0;
         for (const std::string& name : workloads::benchmarkNames()) {
-            ir::Program prog = workloads::build(name);
-            sim::Nvm base_nvm(16384);
-            sim::IoHub base_io;
-            workloads::setupIo(name, base_io);
-            std::uint64_t base = sim::runToCompletion(
-                compiler::compile(prog, compiler::Scheme::kNvp), base_nvm,
-                base_io);
-
-            compiler::PipelineConfig config;
-            config.maxRegionCycles = budget;
-            auto compiled =
-                compiler::compile(prog, compiler::Scheme::kGecko, config);
-            sim::Nvm nvm(16384);
-            sim::IoHub io;
-            workloads::setupIo(name, io);
-            std::uint64_t cycles =
-                sim::runToCompletion(compiled, nvm, io);
-            overheads.push_back(static_cast<double>(cycles) / base);
-            regions.push_back(
-                static_cast<double>(compiled.regions.size()));
-            ckpts.push_back(
-                static_cast<double>(compiled.stats.ckptsAfterPruning));
-            for (const auto& r : compiled.regions)
-                max_wcet = std::max(max_wcet, r.wcetCycles);
+            (void)name;
+            const Cell& cell = cells[idx++];
+            overheads.push_back(cell.overhead);
+            regions.push_back(cell.regions);
+            ckpts.push_back(cell.ckpts);
+            max_wcet = std::max(max_wcet, cell.maxWcet);
         }
         table.row({std::to_string(budget),
                    metrics::fmt(metrics::mean(overheads), 3) + "x",
@@ -64,5 +93,5 @@ main()
                  "the shortest power-on period the system survives with "
                  "guaranteed progress.  (Single I/O transactions set a "
                  "floor on the max region WCET.)\n";
-    return 0;
+    return bench::writeBenchReport("ablation_wcet");
 }

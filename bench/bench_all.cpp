@@ -1,0 +1,205 @@
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+#include "metrics/bench_json.hpp"
+#include "metrics/table.hpp"
+
+/**
+ * @file
+ * Driver that runs every figure/table binary, collects the per-figure
+ * JSON telemetry (`GECKO_BENCH_JSON`), and aggregates it into a single
+ * `BENCH_sweeps.json` with wall times, simulated-cycle throughput, and
+ * speedup vs a serial baseline.
+ *
+ * Usage:  bench_all [--baseline] [--threads=N] [--out=FILE] [figure...]
+ *   --baseline   also run each figure with GECKO_THREADS=1 and record
+ *                the serial wall time (the speedup denominator)
+ *   --threads=N  thread count for the parallel pass (default: the
+ *                GECKO_THREADS env, else all host cores)
+ *   --out=FILE   aggregate output path (default: BENCH_sweeps.json)
+ *   figure...    subset of figures to run (default: all)
+ */
+
+namespace {
+
+const std::vector<std::string> kFigures = {
+    "fig04_dpi_sweep",  "fig05_remote_adc", "fig07_remote_comp",
+    "fig08_distance",   "fig09_realtime",   "fig11_overhead",
+    "fig12_pruning",    "fig13_detection",  "fig14_harvesting",
+    "fig15_capacitor",  "table1_devices",   "table2_comparison",
+    "table3_ckpt_counts", "ablation_detection", "ablation_pruning",
+    "ablation_wcet",    "extension_wearout"};
+
+struct FigureResult {
+    std::string figure;
+    double wallS = 0.0;
+    double serialWallS = 0.0;
+    double simCycles = 0.0;
+    bool ok = false;
+};
+
+std::string
+dirName(const std::string& path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/**
+ * Run one figure binary with telemetry redirected to `jsonPath`.
+ * Returns the child's wall time in seconds, or a negative value when
+ * the child failed.
+ */
+double
+runFigure(const std::string& binary, const std::string& jsonPath,
+          int threads)
+{
+    std::string cmd = "GECKO_THREADS=" + std::to_string(threads) +
+                      " GECKO_BENCH_JSON='" + jsonPath + "' '" + binary +
+                      "' > /dev/null";
+    auto t0 = std::chrono::steady_clock::now();
+    int rc = std::system(cmd.c_str());
+    auto t1 = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(t1 - t0).count();
+    return rc == 0 ? wall : -wall;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using gecko::metrics::jsonNumber;
+
+    bool baseline = false;
+    std::string outPath = "BENCH_sweeps.json";
+    int threads = gecko::exp::ThreadPool::defaultThreads();
+    std::vector<std::string> figures;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--baseline") {
+            baseline = true;
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::max(1, std::atoi(arg.c_str() + 10));
+        } else if (arg.rfind("--out=", 0) == 0) {
+            outPath = arg.substr(6);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "unknown flag: " << arg << "\n";
+            return 2;
+        } else {
+            figures.push_back(arg);
+        }
+    }
+    if (figures.empty())
+        figures = kFigures;
+
+    const std::string binDir = dirName(argv[0]);
+    const std::string tmpDir = binDir + "/bench_json";
+    std::system(("mkdir -p '" + tmpDir + "'").c_str());
+
+    std::vector<FigureResult> results;
+    double totalWall = 0.0, totalSerial = 0.0, totalCycles = 0.0;
+    int failures = 0;
+
+    for (const std::string& fig : figures) {
+        const std::string binary = binDir + "/" + fig;
+        const std::string jsonPath = tmpDir + "/" + fig + ".json";
+
+        FigureResult r;
+        r.figure = fig;
+        std::cerr << "[bench_all] " << fig << " (threads=" << threads
+                  << ") ... " << std::flush;
+        double wall = runFigure(binary, jsonPath, threads);
+        r.ok = wall >= 0;
+        r.wallS = std::abs(wall);
+        std::cerr << gecko::metrics::fmt(r.wallS, 2) << "s"
+                  << (r.ok ? "" : " FAILED") << "\n";
+        if (!r.ok)
+            ++failures;
+
+        std::string childJson = readFile(jsonPath);
+        r.simCycles = jsonNumber(childJson, "sim_cycles").value_or(0.0);
+
+        if (baseline && r.ok) {
+            std::cerr << "[bench_all] " << fig << " (serial) ... "
+                      << std::flush;
+            double serial = runFigure(binary, jsonPath, 1);
+            r.serialWallS = std::abs(serial);
+            std::cerr << gecko::metrics::fmt(r.serialWallS, 2) << "s\n";
+        }
+
+        totalWall += r.wallS;
+        totalSerial += r.serialWallS;
+        totalCycles += r.simCycles;
+        results.push_back(r);
+    }
+
+    unsigned hw = std::thread::hardware_concurrency();
+    std::ostringstream os;
+    os << "{\"suite\":\"gecko-bench\",\"threads\":" << threads
+       << ",\"host_cores\":" << (hw >= 1 ? hw : 1)
+       << ",\"total_wall_s\":" << gecko::metrics::fmt(totalWall, 3);
+    if (totalSerial > 0)
+        os << ",\"total_serial_wall_s\":"
+           << gecko::metrics::fmt(totalSerial, 3) << ",\"speedup\":"
+           << gecko::metrics::fmt(totalSerial / totalWall, 3);
+    os << ",\"total_sim_cycles\":"
+       << static_cast<std::uint64_t>(totalCycles)
+       << ",\"sim_cycles_per_s\":"
+       << gecko::metrics::fmt(
+              totalWall > 0 ? totalCycles / totalWall : 0.0, 0)
+       << ",\"figures\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const FigureResult& r = results[i];
+        if (i)
+            os << ",";
+        os << "{\"figure\":\"" << gecko::metrics::jsonEscape(r.figure)
+           << "\",\"ok\":" << (r.ok ? "true" : "false")
+           << ",\"wall_s\":" << gecko::metrics::fmt(r.wallS, 3);
+        if (r.serialWallS > 0)
+            os << ",\"serial_wall_s\":"
+               << gecko::metrics::fmt(r.serialWallS, 3) << ",\"speedup\":"
+               << gecko::metrics::fmt(
+                      r.wallS > 0 ? r.serialWallS / r.wallS : 0.0, 3);
+        os << ",\"sim_cycles\":"
+           << static_cast<std::uint64_t>(r.simCycles) << "}";
+    }
+    os << "]}";
+
+    std::ofstream out(outPath);
+    if (!out) {
+        std::cerr << "[bench_all] cannot write " << outPath << "\n";
+        return 1;
+    }
+    out << os.str() << "\n";
+
+    std::cerr << "[bench_all] " << results.size() << " figures, "
+              << gecko::metrics::fmt(totalWall, 1) << "s wall";
+    if (totalSerial > 0)
+        std::cerr << ", " << gecko::metrics::fmt(totalSerial, 1)
+                  << "s serial -> "
+                  << gecko::metrics::fmt(totalSerial / totalWall, 2)
+                  << "x speedup";
+    std::cerr << " -> " << outPath << "\n";
+    return failures == 0 ? 0 : 1;
+}

@@ -1,19 +1,28 @@
 #ifndef GECKO_BENCH_BENCH_UTIL_HPP_
 #define GECKO_BENCH_BENCH_UTIL_HPP_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attack/attack_schedule.hpp"
 #include "attack/emi_source.hpp"
 #include "attack/rigs.hpp"
+#include "compiler/compile_cache.hpp"
 #include "compiler/pipeline.hpp"
 #include "device/device_db.hpp"
+#include "exp/parallel.hpp"
+#include "exp/thread_pool.hpp"
+#include "metrics/bench_json.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
 #include "sim/intermittent_sim.hpp"
@@ -22,6 +31,14 @@
 /**
  * @file
  * Shared helpers for the per-figure/per-table benchmark binaries.
+ *
+ * Sweeps run on the exp::ThreadPool via runSweep(): every sweep point
+ * is an independent task owning its own simulator, and results come
+ * back in input order, so stdout is byte-identical no matter how many
+ * threads run (`GECKO_THREADS=1` vs `=8`).  Telemetry (wall time per
+ * sweep, simulated cycles, thread count) accumulates process-wide and
+ * is written as JSON by writeBenchReport() when `GECKO_BENCH_JSON`
+ * names an output file — see bench_all and BENCH_sweeps.json.
  */
 
 namespace gecko::bench {
@@ -63,23 +80,121 @@ struct VictimConfig {
     bool squareWaveSupply = false;
 };
 
+/** Process-wide telemetry shared by runVictim/runSweep. */
+struct Telemetry {
+    std::mutex mutex;
+    std::vector<metrics::SweepRecord> sweeps;
+    std::atomic<std::uint64_t> simCycles{0};
+    std::chrono::steady_clock::time_point processStart =
+        std::chrono::steady_clock::now();
+};
+
+inline Telemetry&
+telemetry()
+{
+    static Telemetry t;
+    return t;
+}
+
+/**
+ * Bench entry hook: parse the shared CLI flags before the global pool
+ * exists.  Supported: `--threads=N` (overrides `GECKO_THREADS`).
+ */
+inline void
+init(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--threads=", 0) == 0) {
+            int n = std::atoi(arg.c_str() + 10);
+            if (n >= 1)
+                exp::ThreadPool::setGlobalThreads(n);
+        }
+    }
+    telemetry();  // pin the process start time
+}
+
+/**
+ * Execute `fn` over `points` on the global pool, results in input
+ * order, recording sweep telemetry under `label`.
+ */
+template <class Point, class Fn>
+auto
+runSweep(const std::string& label, const std::vector<Point>& points, Fn fn)
+{
+    auto& pool = exp::ThreadPool::global();
+    std::vector<double> taskSeconds;
+    auto t0 = std::chrono::steady_clock::now();
+    auto results = exp::parallelMap(pool, points, std::move(fn),
+                                    &taskSeconds);
+    auto t1 = std::chrono::steady_clock::now();
+
+    metrics::SweepRecord record;
+    record.label = label;
+    record.tasks = points.size();
+    record.threads = pool.threadCount();
+    record.wallS = std::chrono::duration<double>(t1 - t0).count();
+    for (double s : taskSeconds)
+        record.taskS += s;
+    {
+        std::lock_guard<std::mutex> lock(telemetry().mutex);
+        telemetry().sweeps.push_back(std::move(record));
+    }
+    return results;
+}
+
+/**
+ * Emit the figure's JSON telemetry when `GECKO_BENCH_JSON` names an
+ * output path.  Call as the bench's exit value: `return
+ * bench::writeBenchReport("fig04");` — stdout stays untouched so
+ * series output remains byte-comparable across thread counts.
+ */
+inline int
+writeBenchReport(const std::string& figure)
+{
+    const char* path = std::getenv("GECKO_BENCH_JSON");
+    if (!path || !*path)
+        return 0;
+    metrics::BenchReport report;
+    report.figure = figure;
+    report.threads = exp::ThreadPool::global().threadCount();
+    unsigned hw = std::thread::hardware_concurrency();
+    report.hostCores = hw >= 1 ? hw : 1;
+    report.wallS = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() -
+                       telemetry().processStart)
+                       .count();
+    report.simCycles =
+        telemetry().simCycles.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(telemetry().mutex);
+        report.sweeps = telemetry().sweeps;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "[bench] cannot write " << path << "\n";
+        return 1;
+    }
+    out << report.toJson() << "\n";
+    return 0;
+}
+
 /**
  * Run the victim once with the given (possibly null) injection setup.
+ * Thread-safe: every call owns its simulator, I/O hub, and source; the
+ * compiled program is shared through the global CompileCache.
  */
 inline AttackOutcome
 runVictim(const VictimConfig& vc, const attack::InjectionRig* rig,
           double freqHz, double powerDbm)
 {
-    static std::map<std::pair<std::string, int>,
-                    std::shared_ptr<compiler::CompiledProgram>>
-        cache;
-    auto key = std::make_pair(vc.workload, static_cast<int>(vc.scheme));
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        auto compiled = std::make_shared<compiler::CompiledProgram>(
-            compiler::compile(workloads::build(vc.workload), vc.scheme));
-        it = cache.emplace(key, std::move(compiled)).first;
-    }
+    std::string key = compiler::CompileCache::makeKey(
+        vc.workload, vc.scheme, vc.device ? vc.device->name : "");
+    std::shared_ptr<const compiler::CompiledProgram> compiled =
+        compiler::CompileCache::global().getOrCompile(key, [&] {
+            return compiler::compile(workloads::build(vc.workload),
+                                     vc.scheme);
+        });
 
     sim::IoHub io;
     workloads::setupIo(vc.workload, io);
@@ -96,7 +211,7 @@ runVictim(const VictimConfig& vc, const attack::InjectionRig* rig,
     else
         harvester = std::make_unique<energy::ConstantHarvester>(3.3, 5.0);
 
-    sim::IntermittentSim simulation(*it->second, *vc.device, config,
+    sim::IntermittentSim simulation(*compiled, *vc.device, config,
                                     *harvester, io);
     std::unique_ptr<attack::EmiSource> source;
     if (rig) {
@@ -111,7 +226,16 @@ runVictim(const VictimConfig& vc, const attack::InjectionRig* rig,
     out.completions = simulation.machine().stats.completions;
     out.checkpointFailureRate = simulation.checkpointFailureRate();
     out.backupSignals = simulation.stats.backupSignals;
+    telemetry().simCycles.fetch_add(out.cycles,
+                                    std::memory_order_relaxed);
     return out;
+}
+
+/** Record simulated cycles from benches that drive the sim directly. */
+inline void
+noteSimCycles(std::uint64_t cycles)
+{
+    telemetry().simCycles.fetch_add(cycles, std::memory_order_relaxed);
 }
 
 /**

@@ -11,39 +11,64 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Fig. 4: DPI attack analysis (20 dBm, 1 MHz - 1 GHz, "
                  "P1 vs P2) ===\n\n";
 
-    const char* boards[] = {"MSP430FR2311", "MSP430F5529", "MSP430FR5994",
-                            "STM32L552ZE"};
+    const std::vector<std::string> boards = {
+        "MSP430FR2311", "MSP430F5529", "MSP430FR5994", "STM32L552ZE"};
     auto freqs = attackFrequencyGrid(1e6, 1e9);
 
-    metrics::TextTable summary;
-    summary.header({"device", "point", "R_min", "@freq", "quiet >50MHz?"});
+    // Unattacked reference runs, one per board.
+    auto cleans = runSweep("clean", boards, [](const std::string& name) {
+        VictimConfig vc;
+        vc.device = &device::DeviceDb::byName(name);
+        vc.workload = "sensor_loop";
+        vc.simSeconds = 0.04;
+        return runVictim(vc, nullptr, 0, 0);
+    });
 
-    for (const char* name : boards) {
-        const auto& dev = device::DeviceDb::byName(name);
+    // The full (board x injection point x frequency) grid as one sweep.
+    struct Point {
+        std::size_t board;
+        attack::DpiPoint point;
+        double freqHz;
+    };
+    std::vector<Point> points;
+    for (std::size_t b = 0; b < boards.size(); ++b)
+        for (attack::DpiPoint point :
+             {attack::DpiPoint::kP1, attack::DpiPoint::kP2})
+            for (double f : freqs)
+                points.push_back({b, point, f});
+
+    auto outcomes = runSweep("dpi", points, [&](const Point& p) {
+        const auto& dev = device::DeviceDb::byName(boards[p.board]);
         VictimConfig vc;
         vc.device = &dev;
         vc.workload = "sensor_loop";
         vc.simSeconds = 0.04;
-        AttackOutcome clean = runVictim(vc, nullptr, 0, 0);
+        attack::DpiRig rig(dev, p.point);
+        return runVictim(vc, &rig, p.freqHz, 20.0);
+    });
 
+    metrics::TextTable summary;
+    summary.header({"device", "point", "R_min", "@freq", "quiet >50MHz?"});
+
+    std::size_t idx = 0;
+    for (std::size_t b = 0; b < boards.size(); ++b) {
         for (attack::DpiPoint point :
              {attack::DpiPoint::kP1, attack::DpiPoint::kP2}) {
-            attack::DpiRig rig(dev, point);
             metrics::Series series;
-            series.name = std::string(name) +
+            series.name = boards[b] +
                           (point == attack::DpiPoint::kP1 ? "/P1" : "/P2");
             bool quiet_high = true;
             for (double f : freqs) {
-                AttackOutcome out = runVictim(vc, &rig, f, 20.0);
-                double r = progressRate(out, clean);
+                double r = progressRate(outcomes[idx++], cleans[b]);
                 series.x.push_back(f / 1e6);
                 series.y.push_back(r);
                 if (f > 50e6 && r < 0.9)
@@ -63,5 +88,5 @@ main()
     summary.print(std::cout);
     std::cout << "\nPaper shape: resonance-limited disruption below "
                  "~50 MHz; P2 disrupts a wider band than P1.\n";
-    return 0;
+    return bench::writeBenchReport("fig04_dpi_sweep");
 }

@@ -10,35 +10,61 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Fig. 5: remote attack, ADC monitors (35 dBm @ 5 m, "
                  "5-500 MHz) ===\n\n";
 
     auto freqs = attackFrequencyGrid(5e6, 500e6);
-    metrics::TextTable summary;
-    summary.header({"device", "R_min", "@freq"});
+    const auto& devices = device::DeviceDb::all();
 
-    for (const auto& dev : device::DeviceDb::all()) {
+    std::vector<std::size_t> boardIdx(devices.size());
+    for (std::size_t i = 0; i < devices.size(); ++i)
+        boardIdx[i] = i;
+    auto cleans = runSweep("clean", boardIdx, [&](std::size_t b) {
+        VictimConfig vc;
+        vc.device = &devices[b];
+        vc.workload = "sensor_loop";
+        vc.simSeconds = 0.04;
+        return runVictim(vc, nullptr, 0, 0);
+    });
+
+    struct Point {
+        std::size_t board;
+        double freqHz;
+    };
+    std::vector<Point> points;
+    for (std::size_t b = 0; b < devices.size(); ++b)
+        for (double f : freqs)
+            points.push_back({b, f});
+
+    auto outcomes = runSweep("remote-adc", points, [&](const Point& p) {
+        const auto& dev = devices[p.board];
         VictimConfig vc;
         vc.device = &dev;
         vc.workload = "sensor_loop";
         vc.simSeconds = 0.04;
-        AttackOutcome clean = runVictim(vc, nullptr, 0, 0);
-
         attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, 5.0);
+        return runVictim(vc, &rig, p.freqHz, 35.0);
+    });
+
+    metrics::TextTable summary;
+    summary.header({"device", "R_min", "@freq"});
+
+    std::size_t idx = 0;
+    for (std::size_t b = 0; b < devices.size(); ++b) {
         metrics::Series series;
-        series.name = dev.name;
+        series.name = devices[b].name;
         for (double f : freqs) {
-            AttackOutcome out = runVictim(vc, &rig, f, 35.0);
             series.x.push_back(f / 1e6);
-            series.y.push_back(progressRate(out, clean));
+            series.y.push_back(progressRate(outcomes[idx++], cleans[b]));
         }
         std::size_t lo = metrics::argminY(series);
-        summary.row({dev.name, metrics::fmtPercent(series.y[lo]),
+        summary.row({devices[b].name, metrics::fmtPercent(series.y[lo]),
                      metrics::fmt(series.x[lo], 0) + " MHz"});
         printSeries(series, "freq [MHz]", "forward progress rate");
         std::cout << "\n";
@@ -49,5 +75,5 @@ main()
     std::cout << "\nPaper shape: every board suffers DoS at its resonance "
                  "(27 MHz for the MSP430 family, 17-18 MHz for the "
                  "STM32L552); nothing above ~50 MHz.\n";
-    return 0;
+    return bench::writeBenchReport("fig05_remote_adc");
 }

@@ -12,10 +12,11 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Fig. 8: attack distance vs transmit power "
                  "(MSP430FR5994, 27 MHz) ===\n\n";
@@ -27,10 +28,30 @@ main()
     vc.simSeconds = 0.04;
     AttackOutcome clean = runVictim(vc, nullptr, 0, 0);
 
-    const double distances[] = {0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0};
-    const double powers[] = {15.0, 20.0, 25.0, 30.0, 35.0};
+    const std::vector<double> distances = {0.25, 0.5, 1.0, 2.0,
+                                           3.0,  4.0, 5.0};
+    const std::vector<double> powers = {15.0, 20.0, 25.0, 30.0, 35.0};
+    const std::vector<double> walls = {0.0, 6.0};
 
-    for (double wall_db : {0.0, 6.0}) {
+    struct Point {
+        double wallDb;
+        double powerDbm;
+        double distanceM;
+    };
+    std::vector<Point> points;
+    for (double wall_db : walls)
+        for (double p : powers)
+            for (double d : distances)
+                points.push_back({wall_db, p, d});
+
+    auto outcomes = runSweep("distance", points, [&](const Point& p) {
+        attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, p.distanceM,
+                              p.wallDb);
+        return runVictim(vc, &rig, 27e6, p.powerDbm);
+    });
+
+    std::size_t idx = 0;
+    for (double wall_db : walls) {
         std::cout << (wall_db == 0.0 ? "--- open path ---\n"
                                      : "--- through a wall (6 dB) ---\n");
         metrics::TextTable table;
@@ -44,10 +65,7 @@ main()
             std::vector<std::string> row = {metrics::fmt(p, 0) + " dBm"};
             double max_effective = 0.0;
             for (double d : distances) {
-                attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, d,
-                                      wall_db);
-                AttackOutcome out = runVictim(vc, &rig, 27e6, p);
-                double r = progressRate(out, clean);
+                double r = progressRate(outcomes[idx++], clean);
                 row.push_back(metrics::fmtPercent(r, 0));
                 if (r < 0.5)
                     max_effective = std::max(max_effective, d);
@@ -64,5 +82,5 @@ main()
     std::cout << "Paper shape: the attack works 0-5 m away, even through "
                  "a closed door, and the effective distance grows with "
                  "transmit power.\n";
-    return 0;
+    return bench::writeBenchReport("fig08_distance");
 }

@@ -11,32 +11,47 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Fig. 11: normalized execution time (no outages, "
                  "baseline = NVP) ===\n\n";
+
+    struct Row {
+        std::uint64_t cycles[4];
+    };
+    auto rows = runSweep(
+        "overhead", workloads::benchmarkNames(),
+        [](const std::string& name) {
+            ir::Program prog = workloads::build(name);
+            Row row{};
+            int i = 0;
+            for (auto scheme :
+                 {compiler::Scheme::kNvp, compiler::Scheme::kRatchet,
+                  compiler::Scheme::kGeckoNoPrune,
+                  compiler::Scheme::kGecko}) {
+                auto compiled = compiler::compile(prog, scheme);
+                sim::Nvm nvm(16384);
+                sim::IoHub io;
+                workloads::setupIo(name, io);
+                row.cycles[i] = sim::runToCompletion(compiled, nvm, io);
+                noteSimCycles(row.cycles[i]);
+                ++i;
+            }
+            return row;
+        });
 
     metrics::TextTable table;
     table.header({"benchmark", "NVP [cyc]", "Ratchet", "GECKO w/o prune",
                   "GECKO"});
 
     std::vector<double> ratchet, noprune, full;
+    std::size_t idx = 0;
     for (const std::string& name : workloads::benchmarkNames()) {
-        ir::Program prog = workloads::build(name);
-        std::uint64_t cycles[4] = {};
-        int i = 0;
-        for (auto scheme :
-             {compiler::Scheme::kNvp, compiler::Scheme::kRatchet,
-              compiler::Scheme::kGeckoNoPrune, compiler::Scheme::kGecko}) {
-            auto compiled = compiler::compile(prog, scheme);
-            sim::Nvm nvm(16384);
-            sim::IoHub io;
-            workloads::setupIo(name, io);
-            cycles[i++] = sim::runToCompletion(compiled, nvm, io);
-        }
+        const std::uint64_t* cycles = rows[idx++].cycles;
         double r = static_cast<double>(cycles[1]) / cycles[0];
         double g0 = static_cast<double>(cycles[2]) / cycles[0];
         double g = static_cast<double>(cycles[3]) / cycles[0];
@@ -56,5 +71,5 @@ main()
                  "~1.30x, GECKO ~1.06x.  The ordering GECKO < w/o-prune "
                  "< Ratchet and the pruning win are the reproduced "
                  "shape.\n";
-    return 0;
+    return bench::writeBenchReport("fig11_overhead");
 }

@@ -10,32 +10,46 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Fig. 12: checkpoint stores, unpruned vs pruned "
                  "===\n\n";
+
+    struct Counts {
+        int before, after, recoveryBlocks, cleanEliminated;
+    };
+    auto counts = runSweep(
+        "pruning", workloads::benchmarkNames(),
+        [](const std::string& name) {
+            ir::Program prog = workloads::build(name);
+            auto unpruned =
+                compiler::compile(prog, compiler::Scheme::kGeckoNoPrune);
+            auto pruned = compiler::compile(prog, compiler::Scheme::kGecko);
+            return Counts{unpruned.stats.ckptsAfterPruning,
+                          pruned.stats.ckptsAfterPruning,
+                          pruned.stats.recoveryBlocks,
+                          pruned.stats.cleanEliminated};
+        });
 
     metrics::TextTable table;
     table.header({"benchmark", "w/o pruning", "with pruning",
                   "recovery blocks", "clean-eliminated", "reduction"});
 
     std::vector<double> reductions;
+    std::size_t idx = 0;
     for (const std::string& name : workloads::benchmarkNames()) {
-        ir::Program prog = workloads::build(name);
-        auto unpruned =
-            compiler::compile(prog, compiler::Scheme::kGeckoNoPrune);
-        auto pruned = compiler::compile(prog, compiler::Scheme::kGecko);
-        int before = unpruned.stats.ckptsAfterPruning;
-        int after = pruned.stats.ckptsAfterPruning;
+        const Counts& c = counts[idx++];
         double reduction =
-            before > 0 ? 1.0 - static_cast<double>(after) / before : 0.0;
+            c.before > 0 ? 1.0 - static_cast<double>(c.after) / c.before
+                         : 0.0;
         reductions.push_back(reduction);
-        table.row({name, std::to_string(before), std::to_string(after),
-                   std::to_string(pruned.stats.recoveryBlocks),
-                   std::to_string(pruned.stats.cleanEliminated),
+        table.row({name, std::to_string(c.before), std::to_string(c.after),
+                   std::to_string(c.recoveryBlocks),
+                   std::to_string(c.cleanEliminated),
                    metrics::fmtPercent(reduction, 0)});
     }
     table.row({"average", "", "", "", "",
@@ -45,5 +59,5 @@ main()
     std::cout << "\nPaper shape: pruning removes the large majority "
                  "(~80%) of the checkpoint stores the unpruned compiler "
                  "emits.\n";
-    return 0;
+    return bench::writeBenchReport("fig12_pruning");
 }

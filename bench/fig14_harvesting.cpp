@@ -12,10 +12,11 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Fig. 14: performance under RF energy harvesting "
                  "(1 Hz outages) ===\n\n";
@@ -23,29 +24,43 @@ main()
     const auto& dev = device::DeviceDb::msp430fr5994();
     const double kSimSeconds = 4.0;
 
+    const std::vector<compiler::Scheme> schemes = {
+        compiler::Scheme::kNvp, compiler::Scheme::kRatchet,
+        compiler::Scheme::kGecko};
+
+    struct Point {
+        std::string name;
+        compiler::Scheme scheme;
+    };
+    std::vector<Point> points;
+    for (const std::string& name : workloads::benchmarkNames())
+        for (auto scheme : schemes)
+            points.push_back({name, scheme});
+
+    auto completions = runSweep("harvesting", points, [&](const Point& p) {
+        auto compiled =
+            compiler::compile(workloads::build(p.name), p.scheme);
+        sim::IoHub io;
+        workloads::setupIo(p.name, io);
+        energy::TraceHarvester trace =
+            energy::makeRfTrace(3.3, 5.0, 1.0, 0.55, kSimSeconds, 7);
+        sim::SimConfig config;
+        config.cap.capacitanceF = 1e-3;
+        sim::IntermittentSim simulation(compiled, dev, config, trace, io);
+        simulation.run(kSimSeconds);
+        noteSimCycles(simulation.machine().stats.cycles);
+        return simulation.machine().stats.completions;
+    });
+
     metrics::TextTable table;
     table.header({"benchmark", "NVP compl.", "Ratchet", "GECKO"});
 
     std::vector<double> ratchet_norm, gecko_norm;
+    std::size_t idx = 0;
     for (const std::string& name : workloads::benchmarkNames()) {
         std::uint64_t done[3] = {};
-        int i = 0;
-        for (auto scheme :
-             {compiler::Scheme::kNvp, compiler::Scheme::kRatchet,
-              compiler::Scheme::kGecko}) {
-            auto compiled =
-                compiler::compile(workloads::build(name), scheme);
-            sim::IoHub io;
-            workloads::setupIo(name, io);
-            energy::TraceHarvester trace =
-                energy::makeRfTrace(3.3, 5.0, 1.0, 0.55, kSimSeconds, 7);
-            sim::SimConfig config;
-            config.cap.capacitanceF = 1e-3;
-            sim::IntermittentSim simulation(compiled, dev, config, trace,
-                                            io);
-            simulation.run(kSimSeconds);
-            done[i++] = simulation.machine().stats.completions;
-        }
+        for (int i = 0; i < 3; ++i)
+            done[i] = completions[idx++];
         double r = done[1] ? static_cast<double>(done[0]) / done[1] : 0.0;
         double g = done[2] ? static_cast<double>(done[0]) / done[2] : 0.0;
         ratchet_norm.push_back(r);
@@ -61,5 +76,5 @@ main()
     std::cout << "\nPaper shape: Ratchet slowest (checkpoint-store "
                  "volume and long-region re-execution), GECKO within a "
                  "few percent of NVP.\n";
-    return 0;
+    return bench::writeBenchReport("fig14_harvesting");
 }

@@ -12,23 +12,31 @@
  */
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace gecko;
     using namespace gecko::bench;
+    bench::init(argc, argv);
 
     std::cout << "=== Table III: GECKO static checkpoint/code metrics "
                  "===\n\n";
+
+    auto stats = runSweep(
+        "static-metrics", workloads::benchmarkNames(),
+        [](const std::string& name) {
+            auto compiled = compiler::compile(workloads::build(name),
+                                              compiler::Scheme::kGecko);
+            return compiled.stats;
+        });
 
     metrics::TextTable table;
     table.header({"benchmark", "# ckpt stores", "# recovery blocks",
                   "avg block len", "lookup words", "code-size overhead"});
 
     std::vector<double> ckpts, blocks, sizes;
+    std::size_t idx = 0;
     for (const std::string& name : workloads::benchmarkNames()) {
-        auto compiled = compiler::compile(workloads::build(name),
-                                          compiler::Scheme::kGecko);
-        const auto& st = compiled.stats;
+        const auto& st = stats[idx++];
         double avg_len =
             st.recoveryBlocks > 0
                 ? static_cast<double>(st.recoveryInstrs) / st.recoveryBlocks
@@ -52,5 +60,5 @@ main()
                  "lookup-table instructions, ~6% binary overhead.  Note "
                  "our loop-collapsing WCET keeps static counts lower "
                  "than the paper's LLVM build (see EXPERIMENTS.md).\n";
-    return 0;
+    return bench::writeBenchReport("table3_ckpt_counts");
 }

@@ -1,0 +1,74 @@
+#include "compiler/compile_cache.hpp"
+
+namespace gecko::compiler {
+
+CompileCache::Ptr
+CompileCache::getOrCompile(const std::string& key,
+                           const std::function<CompiledProgram()>& build)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            std::shared_future<Ptr> fut = it->second;
+            lock.unlock();
+            return fut.get();
+        }
+    }
+
+    std::promise<Ptr> promise;
+    std::shared_future<Ptr> fut = promise.get_future().share();
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        auto [it, inserted] = entries_.emplace(key, fut);
+        if (!inserted) {
+            // Lost the install race: wait on the winner's compile.
+            std::shared_future<Ptr> winner = it->second;
+            lock.unlock();
+            return winner.get();
+        }
+    }
+    // Compile outside the lock so unrelated keys proceed concurrently.
+    try {
+        promise.set_value(
+            std::make_shared<const CompiledProgram>(build()));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            entries_.erase(key);
+        }
+        fut.get();  // rethrows for this caller
+    }
+    return fut.get();
+}
+
+std::size_t
+CompileCache::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+CompileCache::clear()
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    entries_.clear();
+}
+
+std::string
+CompileCache::makeKey(const std::string& workload, Scheme scheme,
+                      const std::string& deviceName)
+{
+    return workload + '|' + schemeName(scheme) + '|' + deviceName;
+}
+
+CompileCache&
+CompileCache::global()
+{
+    static CompileCache cache;
+    return cache;
+}
+
+}  // namespace gecko::compiler

@@ -1,0 +1,69 @@
+#ifndef GECKO_COMPILER_COMPILE_CACHE_HPP_
+#define GECKO_COMPILER_COMPILE_CACHE_HPP_
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "compiler/pipeline.hpp"
+
+/**
+ * @file
+ * Thread-safe cache of compiled programs for the sweep benches.
+ *
+ * A sweep re-runs the same victim thousands of times while only the
+ * attack parameters change, so the compiled program is shared.  The
+ * pre-existing bench helper kept a function-local `static std::map`,
+ * which is a data race the moment two sweep tasks run concurrently —
+ * and it keyed on (workload, scheme) only, so a hypothetical
+ * device-dependent compilation would alias across boards.  This cache
+ * replaces it: reads take a shared lock; the first miss for a key
+ * installs a future and compiles while other threads asking for the
+ * same key block on that future instead of compiling twice.
+ */
+
+namespace gecko::compiler {
+
+/** Shared-mutex-guarded map from cache key to compiled program. */
+class CompileCache
+{
+  public:
+    using Ptr = std::shared_ptr<const CompiledProgram>;
+
+    /**
+     * Look up `key`, compiling via `build` on the first request.
+     * Concurrent requests for the same key compile exactly once; a
+     * `build` that throws propagates to every waiter and the key is
+     * released so a later request can retry.
+     */
+    Ptr getOrCompile(const std::string& key,
+                     const std::function<CompiledProgram()>& build);
+
+    /** Cached entry count (compiles in flight included). */
+    std::size_t size() const;
+
+    /** Drop every entry. */
+    void clear();
+
+    /**
+     * Canonical key for a victim compilation: workload x scheme x
+     * device.  The device participates so cross-board sweeps can never
+     * alias, even though today's pipeline is device-independent.
+     */
+    static std::string makeKey(const std::string& workload, Scheme scheme,
+                               const std::string& deviceName);
+
+    /** Process-wide instance shared by the bench harnesses. */
+    static CompileCache& global();
+
+  private:
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, std::shared_future<Ptr>> entries_;
+};
+
+}  // namespace gecko::compiler
+
+#endif  // GECKO_COMPILER_COMPILE_CACHE_HPP_

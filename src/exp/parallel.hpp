@@ -1,0 +1,133 @@
+#ifndef GECKO_EXP_PARALLEL_HPP_
+#define GECKO_EXP_PARALLEL_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+
+/**
+ * @file
+ * Deterministic parallel sweep execution.
+ *
+ * `parallelMap(pool, points, fn)` evaluates `fn` on every point and
+ * returns the results *in input order*, regardless of worker count or
+ * scheduling: result[i] is always fn(points[i]).  Callers therefore
+ * get byte-identical output with `GECKO_THREADS=1` and
+ * `GECKO_THREADS=8` as long as `fn` itself is a pure function of its
+ * point (each sweep task must own its simulator/rig instances — see
+ * DESIGN.md, "The experiment engine").
+ *
+ * Exceptions thrown by tasks are captured; the first one (by
+ * completion time) is rethrown on the calling thread after all tasks
+ * of the map have finished, so no task is left running against
+ * destroyed result storage.
+ */
+
+namespace gecko::exp {
+
+/**
+ * Map `fn` over `items` on `pool`, preserving input order of results.
+ *
+ * The calling thread participates in execution while it waits.  The
+ * result type must be default-constructible and movable.
+ *
+ * @param taskSeconds optional out: per-task wall time, indexed like
+ *                    `items`.
+ */
+template <class T, class Fn>
+auto
+parallelMap(ThreadPool& pool, const std::vector<T>& items, Fn fn,
+            std::vector<double>* taskSeconds = nullptr)
+    -> std::vector<std::invoke_result_t<Fn&, const T&>>
+{
+    using R = std::invoke_result_t<Fn&, const T&>;
+    using Clock = std::chrono::steady_clock;
+    const std::size_t n = items.size();
+    std::vector<R> results(n);
+    std::vector<double> times(n, 0.0);
+
+    auto runOne = [&](std::size_t i) {
+        auto t0 = Clock::now();
+        results[i] = fn(items[i]);
+        times[i] = std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+
+    if (pool.threadCount() <= 1 || n <= 1) {
+        // Degenerate serial case: run inline, in order, on the caller.
+        for (std::size_t i = 0; i < n; ++i)
+            runOne(i);
+    } else {
+        struct Job {
+            std::atomic<std::size_t> done{0};
+            std::mutex mutex;
+            std::condition_variable cv;
+            std::exception_ptr error;
+        } job;
+
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([&, i] {
+                try {
+                    runOne(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(job.mutex);
+                    if (!job.error)
+                        job.error = std::current_exception();
+                }
+                // The increment and notify stay inside one critical
+                // section, and nothing touches `job` after the unlock:
+                // once the caller sees done == n and passes its barrier
+                // lock below, every worker is fully out of the Job and
+                // the stack object can die.
+                {
+                    std::lock_guard<std::mutex> lock(job.mutex);
+                    if (job.done.fetch_add(1, std::memory_order_acq_rel) +
+                            1 ==
+                        n)
+                        job.cv.notify_all();
+                }
+            });
+        }
+        // Work while waiting: the submitting thread executes queued
+        // tasks (of this map or any concurrent one) instead of idling.
+        while (job.done.load(std::memory_order_acquire) < n) {
+            if (!pool.tryRunOne()) {
+                std::unique_lock<std::mutex> lock(job.mutex);
+                job.cv.wait_for(lock, std::chrono::milliseconds(5), [&] {
+                    return job.done.load(std::memory_order_acquire) >= n;
+                });
+            }
+        }
+        // Barrier: wait for the final worker to leave its critical
+        // section before `job` is read and destroyed.
+        std::unique_lock<std::mutex> barrier(job.mutex);
+        if (job.error)
+            std::rethrow_exception(job.error);
+        barrier.unlock();
+    }
+
+    if (taskSeconds)
+        *taskSeconds = std::move(times);
+    return results;
+}
+
+/** parallelMap on the process-wide pool. */
+template <class T, class Fn>
+auto
+parallelMap(const std::vector<T>& items, Fn fn,
+            std::vector<double>* taskSeconds = nullptr)
+    -> std::vector<std::invoke_result_t<Fn&, const T&>>
+{
+    return parallelMap(ThreadPool::global(), items, std::move(fn),
+                       taskSeconds);
+}
+
+}  // namespace gecko::exp
+
+#endif  // GECKO_EXP_PARALLEL_HPP_

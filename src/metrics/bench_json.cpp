@@ -1,0 +1,100 @@
+#include "metrics/bench_json.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gecko::metrics {
+
+namespace {
+
+/** Format a double compactly ("0.123456"), locale-independent. */
+std::string
+num(double x)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", x);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+BenchReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"figure\":\"" << jsonEscape(figure) << "\""
+       << ",\"threads\":" << threads << ",\"host_cores\":" << hostCores
+       << ",\"wall_s\":" << num(wallS);
+    if (serialWallS > 0)
+        os << ",\"serial_wall_s\":" << num(serialWallS)
+           << ",\"speedup\":" << num(speedup());
+    os << ",\"sim_cycles\":" << simCycles << ",\"sim_cycles_per_s\":"
+       << num(wallS > 0 ? static_cast<double>(simCycles) / wallS : 0.0)
+       << ",\"sweeps\":[";
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const SweepRecord& s = sweeps[i];
+        if (i)
+            os << ",";
+        os << "{\"label\":\"" << jsonEscape(s.label) << "\""
+           << ",\"tasks\":" << s.tasks << ",\"threads\":" << s.threads
+           << ",\"wall_s\":" << num(s.wallS)
+           << ",\"task_s\":" << num(s.taskS) << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::optional<double>
+jsonNumber(const std::string& text, const std::string& key)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    const char* start = text.c_str() + pos + needle.size();
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start)
+        return std::nullopt;
+    return v;
+}
+
+std::optional<std::string>
+jsonString(const std::string& text, const std::string& key)
+{
+    std::string needle = "\"" + key + "\":\"";
+    std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    std::size_t start = pos + needle.size();
+    std::size_t end = text.find('"', start);
+    if (end == std::string::npos)
+        return std::nullopt;
+    return text.substr(start, end - start);
+}
+
+}  // namespace gecko::metrics

@@ -1,0 +1,80 @@
+#ifndef GECKO_METRICS_BENCH_JSON_HPP_
+#define GECKO_METRICS_BENCH_JSON_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Machine-readable benchmark telemetry (`BENCH_*.json`).
+ *
+ * Each figure/table binary can emit one JSON object describing its
+ * sweep executions: wall time, task counts, thread count, and the
+ * aggregate simulated machine cycles per wall second (the interpreter
+ * throughput metric the perf trajectory tracks).  `bench_all`
+ * aggregates the per-figure objects into `BENCH_sweeps.json` and
+ * compares against a recorded serial baseline.
+ *
+ * The format is intentionally small and flat; the readers below only
+ * promise to parse JSON *this writer produced* (no general parser).
+ */
+
+namespace gecko::metrics {
+
+/** Telemetry of one runSweep call. */
+struct SweepRecord {
+    std::string label;
+    /// Sweep points executed.
+    std::size_t tasks = 0;
+    /// Worker threads of the pool that ran the sweep.
+    int threads = 1;
+    /// Wall time of the whole sweep (s).
+    double wallS = 0.0;
+    /// Sum of per-task wall times (s); taskS / wallS ~ achieved
+    /// parallelism.
+    double taskS = 0.0;
+};
+
+/** Telemetry of one bench binary run. */
+struct BenchReport {
+    std::string figure;
+    int threads = 1;
+    unsigned hostCores = 1;
+    /// Process wall time from bench::init to report write (s).
+    double wallS = 0.0;
+    /// Recorded serial (1-thread) wall time for the same figure; 0
+    /// when unknown.  Carried so speedup survives re-aggregation.
+    double serialWallS = 0.0;
+    /// Simulated machine cycles executed across every victim run.
+    std::uint64_t simCycles = 0;
+    std::vector<SweepRecord> sweeps;
+
+    /** Speedup vs. the recorded serial baseline (0 = unknown). */
+    double speedup() const
+    {
+        return (serialWallS > 0 && wallS > 0) ? serialWallS / wallS : 0.0;
+    }
+
+    /** Render as a single JSON object. */
+    std::string toJson() const;
+};
+
+/** Escape a string for inclusion in a JSON literal. */
+std::string jsonEscape(const std::string& s);
+
+/**
+ * Extract the first number following `"key":` in `text`.
+ * Only valid for JSON produced by this module.
+ */
+std::optional<double> jsonNumber(const std::string& text,
+                                 const std::string& key);
+
+/** Extract the first string following `"key":` (no escape handling). */
+std::optional<std::string> jsonString(const std::string& text,
+                                      const std::string& key);
+
+}  // namespace gecko::metrics
+
+#endif  // GECKO_METRICS_BENCH_JSON_HPP_

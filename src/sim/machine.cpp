@@ -12,6 +12,7 @@ Machine::Machine(const compiler::CompiledProgram& prog, Nvm& nvm, IoHub& io)
 {
     const ir::Program& p = prog.prog;
     targets_.resize(p.size(), 0);
+    decoded_.resize(p.size());
     for (std::size_t i = 0; i < p.size(); ++i) {
         const Instr& ins = p.at(i);
         if (ir::isCondBranch(ins.op) || ins.op == Opcode::kJmp ||
@@ -19,6 +20,24 @@ Machine::Machine(const compiler::CompiledProgram& prog, Nvm& nvm, IoHub& io)
             targets_[i] =
                 static_cast<std::uint32_t>(p.labelPos(ins.target));
         }
+        Decoded& d = decoded_[i];
+        d.op = ins.op;
+        d.rd = ins.rd;
+        d.rs1 = ins.rs1;
+        d.rs2 = ins.rs2;
+        d.useImm = ins.useImm;
+        d.imm = static_cast<std::uint32_t>(ins.imm);
+        d.target = targets_[i];
+        int cost = ir::cycleCost(ins);
+        // Fold the Ratchet pseudo-op surcharges (dynamic slot index
+        // bookkeeping, see step()) into the static cost table.
+        if (prog.scheme == compiler::Scheme::kRatchet) {
+            if (ins.op == Opcode::kBoundary)
+                cost += 2;
+            else if (ins.op == Opcode::kCkpt)
+                cost += 4;
+        }
+        d.cost = static_cast<std::uint16_t>(cost);
     }
 }
 
@@ -199,15 +218,21 @@ Machine::step(std::uint64_t* cycles)
 RunExit
 Machine::run(std::uint64_t cycleBudget, std::uint64_t* consumed)
 {
-    std::uint64_t cycles = 0;
     if (faulted_ || (halted_ && !continuous_)) {
         // A faulted (or halted-and-idle) core just burns energy.
-        cycles = cycleBudget;
-        stats.cycles += cycles;
+        stats.cycles += cycleBudget;
         if (consumed)
-            *consumed = cycles;
+            *consumed = cycleBudget;
         return faulted_ ? RunExit::kFaulted : RunExit::kHalted;
     }
+    return fastDispatch_ ? runFast(cycleBudget, consumed)
+                         : runSlow(cycleBudget, consumed);
+}
+
+RunExit
+Machine::runSlow(std::uint64_t cycleBudget, std::uint64_t* consumed)
+{
+    std::uint64_t cycles = 0;
     RunExit exit = RunExit::kBudget;
     while (cycles < cycleBudget) {
         if (!step(&cycles)) {
@@ -215,6 +240,232 @@ Machine::run(std::uint64_t cycleBudget, std::uint64_t* consumed)
             break;
         }
     }
+    stats.cycles += cycles;
+    if (consumed)
+        *consumed = cycles;
+    return exit;
+}
+
+RunExit
+Machine::runFast(std::uint64_t cycleBudget, std::uint64_t* consumed)
+{
+    const Decoded* code = decoded_.data();
+    const std::uint32_t size = static_cast<std::uint32_t>(decoded_.size());
+    const bool staged = stagedIo_;
+    Nvm& nvm = *nvm_;
+
+    // Hot state lives in locals so the dispatch loop keeps it in
+    // registers; instruction/cycle counters flush on every exit edge
+    // (including exceptions) to stay bit-compatible with runSlow.
+    std::uint32_t pc = pc_;
+    std::uint64_t cycles = 0;
+    std::uint64_t instrs = 0;
+    RunExit exit = RunExit::kBudget;
+
+    try {
+        while (cycles < cycleBudget) {
+            if (pc >= size) {
+                pc_ = pc;
+                stats.instrs += instrs;
+                instrs = 0;
+                fault();  // throws unless fault-tolerant
+                exit = RunExit::kFaulted;
+                break;
+            }
+            const Decoded& d = code[pc];
+            cycles += d.cost;
+            ++instrs;
+            std::uint32_t next = pc + 1;
+            switch (d.op) {
+              case Opcode::kNop:
+                break;
+              case Opcode::kMovi:
+                regs_[d.rd] = d.imm;
+                break;
+              case Opcode::kMov:
+                regs_[d.rd] = regs_[d.rs1];
+                break;
+              case Opcode::kAdd:
+                regs_[d.rd] =
+                    regs_[d.rs1] + (d.useImm ? d.imm : regs_[d.rs2]);
+                break;
+              case Opcode::kSub:
+                regs_[d.rd] =
+                    regs_[d.rs1] - (d.useImm ? d.imm : regs_[d.rs2]);
+                break;
+              case Opcode::kMul:
+                regs_[d.rd] =
+                    regs_[d.rs1] * (d.useImm ? d.imm : regs_[d.rs2]);
+                break;
+              case Opcode::kDivu: {
+                std::uint32_t b = d.useImm ? d.imm : regs_[d.rs2];
+                regs_[d.rd] = b == 0 ? 0xffffffffu : regs_[d.rs1] / b;
+                break;
+              }
+              case Opcode::kRemu: {
+                std::uint32_t b = d.useImm ? d.imm : regs_[d.rs2];
+                regs_[d.rd] = b == 0 ? regs_[d.rs1] : regs_[d.rs1] % b;
+                break;
+              }
+              case Opcode::kAnd:
+                regs_[d.rd] =
+                    regs_[d.rs1] & (d.useImm ? d.imm : regs_[d.rs2]);
+                break;
+              case Opcode::kOr:
+                regs_[d.rd] =
+                    regs_[d.rs1] | (d.useImm ? d.imm : regs_[d.rs2]);
+                break;
+              case Opcode::kXor:
+                regs_[d.rd] =
+                    regs_[d.rs1] ^ (d.useImm ? d.imm : regs_[d.rs2]);
+                break;
+              case Opcode::kShl:
+                regs_[d.rd] = regs_[d.rs1]
+                              << ((d.useImm ? d.imm : regs_[d.rs2]) & 31u);
+                break;
+              case Opcode::kShr:
+                regs_[d.rd] =
+                    regs_[d.rs1] >>
+                    ((d.useImm ? d.imm : regs_[d.rs2]) & 31u);
+                break;
+              case Opcode::kNot:
+                regs_[d.rd] = ~regs_[d.rs1];
+                break;
+              case Opcode::kNeg:
+                regs_[d.rd] = 0u - regs_[d.rs1];
+                break;
+              case Opcode::kLoad: {
+                std::uint32_t addr = regs_[d.rs1] + d.imm;
+                if (!nvm.inRange(addr))
+                    goto fault_instr;
+                regs_[d.rd] = nvm.load(addr);
+                break;
+              }
+              case Opcode::kStore: {
+                std::uint32_t addr = regs_[d.rs1] + d.imm;
+                if (!nvm.inRange(addr))
+                    goto fault_instr;
+                nvm.store(addr, regs_[d.rs2]);
+                break;
+              }
+              case Opcode::kBeq:
+                if (regs_[d.rs1] == regs_[d.rs2])
+                    next = d.target;
+                break;
+              case Opcode::kBne:
+                if (regs_[d.rs1] != regs_[d.rs2])
+                    next = d.target;
+                break;
+              case Opcode::kBlt:
+                if (static_cast<std::int32_t>(regs_[d.rs1]) <
+                    static_cast<std::int32_t>(regs_[d.rs2]))
+                    next = d.target;
+                break;
+              case Opcode::kBge:
+                if (static_cast<std::int32_t>(regs_[d.rs1]) >=
+                    static_cast<std::int32_t>(regs_[d.rs2]))
+                    next = d.target;
+                break;
+              case Opcode::kBltu:
+                if (regs_[d.rs1] < regs_[d.rs2])
+                    next = d.target;
+                break;
+              case Opcode::kBgeu:
+                if (regs_[d.rs1] >= regs_[d.rs2])
+                    next = d.target;
+                break;
+              case Opcode::kJmp:
+                next = d.target;
+                break;
+              case Opcode::kCall:
+                regs_[ir::kLinkReg] = pc + 1;
+                next = d.target;
+                break;
+              case Opcode::kRet:
+                next = regs_[ir::kLinkReg];
+                if (next > size)
+                    goto fault_instr;
+                break;
+              case Opcode::kIn: {
+                int port = static_cast<std::int32_t>(d.imm);
+                if (port < 0 || port >= kIoPorts)
+                    goto fault_instr;
+                auto pi = static_cast<std::size_t>(port);
+                std::uint64_t index = nvm.inCount[pi] + pendingIn_[pi];
+                regs_[d.rd] = io_->input(port).valueAt(index);
+                if (staged)
+                    ++pendingIn_[pi];
+                else
+                    ++nvm.inCount[pi];
+                break;
+              }
+              case Opcode::kOut: {
+                int port = static_cast<std::int32_t>(d.imm);
+                if (port < 0 || port >= kIoPorts)
+                    goto fault_instr;
+                auto pi = static_cast<std::size_t>(port);
+                std::uint64_t index = nvm.outCount[pi] + pendingOut_[pi];
+                io_->output(port).set(index, regs_[d.rs1]);
+                if (staged)
+                    ++pendingOut_[pi];
+                else
+                    ++nvm.outCount[pi];
+                break;
+              }
+              case Opcode::kHalt:
+                ++stats.completions;
+                if (staged)
+                    commitIo();
+                if (continuous_) {
+                    restartProgram();
+                    pc = 0;
+                    continue;
+                }
+                halted_ = true;
+                pc_ = pc;
+                stats.instrs += instrs;
+                stats.cycles += cycles;
+                if (consumed)
+                    *consumed = cycles;
+                return RunExit::kHalted;
+              case Opcode::kBoundary:
+                if (staged) {
+                    nvm.committedRegion = d.imm;
+                    ++nvm.commitCount;
+                    commitIo();
+                }
+                ++stats.boundaryCommits;
+                break;
+              case Opcode::kCkpt:
+                nvm.slots[d.rs1][static_cast<std::size_t>(
+                    static_cast<std::int32_t>(d.imm))] = regs_[d.rs1];
+                ++nvm.slotWrites;
+                ++stats.ckptStores;
+                break;
+            }
+            pc = next;
+            continue;
+
+          fault_instr:
+            // Mirror step(): the faulting instruction was counted, the
+            // PC stays on it, and a non-tolerant machine throws with
+            // this run's cycles uncounted (as the slow path loses them
+            // when step() throws out of the loop).
+            pc_ = pc;
+            stats.instrs += instrs;
+            instrs = 0;
+            fault();
+            exit = RunExit::kFaulted;
+            break;
+        }
+    } catch (...) {
+        stats.instrs += instrs;
+        pc_ = pc;
+        throw;
+    }
+
+    pc_ = pc;
+    stats.instrs += instrs;
     stats.cycles += cycles;
     if (consumed)
         *consumed = cycles;

@@ -41,6 +41,8 @@ struct ExecStats {
     std::uint64_t boundaryCommits = 0;
     std::uint64_t completions = 0;
     std::uint64_t faults = 0;
+
+    bool operator==(const ExecStats&) const = default;
 };
 
 /** The simulated MCU core. */
@@ -68,6 +70,16 @@ class Machine
      * instead of throwing (used when simulating corrupted NVP restores).
      */
     void setFaultTolerant(bool tolerant) { faultTolerant_ = tolerant; }
+
+    /**
+     * Select the dispatch loop.  The default fast path interprets a
+     * predecoded instruction array (resolved branch targets, cycle
+     * costs folded with the scheme's pseudo-op surcharges, inlined ALU
+     * evaluation); the slow path re-reads the encoded program each
+     * step.  Both are architecturally bit-identical — machine_test
+     * asserts equal ExecStats and NVM images on every workload.
+     */
+    void setFastDispatch(bool fast) { fastDispatch_ = fast; }
 
     /**
      * Execute until ~`cycleBudget` cycles are consumed (may overshoot by
@@ -119,8 +131,28 @@ class Machine
     ExecStats stats;
 
   private:
+    /**
+     * One predecoded instruction: operand fields widened, the branch
+     * target resolved to an instruction index, and the cycle cost
+     * (including the scheme-dependent kBoundary/kCkpt surcharges)
+     * precomputed, so the dispatch loop never re-derives encoded
+     * fields.
+     */
+    struct Decoded {
+        ir::Opcode op = ir::Opcode::kNop;
+        ir::Reg rd = 0;
+        ir::Reg rs1 = 0;
+        ir::Reg rs2 = 0;
+        bool useImm = false;
+        std::uint16_t cost = 1;
+        std::uint32_t imm = 0;
+        std::uint32_t target = 0;
+    };
+
     void commitIo();
     bool step(std::uint64_t* cycles);
+    RunExit runSlow(std::uint64_t cycleBudget, std::uint64_t* cycles);
+    RunExit runFast(std::uint64_t cycleBudget, std::uint64_t* cycles);
     bool fault();
 
     const compiler::CompiledProgram* prog_;
@@ -128,6 +160,8 @@ class Machine
     IoHub* io_;
     // Branch targets resolved to instruction indices at load time.
     std::vector<std::uint32_t> targets_;
+    // Predecoded program for the fast dispatch path.
+    std::vector<Decoded> decoded_;
 
     std::array<std::uint32_t, 16> regs_{};
     std::uint32_t pc_ = 0;
@@ -138,6 +172,7 @@ class Machine
     bool stagedIo_ = false;
     bool continuous_ = false;
     bool faultTolerant_ = false;
+    bool fastDispatch_ = true;
 };
 
 }  // namespace gecko::sim

@@ -247,6 +247,79 @@ TEST_P(WorkloadGoldenTest, InstrumentationPreservesSemantics)
     EXPECT_EQ(ra.io.output(0).values(), rc.io.output(0).values());
 }
 
+TEST_P(WorkloadGoldenTest, FastAndSlowDispatchBitIdentical)
+{
+    // The predecoded fast path must be architecturally indistinguishable
+    // from the reference step() loop: same counters, same NVM image,
+    // same outputs, same resting PC — on every workload and scheme,
+    // with an odd budget slice so runs stop at varied mid-program PCs.
+    Program p = workloads::build(GetParam());
+    for (Scheme scheme : {Scheme::kNvp, Scheme::kRatchet, Scheme::kGecko}) {
+        CompiledProgram c = compiler::compile(p, scheme);
+        Rig fast_rig, slow_rig;
+        workloads::setupIo(GetParam(), fast_rig.io);
+        workloads::setupIo(GetParam(), slow_rig.io);
+        Machine fast(c, fast_rig.nvm, fast_rig.io);
+        Machine slow(c, slow_rig.nvm, slow_rig.io);
+        fast.setFastDispatch(true);
+        slow.setFastDispatch(false);
+        fast.setStagedIo(scheme != Scheme::kNvp);
+        slow.setStagedIo(scheme != Scheme::kNvp);
+
+        while (!fast.halted() || !slow.halted()) {
+            std::uint64_t fast_consumed = 0, slow_consumed = 0;
+            RunExit fast_exit = fast.run(777, &fast_consumed);
+            RunExit slow_exit = slow.run(777, &slow_consumed);
+            ASSERT_EQ(fast_exit, slow_exit) << GetParam();
+            ASSERT_EQ(fast_consumed, slow_consumed) << GetParam();
+            ASSERT_EQ(fast.pc(), slow.pc()) << GetParam();
+            ASSERT_TRUE(fast.stats == slow.stats) << GetParam();
+            ASSERT_LT(fast.stats.cycles, 1ull << 32) << "non-terminating";
+        }
+        EXPECT_EQ(fast.regs(), slow.regs());
+        EXPECT_EQ(fast_rig.nvm.data(), slow_rig.nvm.data());
+        EXPECT_EQ(fast_rig.io.output(0).values(),
+                  slow_rig.io.output(0).values());
+        EXPECT_FALSE(fast_rig.io.output(0).values().empty());
+    }
+}
+
+TEST(MachineTest, FastDispatchContinuousModeMatchesSlow)
+{
+    // Continuous sensing mode restarts the program at kHalt; both
+    // dispatch paths must agree across many restarts, including the
+    // pending-I/O staging counters.
+    Program p = workloads::build("sensor_loop");
+    CompiledProgram c = compiler::compile(p, Scheme::kGecko);
+    Rig fast_rig, slow_rig;
+    workloads::setupIo("sensor_loop", fast_rig.io);
+    workloads::setupIo("sensor_loop", slow_rig.io);
+    Machine fast(c, fast_rig.nvm, fast_rig.io);
+    Machine slow(c, slow_rig.nvm, slow_rig.io);
+    fast.setFastDispatch(true);
+    slow.setFastDispatch(false);
+    for (Machine* m : {&fast, &slow}) {
+        m->setStagedIo(true);
+        m->setContinuous(true);
+    }
+
+    for (int slice = 0; slice < 64; ++slice) {
+        std::uint64_t fast_consumed = 0, slow_consumed = 0;
+        RunExit fast_exit = fast.run(1231, &fast_consumed);
+        RunExit slow_exit = slow.run(1231, &slow_consumed);
+        ASSERT_EQ(fast_exit, slow_exit);
+        ASSERT_EQ(fast_consumed, slow_consumed);
+        ASSERT_EQ(fast.pc(), slow.pc());
+        ASSERT_TRUE(fast.stats == slow.stats);
+    }
+    EXPECT_GT(fast.stats.completions, 0u);
+    EXPECT_EQ(fast.pendingIn(), slow.pendingIn());
+    EXPECT_EQ(fast.pendingOut(), slow.pendingOut());
+    EXPECT_EQ(fast_rig.nvm.data(), slow_rig.nvm.data());
+    EXPECT_EQ(fast_rig.io.output(0).values(),
+              slow_rig.io.output(0).values());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadGoldenTest,
                          ::testing::ValuesIn([] {
                              auto v = workloads::benchmarkNames();
