@@ -37,13 +37,20 @@ const std::vector<std::string> kFigures = {
     "fig12_pruning",    "fig13_detection",  "fig14_harvesting",
     "fig15_capacitor",  "table1_devices",   "table2_comparison",
     "table3_ckpt_counts", "ablation_detection", "ablation_pruning",
-    "ablation_wcet",    "extension_wearout"};
+    "ablation_wcet",    "extension_wearout", "fault_campaign"};
 
 struct FigureResult {
     std::string figure;
     double wallS = 0.0;
     double serialWallS = 0.0;
     double simCycles = 0.0;
+    /// "pass" or "fail": exit status combined with the bench's own
+    /// verdict from its JSON telemetry (benches without a verdict
+    /// report "pass" when they exit 0).
+    std::string status = "fail";
+    double corruptedRestores = 0.0;
+    double crcRejects = 0.0;
+    double retriesExhausted = 0.0;
     bool ok = false;
 };
 
@@ -119,6 +126,8 @@ main(int argc, char** argv)
 
     std::vector<FigureResult> results;
     double totalWall = 0.0, totalSerial = 0.0, totalCycles = 0.0;
+    double totalCorrupted = 0.0, totalCrcRejects = 0.0,
+           totalRetriesExhausted = 0.0;
     int failures = 0;
 
     for (const std::string& fig : figures) {
@@ -134,11 +143,18 @@ main(int argc, char** argv)
         r.wallS = std::abs(wall);
         std::cerr << gecko::metrics::fmt(r.wallS, 2) << "s"
                   << (r.ok ? "" : " FAILED") << "\n";
-        if (!r.ok)
-            ++failures;
 
         std::string childJson = readFile(jsonPath);
         r.simCycles = jsonNumber(childJson, "sim_cycles").value_or(0.0);
+        r.status = gecko::metrics::jsonString(childJson, "status")
+                       .value_or(r.ok ? "pass" : "fail");
+        if (!r.ok)
+            r.status = "fail";
+        r.corruptedRestores =
+            jsonNumber(childJson, "corrupted_restores").value_or(0.0);
+        r.crcRejects = jsonNumber(childJson, "crc_rejects").value_or(0.0);
+        r.retriesExhausted =
+            jsonNumber(childJson, "retries_exhausted").value_or(0.0);
 
         if (baseline && r.ok) {
             std::cerr << "[bench_all] " << fig << " (serial) ... "
@@ -148,9 +164,14 @@ main(int argc, char** argv)
             std::cerr << gecko::metrics::fmt(r.serialWallS, 2) << "s\n";
         }
 
+        if (r.status != "pass")
+            ++failures;
         totalWall += r.wallS;
         totalSerial += r.serialWallS;
         totalCycles += r.simCycles;
+        totalCorrupted += r.corruptedRestores;
+        totalCrcRejects += r.crcRejects;
+        totalRetriesExhausted += r.retriesExhausted;
         results.push_back(r);
     }
 
@@ -168,21 +189,36 @@ main(int argc, char** argv)
        << ",\"sim_cycles_per_s\":"
        << gecko::metrics::fmt(
               totalWall > 0 ? totalCycles / totalWall : 0.0, 0)
+       << ",\"failures\":" << failures << ",\"status\":\""
+       << (failures == 0 ? "pass" : "fail")
+       << "\",\"corrupted_restores\":"
+       << static_cast<std::uint64_t>(totalCorrupted)
+       << ",\"crc_rejects\":"
+       << static_cast<std::uint64_t>(totalCrcRejects)
+       << ",\"retries_exhausted\":"
+       << static_cast<std::uint64_t>(totalRetriesExhausted)
        << ",\"figures\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const FigureResult& r = results[i];
         if (i)
             os << ",";
         os << "{\"figure\":\"" << gecko::metrics::jsonEscape(r.figure)
-           << "\",\"ok\":" << (r.ok ? "true" : "false")
-           << ",\"wall_s\":" << gecko::metrics::fmt(r.wallS, 3);
+           << "\",\"ok\":" << (r.ok ? "true" : "false") << ",\"status\":\""
+           << gecko::metrics::jsonEscape(r.status)
+           << "\",\"wall_s\":" << gecko::metrics::fmt(r.wallS, 3);
         if (r.serialWallS > 0)
             os << ",\"serial_wall_s\":"
                << gecko::metrics::fmt(r.serialWallS, 3) << ",\"speedup\":"
                << gecko::metrics::fmt(
                       r.wallS > 0 ? r.serialWallS / r.wallS : 0.0, 3);
         os << ",\"sim_cycles\":"
-           << static_cast<std::uint64_t>(r.simCycles) << "}";
+           << static_cast<std::uint64_t>(r.simCycles)
+           << ",\"corrupted_restores\":"
+           << static_cast<std::uint64_t>(r.corruptedRestores)
+           << ",\"crc_rejects\":"
+           << static_cast<std::uint64_t>(r.crcRejects)
+           << ",\"retries_exhausted\":"
+           << static_cast<std::uint64_t>(r.retriesExhausted) << "}";
     }
     os << "]}";
 

@@ -21,6 +21,7 @@
 #include "compiler/pipeline.hpp"
 #include "device/device_db.hpp"
 #include "exp/parallel.hpp"
+#include "exp/rng.hpp"
 #include "exp/thread_pool.hpp"
 #include "metrics/bench_json.hpp"
 #include "metrics/stats.hpp"
@@ -85,6 +86,11 @@ struct Telemetry {
     std::mutex mutex;
     std::vector<metrics::SweepRecord> sweeps;
     std::atomic<std::uint64_t> simCycles{0};
+    /// Checkpoint-integrity defence counters (runtime::RuntimeStats)
+    /// accumulated across every victim run of the process.
+    std::atomic<std::uint64_t> corruptedRestores{0};
+    std::atomic<std::uint64_t> crcRejects{0};
+    std::atomic<std::uint64_t> retriesExhausted{0};
     std::chrono::steady_clock::time_point processStart =
         std::chrono::steady_clock::now();
 };
@@ -98,7 +104,8 @@ telemetry()
 
 /**
  * Bench entry hook: parse the shared CLI flags before the global pool
- * exists.  Supported: `--threads=N` (overrides `GECKO_THREADS`).
+ * exists.  Supported: `--threads=N` (overrides `GECKO_THREADS`) and
+ * `--seed=N` (overrides `GECKO_SEED`; see exp/rng.hpp).
  */
 inline void
 init(int argc, char** argv)
@@ -109,6 +116,8 @@ init(int argc, char** argv)
             int n = std::atoi(arg.c_str() + 10);
             if (n >= 1)
                 exp::ThreadPool::setGlobalThreads(n);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            exp::setGlobalSeed(std::strtoull(arg.c_str() + 7, nullptr, 10));
         }
     }
     telemetry();  // pin the process start time
@@ -143,20 +152,41 @@ runSweep(const std::string& label, const std::vector<Point>& points, Fn fn)
     return results;
 }
 
+/** Accumulate a victim run's defence counters into the telemetry. */
+inline void
+noteRuntimeStats(const runtime::RuntimeStats& stats)
+{
+    telemetry().corruptedRestores.fetch_add(stats.corruptedRestores,
+                                            std::memory_order_relaxed);
+    telemetry().crcRejects.fetch_add(stats.crcRejects,
+                                     std::memory_order_relaxed);
+    telemetry().retriesExhausted.fetch_add(stats.retriesExhausted,
+                                           std::memory_order_relaxed);
+}
+
 /**
  * Emit the figure's JSON telemetry when `GECKO_BENCH_JSON` names an
  * output path.  Call as the bench's exit value: `return
  * bench::writeBenchReport("fig04");` — stdout stays untouched so
  * series output remains byte-comparable across thread counts.
+ * `status` ("pass"/"fail") is for benches with a verdict; empty means
+ * "no pass/fail semantics".
  */
 inline int
-writeBenchReport(const std::string& figure)
+writeBenchReport(const std::string& figure, const std::string& status = "")
 {
     const char* path = std::getenv("GECKO_BENCH_JSON");
     if (!path || !*path)
         return 0;
     metrics::BenchReport report;
     report.figure = figure;
+    report.status = status;
+    report.corruptedRestores =
+        telemetry().corruptedRestores.load(std::memory_order_relaxed);
+    report.crcRejects =
+        telemetry().crcRejects.load(std::memory_order_relaxed);
+    report.retriesExhausted =
+        telemetry().retriesExhausted.load(std::memory_order_relaxed);
     report.threads = exp::ThreadPool::global().threadCount();
     unsigned hw = std::thread::hardware_concurrency();
     report.hostCores = hw >= 1 ? hw : 1;
@@ -228,6 +258,7 @@ runVictim(const VictimConfig& vc, const attack::InjectionRig* rig,
     out.backupSignals = simulation.stats.backupSignals;
     telemetry().simCycles.fetch_add(out.cycles,
                                     std::memory_order_relaxed);
+    noteRuntimeStats(simulation.geckoRuntime().stats);
     return out;
 }
 

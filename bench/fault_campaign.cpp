@@ -1,0 +1,135 @@
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "fault/campaign.hpp"
+#include "fault/corpus.hpp"
+#include "fault/injectors.hpp"
+
+/**
+ * Deterministic fault-injection campaign driver (see src/fault/).
+ *
+ * Fans (workload x scheme x injector x seed) cases across the thread
+ * pool, checks each against its golden fault-free oracle, minimises the
+ * failures into a replayable corpus, and prints the per scheme x
+ * injector outcome table.  The report and corpus are pure functions of
+ * the seed: `GECKO_THREADS=1` and `=8` produce byte-identical bytes.
+ *
+ * Flags:
+ *   --cases=N      grid size (default 5000)
+ *   --seed=N       campaign seed (default GECKO_SEED, else 1)
+ *   --threads=N    pool width (default GECKO_THREADS / host cores)
+ *   --out=DIR      write DIR/fault_corpus.txt and DIR/fault_report.txt
+ *   --replay=FILE  replay a corpus file case-by-case instead of
+ *                  running a campaign
+ *   --expect-nvp-corruption  exit nonzero unless NVP showed corruption
+ *                  (guards the campaign's discriminating power)
+ *
+ * Exit status: 0 unless a GECKO scheme corrupted, a replayed corpus
+ * case no longer fails, or --expect-nvp-corruption was violated.
+ */
+
+namespace {
+
+using namespace gecko;
+
+int
+replayCorpus(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot read corpus: " << path << "\n";
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::uint64_t campaignSeed = 0;
+    std::vector<fault::CorpusEntry> entries;
+    try {
+        entries = fault::parseCorpus(buf.str(), &campaignSeed);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+    std::cout << "# replaying " << entries.size() << " cases from " << path
+              << " (campaign seed " << campaignSeed << ")\n";
+    int mismatches = 0;
+    for (const fault::CorpusEntry& entry : entries) {
+        fault::CaseResult res = fault::runCase(entry.spec);
+        bool match = res.outcome == entry.outcome;
+        if (!match)
+            ++mismatches;
+        std::cout << fault::formatCorpusLine(res)
+                  << (match ? "  [reproduced]" : "  [MISMATCH]") << "\n";
+    }
+    std::cout << "# replay mismatches=" << mismatches << "\n";
+    return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::init(argc, argv);
+
+    fault::CampaignConfig config;
+    if (exp::globalSeed() != 0)
+        config.seed = exp::globalSeed();
+    std::string outDir;
+    std::string replayPath;
+    bool expectNvpCorruption = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--cases=", 0) == 0)
+            config.cases = std::atoi(arg.c_str() + 8);
+        else if (arg.rfind("--out=", 0) == 0)
+            outDir = arg.substr(6);
+        else if (arg.rfind("--replay=", 0) == 0)
+            replayPath = arg.substr(9);
+        else if (arg == "--expect-nvp-corruption")
+            expectNvpCorruption = true;
+    }
+
+    if (!replayPath.empty())
+        return replayCorpus(replayPath);
+
+    std::vector<int> one{0};
+    fault::CampaignResult result =
+        bench::runSweep("fault_campaign", one, [&](int) {
+            return fault::runCampaign(config);
+        })[0];
+
+    runtime::RuntimeStats agg;
+    agg.corruptedRestores = result.corruptedRestores;
+    agg.crcRejects = result.crcRejects;
+    agg.retriesExhausted = result.retriesExhausted;
+    bench::noteRuntimeStats(agg);
+
+    std::cout << result.report;
+
+    bool ok = result.geckoClean;
+    if (expectNvpCorruption && result.nvpCorruptions == 0) {
+        std::cout << "# FAIL: expected NVP corruption, found none\n";
+        ok = false;
+    }
+    if (!result.geckoClean)
+        std::cout << "# FAIL: GECKO corruption cases="
+                  << result.geckoCorruptions << "\n";
+
+    if (!outDir.empty()) {
+        std::ofstream corpus(outDir + "/fault_corpus.txt");
+        corpus << result.corpus;
+        std::ofstream report(outDir + "/fault_report.txt");
+        report << result.report;
+        if (!corpus || !report) {
+            std::cerr << "cannot write artifacts under " << outDir << "\n";
+            ok = false;
+        }
+    }
+
+    int jsonRc = bench::writeBenchReport("fault_campaign",
+                                         ok ? "pass" : "fail");
+    return ok ? jsonRc : 1;
+}

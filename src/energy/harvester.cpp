@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "exp/rng.hpp"
+
 namespace gecko::energy {
 
 bool
@@ -62,7 +64,11 @@ TraceHarvester
 makeRfTrace(double vOc, double rSeries, double outageRateHz,
             double onFraction, double durationS, unsigned seed)
 {
-    // Deterministic xorshift so runs are reproducible.
+    // Deterministic xorshift so runs are reproducible.  The component
+    // seed is combined with the global GECKO_SEED (identity when no
+    // global seed is set, preserving historical traces).
+    seed = static_cast<unsigned>(
+        exp::applyGlobalSeed(static_cast<std::uint64_t>(seed)));
     auto next = [state = seed ? seed : 1u]() mutable {
         state ^= state << 13;
         state ^= state >> 17;

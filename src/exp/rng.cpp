@@ -1,0 +1,67 @@
+#include "exp/rng.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace gecko::exp {
+
+namespace {
+
+std::uint64_t g_staged_seed = 0;
+bool g_staged = false;
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+resolveSeed()
+{
+    if (g_staged)
+        return g_staged_seed;
+    const char* env = std::getenv("GECKO_SEED");
+    if (!env || !*env)
+        return 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 0);
+    return (end && *end == '\0') ? static_cast<std::uint64_t>(v) : 0;
+}
+
+}  // namespace
+
+std::uint64_t
+globalSeed()
+{
+    static std::once_flag once;
+    static std::uint64_t seed = 0;
+    std::call_once(once, [] { seed = resolveSeed(); });
+    return seed;
+}
+
+void
+setGlobalSeed(std::uint64_t seed)
+{
+    g_staged_seed = seed;
+    g_staged = true;
+}
+
+std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t m = splitmix64(splitmix64(a) ^ (b + 0x9e3779b97f4a7c15ull));
+    return m ? m : 1;
+}
+
+std::uint64_t
+applyGlobalSeed(std::uint64_t componentSeed)
+{
+    std::uint64_t g = globalSeed();
+    return g == 0 ? componentSeed : mixSeed(componentSeed, g);
+}
+
+}  // namespace gecko::exp

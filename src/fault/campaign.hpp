@@ -1,0 +1,109 @@
+#ifndef GECKO_FAULT_CAMPAIGN_HPP_
+#define GECKO_FAULT_CAMPAIGN_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+#include "fault/fault.hpp"
+
+/**
+ * @file
+ * The deterministic fault-injection campaign driver.
+ *
+ * A campaign fans (workload x scheme x injector x seed) cases across the
+ * experiment thread pool, checks each against a golden fault-free
+ * oracle (final output streams, final NVM image, exactly-once I/O),
+ * auto-minimises the failing cases (bisecting the injection event and
+ * the target word), and emits
+ *  - a deterministic text report (per scheme x injector outcome counts
+ *    and defence-counter sums), and
+ *  - a replayable corpus of minimised failures keyed by the campaign
+ *    seed.
+ * Both artifacts are pure functions of the campaign config: the same
+ * GECKO_SEED produces byte-identical bytes under GECKO_THREADS=1 and
+ * GECKO_THREADS=8 (exp::parallelMap preserves input order and every
+ * case owns its simulator instances).
+ */
+
+namespace gecko::fault {
+
+/** Campaign parameters. */
+struct CampaignConfig {
+    /// Master seed (GECKO_SEED / --seed=); every case seed derives from
+    /// it via exp::mixSeed.
+    std::uint64_t seed = 1;
+    /// Total cases across the whole grid.
+    int cases = 5000;
+    /// Machine-level victim workloads (fast kernels; sim-level cases
+    /// always use sensor_loop, the paper's attack victim).
+    std::vector<std::string> workloads = {"crc16", "bitcnt", "sensor_loop"};
+    std::vector<compiler::Scheme> schemes = {
+        compiler::Scheme::kNvp, compiler::Scheme::kRatchet,
+        compiler::Scheme::kGeckoNoPrune, compiler::Scheme::kGecko};
+    /// Failing cases kept (and minimised) per (workload, scheme,
+    /// injector) group; the report logs how many were dropped.
+    int corpusPerGroup = 4;
+    /// Sim-level cases: max simulated seconds before kTimeout.
+    double simTimeBudgetS = 1.5;
+    /// Pool override for tests (null = the process-wide pool).
+    exp::ThreadPool* pool = nullptr;
+};
+
+/** Outcome counts for one (scheme, injector) cell. */
+struct GroupCounts {
+    std::uint64_t cases = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t diverged = 0;
+    std::uint64_t faulted = 0;
+    std::uint64_t livelock = 0;
+    std::uint64_t timeout = 0;
+    std::uint64_t notInjected = 0;
+
+    std::uint64_t corrupted() const
+    {
+        return diverged + faulted + livelock;
+    }
+};
+
+/** Everything a campaign produces. */
+struct CampaignResult {
+    std::vector<CaseResult> cases;
+    /// Minimised failing cases that made it into the corpus.
+    std::vector<CaseResult> corpusCases;
+    /// Deterministic artifacts (see file header).
+    std::string report;
+    std::string corpus;
+    /// counts[scheme][injector].
+    std::vector<std::vector<GroupCounts>> counts;
+    /// No corruption outcome in any GECKO / GECKO-noprune case.
+    bool geckoClean = true;
+    std::uint64_t geckoCorruptions = 0;
+    std::uint64_t nvpCorruptions = 0;
+    /// Aggregated defence counters across all cases.
+    std::uint64_t corruptedRestores = 0;
+    std::uint64_t crcRejects = 0;
+    std::uint64_t slotRepairs = 0;
+    std::uint64_t ckptSaveRetries = 0;
+    std::uint64_t retriesExhausted = 0;
+    std::uint64_t integrityDegradations = 0;
+};
+
+/** Deterministic case list for a config (grid enumeration). */
+std::vector<CaseSpec> makeCampaignCases(const CampaignConfig& config);
+
+/**
+ * Execute one case standalone (also the corpus replay entry point).
+ * Pure function of the spec: compiles/looks up the victim, derives all
+ * injection parameters from the case seed, runs against the golden
+ * oracle.
+ */
+CaseResult runCase(const CaseSpec& spec, double simTimeBudgetS = 1.5);
+
+/** Run the full campaign. */
+CampaignResult runCampaign(const CampaignConfig& config);
+
+}  // namespace gecko::fault
+
+#endif  // GECKO_FAULT_CAMPAIGN_HPP_

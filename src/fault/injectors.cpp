@@ -1,0 +1,187 @@
+#include "fault/injectors.hpp"
+
+#include <algorithm>
+
+namespace gecko::fault {
+
+const char*
+injectorName(InjectorKind kind)
+{
+    switch (kind) {
+      case InjectorKind::kBitFlip:
+        return "bitflip";
+      case InjectorKind::kMultiBitFlip:
+        return "multibitflip";
+      case InjectorKind::kTornWrite:
+        return "tornwrite";
+      case InjectorKind::kAckCorrupt:
+        return "ackcorrupt";
+      case InjectorKind::kStaleImage:
+        return "staleimage";
+      case InjectorKind::kMonitorStuck:
+        return "monitorstuck";
+      case InjectorKind::kMonitorOffset:
+        return "monitoroffset";
+      case InjectorKind::kBrownoutBurst:
+        return "brownoutburst";
+    }
+    return "unknown";
+}
+
+bool
+injectorFromName(const std::string& name, InjectorKind* out)
+{
+    for (int i = 0; i < kInjectorKinds; ++i) {
+        auto kind = static_cast<InjectorKind>(i);
+        if (name == injectorName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char*
+outcomeName(CaseOutcome outcome)
+{
+    switch (outcome) {
+      case CaseOutcome::kOk:
+        return "ok";
+      case CaseOutcome::kDiverged:
+        return "diverged";
+      case CaseOutcome::kFaulted:
+        return "faulted";
+      case CaseOutcome::kLivelock:
+        return "livelock";
+      case CaseOutcome::kTimeout:
+        return "timeout";
+    }
+    return "unknown";
+}
+
+bool
+outcomeFromName(const std::string& name, CaseOutcome* out)
+{
+    for (int i = 0; i <= static_cast<int>(CaseOutcome::kTimeout); ++i) {
+        auto o = static_cast<CaseOutcome>(i);
+        if (name == outcomeName(o)) {
+            *out = o;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint32_t
+flipBits(std::uint32_t value, int nBits, exp::Rng& rng)
+{
+    std::uint32_t mask = 0;
+    while (nBits > 0) {
+        std::uint32_t bit = 1u << rng.pick(32);
+        if (mask & bit)
+            continue;  // distinct bits, same word
+        mask |= bit;
+        --nBits;
+    }
+    return value ^ mask;
+}
+
+int
+corruptJitWord(sim::Nvm& nvm, int nBits, exp::Rng& rng,
+               std::int32_t wordOverride)
+{
+    // Always consume the rng draw so the bit mask stays identical when a
+    // minimiser overrides the word.
+    int derived = static_cast<int>(
+        rng.pick(static_cast<std::uint32_t>(sim::Nvm::kJitWords)));
+    int w = wordOverride >= 0 ? wordOverride : derived;
+    nvm.jit[static_cast<std::size_t>(w)] =
+        flipBits(nvm.jit[static_cast<std::size_t>(w)], nBits, rng);
+    return w;
+}
+
+int
+corruptSlotWord(sim::Nvm& nvm, int nBits, exp::Rng& rng,
+                std::int32_t wordOverride)
+{
+    constexpr int kWords = 16 * compiler::kMaxSlots;
+    int derived = static_cast<int>(rng.pick(kWords));
+    int w = wordOverride >= 0 ? wordOverride % kWords : derived;
+    int reg = w / compiler::kMaxSlots;
+    int slot = w % compiler::kMaxSlots;
+    auto r = static_cast<std::size_t>(reg);
+    auto s = static_cast<std::size_t>(slot);
+    nvm.slots[r][s] = flipBits(nvm.slots[r][s], nBits, rng);
+    return w;
+}
+
+void
+corruptAckWord(sim::Nvm& nvm, exp::Rng& rng)
+{
+    nvm.jit[sim::Nvm::kJitAckIndex] =
+        flipBits(nvm.jit[sim::Nvm::kJitAckIndex], 1, rng);
+}
+
+void
+substituteJitImage(
+    sim::Nvm& nvm, const std::array<std::uint32_t, sim::Nvm::kJitWords>& old)
+{
+    nvm.jit = old;
+}
+
+void
+substituteStaleSlot(sim::Nvm& nvm, int reg, int slot,
+                    std::uint32_t staleValue)
+{
+    nvm.slots[static_cast<std::size_t>(reg)]
+             [static_cast<std::size_t>(slot)] = staleValue;
+}
+
+BrownoutHarvester::BrownoutHarvester(const energy::Harvester& base,
+                                     double meanPeriodS, double burstS,
+                                     std::uint64_t seed, double horizonS)
+    : base_(base)
+{
+    exp::Rng rng(seed);
+    double t = meanPeriodS * (0.5 + rng.uniform());
+    while (t < horizonS) {
+        bursts_.emplace_back(t, t + burstS);
+        t += meanPeriodS * (0.5 + rng.uniform());
+    }
+}
+
+bool
+BrownoutHarvester::inBurst(double t) const
+{
+    auto it = std::upper_bound(
+        bursts_.begin(), bursts_.end(), t,
+        [](double v, const std::pair<double, double>& w) {
+            return v < w.first;
+        });
+    if (it == bursts_.begin())
+        return false;
+    --it;
+    return t < it->second;
+}
+
+double
+BrownoutHarvester::openCircuitVoltage(double t) const
+{
+    return inBurst(t) ? 0.0 : base_.openCircuitVoltage(t);
+}
+
+bool
+BrownoutHarvester::steadyOver(double t, double dt) const
+{
+    if (!base_.steadyOver(t, dt))
+        return false;
+    // Steady only if [t, t+dt) touches no burst boundary.
+    if (inBurst(t) != inBurst(t + dt))
+        return false;
+    for (const auto& w : bursts_)
+        if (w.first > t && w.first < t + dt)
+            return false;
+    return true;
+}
+
+}  // namespace gecko::fault

@@ -1,0 +1,90 @@
+#ifndef GECKO_FAULT_INJECTORS_HPP_
+#define GECKO_FAULT_INJECTORS_HPP_
+
+#include <array>
+#include <cstdint>
+
+#include "energy/harvester.hpp"
+#include "exp/rng.hpp"
+#include "fault/fault.hpp"
+#include "sim/nvm.hpp"
+
+/**
+ * @file
+ * Seeded fault mutations and the brownout harvester decorator.
+ *
+ * Each helper derives every free parameter (target word, bit mask,
+ * truncation offset, burst schedule) from the case's exp::Rng, so a
+ * case's full behaviour is a pure function of its CaseSpec.
+ */
+
+namespace gecko::fault {
+
+/** Flip 1..3 bits inside one word. */
+std::uint32_t flipBits(std::uint32_t value, int nBits, exp::Rng& rng);
+
+/**
+ * Flip `nBits` bits of one seeded word of the JIT image (any of the
+ * kJitWords words, ACK/CRC/epoch included).
+ * @return the word index hit.
+ */
+int corruptJitWord(sim::Nvm& nvm, int nBits, exp::Rng& rng,
+                   std::int32_t wordOverride = -1);
+
+/**
+ * Flip `nBits` bits of one seeded primary slot word (the shadow copy is
+ * untouched: multi-bit disturbance is confined to one physical word).
+ * @return reg * kMaxSlots + slot of the word hit.
+ */
+int corruptSlotWord(sim::Nvm& nvm, int nBits, exp::Rng& rng,
+                    std::int32_t wordOverride = -1);
+
+/** Flip one seeded bit of the JIT ACK word. */
+void corruptAckWord(sim::Nvm& nvm, exp::Rng& rng);
+
+/**
+ * Substitute a previously captured JIT image (all words, internally
+ * consistent — epoch, CRC and ACK included) into the NVM.
+ */
+void substituteJitImage(
+    sim::Nvm& nvm, const std::array<std::uint32_t, sim::Nvm::kJitWords>& old);
+
+/**
+ * Substitute one primary slot *value* word with a stale value (its CRC
+ * word keeps the current value's CRC: a stale cell value reappearing is
+ * a physical fault; rewriting value+CRC coherently is CRC forgery, out
+ * of scope).
+ */
+void substituteStaleSlot(sim::Nvm& nvm, int reg, int slot,
+                         std::uint32_t staleValue);
+
+/**
+ * Harvester decorator: collapses the base source's open-circuit voltage
+ * to zero during seeded burst windows, with mean period `meanPeriodS`
+ * and burst length `burstS`.  Deterministic: the schedule is derived
+ * once from the seed at construction.
+ */
+class BrownoutHarvester : public energy::Harvester
+{
+  public:
+    BrownoutHarvester(const energy::Harvester& base, double meanPeriodS,
+                      double burstS, std::uint64_t seed, double horizonS);
+
+    double openCircuitVoltage(double t) const override;
+    double seriesResistance(double t) const override
+    {
+        return base_.seriesResistance(t);
+    }
+    bool steadyOver(double t, double dt) const override;
+
+  private:
+    bool inBurst(double t) const;
+
+    const energy::Harvester& base_;
+    /// Sorted [start, end) burst windows.
+    std::vector<std::pair<double, double>> bursts_;
+};
+
+}  // namespace gecko::fault
+
+#endif  // GECKO_FAULT_INJECTORS_HPP_

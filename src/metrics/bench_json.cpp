@@ -53,8 +53,12 @@ BenchReport::toJson() const
         os << ",\"serial_wall_s\":" << num(serialWallS)
            << ",\"speedup\":" << num(speedup());
     os << ",\"sim_cycles\":" << simCycles << ",\"sim_cycles_per_s\":"
-       << num(wallS > 0 ? static_cast<double>(simCycles) / wallS : 0.0)
-       << ",\"sweeps\":[";
+       << num(wallS > 0 ? static_cast<double>(simCycles) / wallS : 0.0);
+    if (!status.empty())
+        os << ",\"status\":\"" << jsonEscape(status) << "\"";
+    os << ",\"corrupted_restores\":" << corruptedRestores
+       << ",\"crc_rejects\":" << crcRejects
+       << ",\"retries_exhausted\":" << retriesExhausted << ",\"sweeps\":[";
     for (std::size_t i = 0; i < sweeps.size(); ++i) {
         const SweepRecord& s = sweeps[i];
         if (i)

@@ -49,6 +49,14 @@ struct BenchReport {
     double serialWallS = 0.0;
     /// Simulated machine cycles executed across every victim run.
     std::uint64_t simCycles = 0;
+    /// Bench verdict: "pass", "fail", or "" (bench has no pass/fail
+    /// semantics — treated as pass by aggregation).
+    std::string status;
+    /// Checkpoint-integrity defence counters accumulated across every
+    /// victim run of the bench (see runtime::RuntimeStats).
+    std::uint64_t corruptedRestores = 0;
+    std::uint64_t crcRejects = 0;
+    std::uint64_t retriesExhausted = 0;
     std::vector<SweepRecord> sweeps;
 
     /** Speedup vs. the recorded serial baseline (0 = unknown). */

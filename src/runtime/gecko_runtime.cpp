@@ -32,6 +32,32 @@ GeckoRuntime::jitActive() const
     }
 }
 
+bool
+GeckoRuntime::guarded() const
+{
+    // The integrity defences are GECKO's contribution; NVP (blind
+    // roll-forward) and Ratchet (prior-work rollback) stay as the paper
+    // evaluates them.
+    return compiled_->scheme == Scheme::kGecko ||
+           compiled_->scheme == Scheme::kGeckoNoPrune;
+}
+
+void
+GeckoRuntime::degradeToRollback()
+{
+    if (!guarded() || nvm_->jitDisabledFlag != 0)
+        return;
+    nvm_->jitDisabledFlag = 1;
+    ++stats.integrityDegradations;
+}
+
+void
+GeckoRuntime::noteCkptRetriesExhausted()
+{
+    ++stats.retriesExhausted;
+    degradeToRollback();
+}
+
 void
 GeckoRuntime::onBackupSignal()
 {
@@ -61,6 +87,26 @@ GeckoRuntime::onProgress()
 std::uint64_t
 GeckoRuntime::jitRestore()
 {
+    if (guarded()) {
+        if (!sim::JitCheckpoint::imageValid(*nvm_)) {
+            // Torn, bit-flipped, ACK-corrupted or stale image: refuse to
+            // roll forward and recover from the last committed region
+            // instead.  Persistent rejects mean the NVM itself is under
+            // attack, so degrade to the rollback-only mode (the §VI-F
+            // probe machinery later re-enables JIT once things quiet
+            // down).
+            ++stats.crcRejects;
+            ++stats.corruptedRestores;
+            if (++consecutiveIntegrityFailures_ >= kMaxIntegrityFailures) {
+                degradeToRollback();
+                probeArmed_ = true;
+                commitsAtProbeArm_ = nvm_->commitCount;
+            }
+            return rollback();
+        }
+        consecutiveIntegrityFailures_ = 0;
+        sim::JitCheckpoint::consumeImage(*nvm_);
+    }
     ++stats.jitRestores;
     if (!jitImageFresh_)
         ++stats.corruptedRestores;
@@ -99,8 +145,17 @@ GeckoRuntime::rollback()
         for (const CkptSpec& ck : r->ckpts) {
             if (covered & compiler::regBit(ck.reg))
                 continue;
-            regs[ck.reg] =
-                nvm_->slots[ck.reg][static_cast<std::size_t>(ck.slot)];
+            if (guarded()) {
+                sim::SlotRead sr = nvm_->readSlotGuarded(ck.reg, ck.slot);
+                if (sr.repaired)
+                    ++stats.slotRepairs;
+                if (sr.unrecoverable)
+                    ++stats.slotUnrecoverable;
+                regs[ck.reg] = sr.value;
+            } else {
+                regs[ck.reg] =
+                    nvm_->slots[ck.reg][static_cast<std::size_t>(ck.slot)];
+            }
             covered |= compiler::regBit(ck.reg);
             cycles += 3;
         }

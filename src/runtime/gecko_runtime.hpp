@@ -30,6 +30,23 @@ struct RuntimeStats {
     std::uint64_t jitReenables = 0;
     std::uint64_t recoveryBlockRuns = 0;
     std::uint64_t recoveryInstrRuns = 0;
+    // --- integrity hardening (fault campaign defence) ---
+    /// JIT images rejected at restore by the CRC/epoch guard.
+    std::uint64_t crcRejects = 0;
+    /// Slot reads whose primary copy failed its CRC and were served
+    /// from the shadow copy.
+    std::uint64_t slotRepairs = 0;
+    /// Slot reads where both copies failed their CRCs (restored
+    /// best-effort from the primary; campaign never produces this
+    /// under the single-word fault model).
+    std::uint64_t slotUnrecoverable = 0;
+    /// Checkpoint saves retried after a transient mid-burst failure.
+    std::uint64_t ckptSaveRetries = 0;
+    /// Checkpoint saves abandoned after the retry budget ran out.
+    std::uint64_t retriesExhausted = 0;
+    /// Times persistent integrity failures degraded the runtime to the
+    /// JIT-disabled rollback mode.
+    std::uint64_t integrityDegradations = 0;
 };
 
 /** Per-scheme recovery runtime. */
@@ -94,6 +111,24 @@ class GeckoRuntime
     void setJitRamWords(int words) { jitRamWords_ = words; }
 
     /**
+     * The simulator reports a checkpoint save that failed transiently
+     * (injected write fault / mid-burst disturbance) and is being
+     * retried with backoff.
+     */
+    void noteCkptSaveRetry() { ++stats.ckptSaveRetries; }
+
+    /**
+     * The simulator reports that the bounded retry budget for a failing
+     * checkpoint save ran out.  GECKO degrades gracefully: the JIT
+     * protocol is disabled and recovery falls back to rollback mode
+     * until the re-enable probe sees a quiet region (§VI-F machinery).
+     */
+    void noteCkptRetriesExhausted();
+
+    /** Consecutive integrity rejects that trigger degradation. */
+    static constexpr int kMaxIntegrityFailures = 3;
+
+    /**
      * Enable/disable the two detection mechanisms individually
      * (ablation knob; both default on, as in the paper).
      */
@@ -109,6 +144,9 @@ class GeckoRuntime
   private:
     std::uint64_t rollback();
     std::uint64_t jitRestore();
+    /// Is this a scheme with the integrity-guarded restore paths?
+    bool guarded() const;
+    void degradeToRollback();
 
     const compiler::CompiledProgram* compiled_;
     sim::Machine* machine_;
@@ -116,6 +154,9 @@ class GeckoRuntime
 
     bool jitImageFresh_ = false;
     int jitRamWords_ = 0;
+    /// Consecutive CRC/epoch rejects (volatile; reset by a valid
+    /// restore).  Reaching kMaxIntegrityFailures degrades to rollback.
+    int consecutiveIntegrityFailures_ = 0;
     std::uint64_t minOnCycles_ = 0;
     bool ackDetectorOn_ = true;
     bool timerDetectorOn_ = true;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exp/rng.hpp"
+
 namespace gecko::sim {
 
 using compiler::Scheme;
@@ -43,6 +45,12 @@ IntermittentSim::IntermittentSim(const compiler::CompiledProgram& compiled,
     machine_.setContinuous(config.continuous);
     machine_.setFaultTolerant(true);
     runtime_.setJitRamWords(config.jitRamWords);
+
+    // DCO sample jitter is centrally seeded: with no GECKO_SEED and the
+    // default monitorSeed this stays 0, preserving the historical
+    // sample sequence bit-for-bit.
+    sampleSeq_ =
+        static_cast<std::uint32_t>(exp::applyGlobalSeed(config.monitorSeed));
 }
 
 bool
@@ -92,61 +100,111 @@ IntermittentSim::observeMonitor()
     double v = cap_.voltage();
     // Continuous (comparator) monitors react to every excursion inside
     // the window: feed them the window's envelope under attack.
-    if (monitor_->continuous() && attackActive())
-        return monitor_->observeEnvelope(v - emi_->amplitude(),
-                                         v + emi_->amplitude());
-    return monitor_->observe(v + emiAt(now_));
+    if (monitor_->continuous() && attackActive()) {
+        double lo = v - emi_->amplitude();
+        double hi = v + emi_->amplitude();
+        if (monitorFault_) {
+            lo = monitorFault_(lo, now_);
+            hi = monitorFault_(hi, now_);
+            if (lo > hi)
+                std::swap(lo, hi);
+        }
+        return monitor_->observeEnvelope(lo, hi);
+    }
+    double seen = v + emiAt(now_);
+    if (monitorFault_)
+        seen = monitorFault_(seen, now_);
+    return monitor_->observe(seen);
 }
 
 void
 IntermittentSim::doJitCheckpoint()
 {
-    ++stats.jitCheckpointAttempts;
-    // CTPL re-checks the wake condition during the first part of the
-    // powerdown routine; a (possibly forged) wake signal there vetoes
-    // the checkpoint and resumes execution — leaving the *previous*
-    // image in place with the ACK untouched.
-    int words = 0;
-    bool aborted = false;
-    bool veto_done = false;
-    auto spend = [&](int cycles) {
-        double e = cycles * epc_;
-        if (cap_.energy() - e <= energyAtVoff_)
-            return false;  // buffer dead: checkpoint torn
-        cap_.discharge(e);
-        now_ += cycles * spc_;
-        ++words;
-        // The harvester keeps feeding the buffer during the routine.
-        if ((words & 63) == 0)
-            cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
-                            harvester_.seriesResistance(now_),
-                            64 * cycles * spc_);
-        if (!veto_done && words >= config_.jitAbortWindowWords) {
-            veto_done = true;
-            // The veto is one extra monitor read (a single ADC
-            // conversion / one comparator-output read) — a point sample
-            // of the EMI-distorted rail, never the envelope.
-            if (monitor_->observe(cap_.voltage() + emiAt(now_)).wake) {
-                aborted = true;
+    // One full attempt costs this much energy at most; a retry is only
+    // worthwhile while the buffer can still afford a complete image.
+    const double attemptEnergy =
+        static_cast<double>(config_.jitRamWords + Nvm::kJitWords) *
+        kJitStoreCycles * epc_;
+
+    for (int attempt = 0;; ++attempt) {
+        ++stats.jitCheckpointAttempts;
+        // CTPL re-checks the wake condition during the first part of the
+        // powerdown routine; a (possibly forged) wake signal there vetoes
+        // the checkpoint and resumes execution — leaving the *previous*
+        // image in place with the ACK untouched.
+        int words = 0;
+        bool aborted = false;
+        bool faulted = false;
+        bool veto_done = false;
+        auto spend = [&](int cycles) {
+            if (jitWriteFault_ && jitWriteFault_(words)) {
+                // Transient write failure (injected mid-burst
+                // disturbance): the routine detects it and bails out so
+                // the boot path never trusts the partial image.
+                faulted = true;
                 return false;
             }
+            double e = cycles * epc_;
+            if (cap_.energy() - e <= energyAtVoff_)
+                return false;  // buffer dead: checkpoint torn
+            cap_.discharge(e);
+            now_ += cycles * spc_;
+            ++words;
+            // The harvester keeps feeding the buffer during the routine.
+            if ((words & 63) == 0)
+                cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
+                                harvester_.seriesResistance(now_),
+                                64 * cycles * spc_);
+            if (!veto_done && words >= config_.jitAbortWindowWords) {
+                veto_done = true;
+                // The veto is one extra monitor read (a single ADC
+                // conversion / one comparator-output read) — a point
+                // sample of the EMI-distorted rail, never the envelope.
+                double seen = cap_.voltage() + emiAt(now_);
+                if (monitorFault_)
+                    seen = monitorFault_(seen, now_);
+                if (monitor_->observe(seen).wake) {
+                    aborted = true;
+                    return false;
+                }
+            }
+            return true;
+        };
+        JitResult result = JitCheckpoint::checkpoint(machine_, nvm_, spend,
+                                                     config_.jitRamWords);
+        if (result.complete) {
+            ++stats.jitCheckpointsComplete;
+            runtime_.noteJitCheckpointComplete();
+            state_ = State::kSleeping;
+            return;
         }
-        return true;
-    };
-    JitResult result = JitCheckpoint::checkpoint(machine_, nvm_, spend,
-                                                 config_.jitRamWords);
-    if (result.complete) {
-        ++stats.jitCheckpointsComplete;
-        runtime_.noteJitCheckpointComplete();
-        state_ = State::kSleeping;
-    } else if (aborted) {
-        ++stats.jitCheckpointsAborted;
-        // The wake ISR cancels the powerdown: keep running with the
-        // volatile state intact.
-        state_ = State::kRunning;
-    } else {
+        if (aborted) {
+            ++stats.jitCheckpointsAborted;
+            // The wake ISR cancels the powerdown: keep running with the
+            // volatile state intact.
+            state_ = State::kRunning;
+            return;
+        }
+        if (faulted && attempt < config_.jitSaveRetryLimit &&
+            cap_.energy() - energyAtVoff_ > attemptEnergy) {
+            // Bounded retry with linear backoff: idle a short while so a
+            // transient disturbance burst can pass, then try again.
+            runtime_.noteCkptSaveRetry();
+            double backoff =
+                static_cast<double>(config_.jitRetryBackoffCycles) *
+                (attempt + 1);
+            cap_.discharge(backoff * epc_);
+            cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
+                            harvester_.seriesResistance(now_),
+                            backoff * spc_);
+            now_ += backoff * spc_;
+            continue;
+        }
+        if (faulted)
+            runtime_.noteCkptRetriesExhausted();
         ++stats.jitCheckpointsTorn;
         state_ = State::kSleeping;
+        return;
     }
 }
 
@@ -248,8 +306,9 @@ void
 IntermittentSim::stepSleeping()
 {
     // Fast path: no tone now or during the whole charge, steady source —
-    // jump straight to the wake threshold.
-    if (!attackActive()) {
+    // jump straight to the wake threshold.  A faulted monitor must keep
+    // sampling: its (wrong) readings decide the wake, not the rail.
+    if (!attackActive() && !monitorFault_) {
         double voc = harvester_.openCircuitVoltage(now_);
         double rs = harvester_.seriesResistance(now_);
         double t_wake = cap_.timeToReach(vOn_, voc, rs);

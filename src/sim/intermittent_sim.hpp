@@ -1,6 +1,7 @@
 #ifndef GECKO_SIM_INTERMITTENT_SIM_HPP_
 #define GECKO_SIM_INTERMITTENT_SIM_HPP_
 
+#include <functional>
 #include <memory>
 
 #include "analog/voltage_monitor.hpp"
@@ -66,6 +67,17 @@ struct SimConfig {
     /// no attack tone is active (pure speed knob; crossings detect a few
     /// µs late, which the V_backup→V_off energy margin absorbs).
     int quietStride = 64;
+    /// Component seed for the monitor's DCO sample jitter, combined with
+    /// the global GECKO_SEED (exp::applyGlobalSeed).  The default 0 with
+    /// no global seed preserves the historical jitter sequence.
+    std::uint64_t monitorSeed = 0;
+    /// Bounded retry on a transiently failing checkpoint save (injected
+    /// write fault): how many re-attempts before giving up.
+    int jitSaveRetryLimit = 2;
+    /// Backoff between checkpoint-save retries, in cycles, multiplied by
+    /// the attempt number (linear backoff lets a short disturbance burst
+    /// pass).
+    int jitRetryBackoffCycles = 256;
 };
 
 /** Simulation-level counters. */
@@ -106,6 +118,33 @@ class IntermittentSim
 
     /** Attach the attacker's signal source (nullptr = no attack). */
     void setEmiSource(attack::EmiSource* source) { emi_ = source; }
+
+    // ------------------------------------------------------------------
+    // Fault-injection hooks (src/fault campaign; see DESIGN.md).
+    // ------------------------------------------------------------------
+    /**
+     * Monitor fault: maps the voltage the monitor would see (rail + EMI)
+     * to the voltage it actually reports, at simulated time `t`.  Models
+     * stuck-at and offset faults in the sensing path.  Applied to every
+     * observation, including the checkpoint-veto read.
+     */
+    void setMonitorFault(std::function<double(double v, double t)> f)
+    {
+        monitorFault_ = std::move(f);
+    }
+
+    /**
+     * JIT write fault: called once per checkpoint word with its index
+     * (0-based across the SRAM-padding and context words); returning
+     * true makes that word's write fail transiently, abandoning the
+     * attempt.  The simulator retries with backoff up to
+     * SimConfig::jitSaveRetryLimit, then reports exhaustion to the
+     * runtime.
+     */
+    void setJitWriteFault(std::function<bool(int word)> f)
+    {
+        jitWriteFault_ = std::move(f);
+    }
 
     /**
      * Drive the source from a schedule (tone windows over time).  The
@@ -161,6 +200,8 @@ class IntermittentSim
     std::unique_ptr<analog::VoltageMonitor> monitor_;
     attack::EmiSource* emi_ = nullptr;
     const attack::AttackSchedule* schedule_ = nullptr;
+    std::function<double(double v, double t)> monitorFault_;
+    std::function<bool(int word)> jitWriteFault_;
 
     State state_ = State::kSleeping;
     double now_ = 0.0;

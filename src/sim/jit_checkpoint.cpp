@@ -2,6 +2,18 @@
 
 namespace gecko::sim {
 
+namespace {
+
+/** CRC over the context+epoch words plus the ACK value. */
+std::uint32_t
+imageCrc(const std::uint32_t* words, std::uint32_t ack)
+{
+    std::uint32_t crc = crc32Words(words, Nvm::kJitCrcIndex);
+    return crc32Words(&ack, 1, crc);
+}
+
+}  // namespace
+
 JitResult
 JitCheckpoint::checkpoint(const Machine& machine, Nvm& nvm,
                           const std::function<bool(int cycles)>& spendCycles,
@@ -18,7 +30,8 @@ JitCheckpoint::checkpoint(const Machine& machine, Nvm& nvm,
         result.cycles += kJitStoreCycles;
     }
 
-    // Assemble the image in write order: regs, pc, staged-I/O, ACK last.
+    // Assemble the image in write order: regs, pc, staged-I/O, epoch,
+    // CRC, ACK last.
     std::array<std::uint32_t, Nvm::kJitWords> image{};
     std::size_t w = 0;
     for (int r = 0; r < 16; ++r)
@@ -28,7 +41,10 @@ JitCheckpoint::checkpoint(const Machine& machine, Nvm& nvm,
         image[w++] = machine.pendingIn()[static_cast<std::size_t>(p)];
     for (int p = 0; p < kIoPorts; ++p)
         image[w++] = machine.pendingOut()[static_cast<std::size_t>(p)];
+    image[Nvm::kJitEpochIndex] = nvm.jitEpoch + 1;
     image[Nvm::kJitAckIndex] = nvm.jit[Nvm::kJitAckIndex] ^ 1u;
+    image[Nvm::kJitCrcIndex] =
+        imageCrc(image.data(), image[Nvm::kJitAckIndex]);
 
     for (std::size_t i = 0; i < Nvm::kJitWords; ++i) {
         if (!spendCycles(kJitStoreCycles))
@@ -38,6 +54,12 @@ JitCheckpoint::checkpoint(const Machine& machine, Nvm& nvm,
         ++result.wordsWritten;
         result.cycles += kJitStoreCycles;
     }
+    // Advance the consume-once counter to match the committed image.
+    // (One more FRAM word write; a tear between the ACK and this write
+    // only costs the roll-forward, never consistency.)
+    nvm.jitEpoch = image[Nvm::kJitEpochIndex];
+    ++nvm.jitAreaWrites;
+    result.cycles += kJitStoreCycles;
     result.complete = true;
     return result;
 }
@@ -60,6 +82,22 @@ JitCheckpoint::restore(Machine& machine, const Nvm& nvm,
             static_cast<std::uint64_t>(ramPaddingWords)) *
                2 +
            kJitRestoreOverheadCycles;
+}
+
+bool
+JitCheckpoint::imageValid(const Nvm& nvm)
+{
+    if (nvm.jit[Nvm::kJitEpochIndex] != nvm.jitEpoch)
+        return false;
+    return imageCrc(nvm.jit.data(), nvm.jit[Nvm::kJitAckIndex]) ==
+           nvm.jit[Nvm::kJitCrcIndex];
+}
+
+void
+JitCheckpoint::consumeImage(Nvm& nvm)
+{
+    nvm.jitEpoch = nvm.jit[Nvm::kJitEpochIndex] + 1;
+    ++nvm.jitAreaWrites;
 }
 
 }  // namespace gecko::sim

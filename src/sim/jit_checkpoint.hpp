@@ -18,6 +18,13 @@
  * ACK word.  The word-by-word structure is the attack surface: if the
  * buffer runs dry mid-way the ACK is never toggled and the area holds a
  * torn image.
+ *
+ * Integrity hardening: the image additionally carries an epoch word
+ * (consume-once freshness, see Nvm::jitEpoch) and a CRC word covering
+ * the context words, the epoch, and the ACK value.  imageValid() is the
+ * guarded-restore predicate GECKO's runtime checks before rolling
+ * forward; NVP restores blindly, which is exactly the paper's
+ * vulnerability.
  */
 
 namespace gecko::sim {
@@ -65,6 +72,21 @@ class JitCheckpoint
      */
     static std::uint64_t restore(Machine& machine, const Nvm& nvm,
                                  int ramPaddingWords = 0);
+
+    /**
+     * Guarded-restore predicate: the image's CRC matches its contents
+     * (incl. the ACK word, so torn writes and ACK corruption fail) and
+     * its epoch equals the NVM's consume-once counter (so stale-image
+     * substitution fails).  A virgin all-zero area validates.
+     */
+    static bool imageValid(const Nvm& nvm);
+
+    /**
+     * Mark the current image consumed (call after a successful guarded
+     * restore): advances the epoch counter past the image's epoch so the
+     * same image cannot be rolled forward into twice.
+     */
+    static void consumeImage(Nvm& nvm);
 };
 
 }  // namespace gecko::sim

@@ -194,9 +194,7 @@ Machine::step(std::uint64_t* cycles)
         // cycleCost.
         if (prog_->scheme == compiler::Scheme::kRatchet)
             *cycles += 4;
-        nvm_->slots[ins.rs1][static_cast<std::size_t>(ins.imm)] =
-            regs_[ins.rs1];
-        ++nvm_->slotWrites;
+        nvm_->writeSlot(ins.rs1, ins.imm, regs_[ins.rs1]);
         ++stats.ckptStores;
         break;
       default:
@@ -437,9 +435,8 @@ Machine::runFast(std::uint64_t cycleBudget, std::uint64_t* consumed)
                 ++stats.boundaryCommits;
                 break;
               case Opcode::kCkpt:
-                nvm.slots[d.rs1][static_cast<std::size_t>(
-                    static_cast<std::int32_t>(d.imm))] = regs_[d.rs1];
-                ++nvm.slotWrites;
+                nvm.writeSlot(d.rs1, static_cast<std::int32_t>(d.imm),
+                              regs_[d.rs1]);
                 ++stats.ckptStores;
                 break;
             }

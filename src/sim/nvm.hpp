@@ -23,6 +23,15 @@
  *
  * Word writes are atomic (FRAM semantics); multi-word sequences such as
  * the JIT checkpoint can be interrupted between words.
+ *
+ * Integrity hardening (fault-campaign defence): the JIT image carries
+ * an epoch and a CRC word, and every compiler checkpoint slot is
+ * stored as a guarded pair (value + CRC) with a shadow copy, so that
+ * single-word NVM corruption — bit flips, torn writes, stale-copy
+ * substitution — is detected at restore and repaired or rejected.
+ * The threat model is physical disturbance of memory cells; an
+ * adversary who can forge CRCs is out of scope (DESIGN.md §fault
+ * model).
  */
 
 namespace gecko::sim {
@@ -30,14 +39,40 @@ namespace gecko::sim {
 /** Number of architectural I/O ports. */
 inline constexpr int kIoPorts = 4;
 
+/**
+ * CRC-32 (reflected 0xEDB88320 polynomial) over a span of words, with
+ * zero init and no final xor so that all-zero data yields 0 — a virgin
+ * (zeroed) NVM image therefore validates against its zeroed CRC word.
+ */
+std::uint32_t crc32Words(const std::uint32_t* words, std::size_t n,
+                         std::uint32_t crc = 0);
+
+/** CRC-32 of a single word (guarded-slot check word). */
+inline std::uint32_t
+crc32Word(std::uint32_t value)
+{
+    return crc32Words(&value, 1);
+}
+
+/** Outcome of a guarded slot read. */
+struct SlotRead {
+    std::uint32_t value = 0;
+    /// Primary copy failed its CRC; the shadow copy supplied the value.
+    bool repaired = false;
+    /// Both copies failed their CRCs; `value` is the (suspect) primary.
+    bool unrecoverable = false;
+};
+
 /** Persistent memory and protocol state. */
 class Nvm
 {
   public:
-    /// Words in the JIT checkpoint area: 16 regs + pc + in/out staging +
-    /// ACK (written last).
-    static constexpr std::size_t kJitWords = 16 + 1 + 2 * kIoPorts + 1;
+    /// Words in the JIT checkpoint area, in write order: 16 regs, pc,
+    /// in/out staging, epoch, CRC, and the ACK (written last).
+    static constexpr std::size_t kJitWords = 16 + 1 + 2 * kIoPorts + 3;
     static constexpr std::size_t kJitAckIndex = kJitWords - 1;
+    static constexpr std::size_t kJitCrcIndex = kJitWords - 2;
+    static constexpr std::size_t kJitEpochIndex = kJitWords - 3;
 
     explicit Nvm(std::size_t dataWords) : data_(dataWords, 0) {}
 
@@ -70,6 +105,15 @@ class Nvm
     // JIT checkpoint area (roll-forward protocol).
     // ------------------------------------------------------------------
     std::array<std::uint32_t, kJitWords> jit{};
+    /**
+     * Consume-once freshness counter for the JIT image.  A completing
+     * checkpoint stamps the image with `jitEpoch + 1` and then advances
+     * this counter to match; a guarded restore additionally advances it
+     * past the image's epoch, so an image can be rolled forward into at
+     * most once.  Stale-image substitution (re-presenting an older,
+     * internally consistent image) then fails the epoch comparison.
+     */
+    std::uint32_t jitEpoch = 0;
 
     // ------------------------------------------------------------------
     // Endurance accounting (related work [19], Cronin et al.: frequent
@@ -87,6 +131,54 @@ class Nvm
     // ------------------------------------------------------------------
     /// Double-buffered register slots: slots[reg][colour].
     std::array<std::array<std::uint32_t, compiler::kMaxSlots>, 16> slots{};
+    /// CRC-32 check word of each primary slot value.
+    std::array<std::array<std::uint32_t, compiler::kMaxSlots>, 16> slotCrc{};
+    /// Shadow copy of each slot value (guarded-slot redundancy).
+    std::array<std::array<std::uint32_t, compiler::kMaxSlots>, 16>
+        slotShadow{};
+    /// CRC-32 check word of each shadow slot value.
+    std::array<std::array<std::uint32_t, compiler::kMaxSlots>, 16>
+        slotShadowCrc{};
+
+    /**
+     * Guarded slot store: writes the value with its CRC check word plus
+     * a shadow pair.  Modelled as two wide FRAM line writes (the cycle
+     * cost of kCkpt is unchanged; the endurance counter records both
+     * lines).
+     */
+    void writeSlot(int reg, int slot, std::uint32_t value)
+    {
+        auto r = static_cast<std::size_t>(reg);
+        auto s = static_cast<std::size_t>(slot);
+        std::uint32_t crc = crc32Word(value);
+        slots[r][s] = value;
+        slotCrc[r][s] = crc;
+        slotShadow[r][s] = value;
+        slotShadowCrc[r][s] = crc;
+        slotWrites += 2;
+    }
+
+    /**
+     * Guarded slot load: validates the primary (value, CRC) pair and
+     * falls back to the shadow pair when the primary is corrupt.  A
+     * virgin (all-zero) slot validates, since crc32Word(0) == 0.
+     */
+    SlotRead readSlotGuarded(int reg, int slot) const
+    {
+        auto r = static_cast<std::size_t>(reg);
+        auto s = static_cast<std::size_t>(slot);
+        SlotRead out;
+        out.value = slots[r][s];
+        if (crc32Word(slots[r][s]) == slotCrc[r][s])
+            return out;
+        if (crc32Word(slotShadow[r][s]) == slotShadowCrc[r][s]) {
+            out.value = slotShadow[r][s];
+            out.repaired = true;
+            return out;
+        }
+        out.unrecoverable = true;
+        return out;
+    }
     /// Id of the last committed region (written atomically by kBoundary).
     std::uint32_t committedRegion = 0;
     /// Total boundary commits (region-completion detector input).

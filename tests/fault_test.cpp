@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "compiler/pipeline.hpp"
+#include "exp/rng.hpp"
+#include "exp/thread_pool.hpp"
+#include "fault/campaign.hpp"
+#include "fault/corpus.hpp"
+#include "fault/injectors.hpp"
+#include "runtime/gecko_runtime.hpp"
+#include "sim/jit_checkpoint.hpp"
+#include "sim/nvm.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * The fault-injection subsystem: CRC/guarded-slot primitives, JIT-image
+ * validity lifecycle, injector mutations, corpus round-trips, and the
+ * campaign's determinism and discrimination guarantees (NVP corrupts,
+ * GECKO never does) on a small grid.
+ */
+
+namespace gecko::fault {
+namespace {
+
+using compiler::Scheme;
+using sim::JitCheckpoint;
+using sim::Nvm;
+
+TEST(CrcTest, DetectsEverySingleBitFlip)
+{
+    std::uint32_t words[4] = {0xdeadbeef, 0, 42, 0x80000000};
+    std::uint32_t good = sim::crc32Words(words, 4);
+    for (int w = 0; w < 4; ++w) {
+        for (int b = 0; b < 32; ++b) {
+            words[w] ^= 1u << b;
+            EXPECT_NE(sim::crc32Words(words, 4), good)
+                << "word " << w << " bit " << b;
+            words[w] ^= 1u << b;
+        }
+    }
+    EXPECT_EQ(sim::crc32Words(words, 4), good);
+}
+
+TEST(CrcTest, AllZeroDataValidatesAgainstZeroCrc)
+{
+    std::uint32_t zeros[8] = {};
+    EXPECT_EQ(sim::crc32Words(zeros, 8), 0u);
+}
+
+TEST(GuardedSlotTest, RepairsPrimaryCorruptionFromShadow)
+{
+    Nvm nvm(64);
+    nvm.writeSlot(3, 1, 0xdeadbeef);
+    EXPECT_EQ(nvm.slotWrites, 2u);  // value+crc line and shadow line
+
+    nvm.slots[3][1] ^= 0x10;  // disturb the primary value word
+    sim::SlotRead sr = nvm.readSlotGuarded(3, 1);
+    EXPECT_TRUE(sr.repaired);
+    EXPECT_FALSE(sr.unrecoverable);
+    EXPECT_EQ(sr.value, 0xdeadbeefu);
+}
+
+TEST(GuardedSlotTest, DoubleCorruptionIsFlaggedUnrecoverable)
+{
+    Nvm nvm(64);
+    nvm.writeSlot(0, 0, 77);
+    nvm.slots[0][0] ^= 2;
+    nvm.slotShadow[0][0] ^= 4;
+    sim::SlotRead sr = nvm.readSlotGuarded(0, 0);
+    EXPECT_TRUE(sr.unrecoverable);
+}
+
+struct ImageRig {
+    compiler::CompiledProgram prog;
+    Nvm nvm{1024};
+    sim::IoHub io;
+    sim::Machine machine;
+
+    ImageRig()
+        : prog(compiler::compile(workloads::build("bitcnt"), Scheme::kGecko)),
+          machine(prog, nvm, io)
+    {
+        workloads::setupIo("bitcnt", io);
+        std::uint64_t consumed = 0;
+        machine.run(300, &consumed);
+    }
+};
+
+TEST(JitImageTest, ValidityLifecycle)
+{
+    ImageRig rig;
+    // Virgin all-zero area validates (cold start).
+    EXPECT_TRUE(JitCheckpoint::imageValid(rig.nvm));
+
+    JitCheckpoint::checkpoint(rig.machine, rig.nvm,
+                              [](int) { return true; });
+    EXPECT_TRUE(JitCheckpoint::imageValid(rig.nvm));
+
+    // Consume-once: the same image must not roll forward twice.
+    JitCheckpoint::consumeImage(rig.nvm);
+    EXPECT_FALSE(JitCheckpoint::imageValid(rig.nvm));
+
+    JitCheckpoint::checkpoint(rig.machine, rig.nvm,
+                              [](int) { return true; });
+    EXPECT_TRUE(JitCheckpoint::imageValid(rig.nvm));
+}
+
+TEST(JitImageTest, InjectorsInvalidateImage)
+{
+    exp::Rng rng(99);
+    {
+        ImageRig rig;
+        JitCheckpoint::checkpoint(rig.machine, rig.nvm,
+                                  [](int) { return true; });
+        corruptAckWord(rig.nvm, rng);
+        EXPECT_FALSE(JitCheckpoint::imageValid(rig.nvm));
+    }
+    {
+        ImageRig rig;
+        JitCheckpoint::checkpoint(rig.machine, rig.nvm,
+                                  [](int) { return true; });
+        corruptJitWord(rig.nvm, 1, rng);
+        EXPECT_FALSE(JitCheckpoint::imageValid(rig.nvm));
+    }
+    {
+        // Stale substitution: an older internally consistent image
+        // fails the epoch comparison after the current one's consume.
+        ImageRig rig;
+        JitCheckpoint::checkpoint(rig.machine, rig.nvm,
+                                  [](int) { return true; });
+        auto old = rig.nvm.jit;
+        JitCheckpoint::consumeImage(rig.nvm);
+        JitCheckpoint::checkpoint(rig.machine, rig.nvm,
+                                  [](int) { return true; });
+        substituteJitImage(rig.nvm, old);
+        EXPECT_FALSE(JitCheckpoint::imageValid(rig.nvm));
+    }
+}
+
+TEST(InjectorTest, FlipBitsFlipsExactlyN)
+{
+    exp::Rng rng(5);
+    for (int n = 1; n <= 3; ++n) {
+        std::uint32_t v = 0xcafef00d;
+        std::uint32_t flipped = flipBits(v, n, rng);
+        EXPECT_EQ(std::bitset<32>(v ^ flipped).count(),
+                  static_cast<std::size_t>(n));
+    }
+}
+
+TEST(InjectorTest, NameTablesRoundTrip)
+{
+    for (int i = 0; i < kInjectorKinds; ++i) {
+        auto kind = static_cast<InjectorKind>(i);
+        InjectorKind back;
+        ASSERT_TRUE(injectorFromName(injectorName(kind), &back));
+        EXPECT_EQ(back, kind);
+    }
+    InjectorKind sink;
+    EXPECT_FALSE(injectorFromName("bogus", &sink));
+}
+
+TEST(CorpusTest, LineRoundTrip)
+{
+    CaseResult r;
+    r.spec.workload = "crc16";
+    r.spec.scheme = Scheme::kGeckoNoPrune;
+    r.spec.injector = InjectorKind::kTornWrite;
+    r.spec.seed = 0xabcdef0123ull;
+    r.injectAt = 7;
+    r.word = 19;
+    r.outcome = CaseOutcome::kDiverged;
+
+    CorpusEntry entry;
+    std::string err;
+    ASSERT_TRUE(parseCorpusLine(formatCorpusLine(r), &entry, &err)) << err;
+    EXPECT_EQ(entry.spec.workload, "crc16");
+    EXPECT_EQ(entry.spec.scheme, Scheme::kGeckoNoPrune);
+    EXPECT_EQ(entry.spec.injector, InjectorKind::kTornWrite);
+    EXPECT_EQ(entry.spec.seed, 0xabcdef0123ull);
+    EXPECT_EQ(entry.spec.injectAtOverride, 7);
+    EXPECT_EQ(entry.spec.wordOverride, 19);
+    EXPECT_EQ(entry.outcome, CaseOutcome::kDiverged);
+
+    std::uint64_t seed = 0;
+    auto entries = parseCorpus(formatCorpus(1234, {r}), &seed);
+    EXPECT_EQ(seed, 1234u);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].spec.seed, r.spec.seed);
+}
+
+TEST(CampaignTest, GridCoversEveryInjectorAndScheme)
+{
+    CampaignConfig config;
+    config.cases = 300;
+    auto specs = makeCampaignCases(config);
+    ASSERT_EQ(specs.size(), 300u);
+    std::array<int, kInjectorKinds> injectorSeen{};
+    std::array<int, 4> schemeSeen{};
+    for (const CaseSpec& s : specs) {
+        ++injectorSeen[static_cast<std::size_t>(s.injector)];
+        for (std::size_t i = 0; i < config.schemes.size(); ++i)
+            if (config.schemes[i] == s.scheme)
+                ++schemeSeen[i];
+        if (isSimLevel(s.injector)) {
+            EXPECT_EQ(s.workload, "sensor_loop");
+        }
+    }
+    for (int i = 0; i < kInjectorKinds; ++i)
+        EXPECT_GT(injectorSeen[static_cast<std::size_t>(i)], 0)
+            << injectorName(static_cast<InjectorKind>(i));
+    for (int count : schemeSeen)
+        EXPECT_GT(count, 0);
+    // Case seeds are pairwise distinct (mixSeed avalanche).
+    EXPECT_NE(specs[0].seed, specs[1].seed);
+    EXPECT_NE(specs[1].seed, specs[2].seed);
+}
+
+TEST(CampaignTest, DeterministicAcrossThreadCounts)
+{
+    CampaignConfig config;
+    config.cases = 144;
+    config.seed = 7;
+
+    exp::ThreadPool serial(1);
+    config.pool = &serial;
+    CampaignResult a = runCampaign(config);
+
+    exp::ThreadPool wide(3);
+    config.pool = &wide;
+    CampaignResult b = runCampaign(config);
+
+    EXPECT_EQ(a.report, b.report);
+    EXPECT_EQ(a.corpus, b.corpus);
+    EXPECT_EQ(a.nvpCorruptions, b.nvpCorruptions);
+    EXPECT_EQ(a.crcRejects, b.crcRejects);
+}
+
+TEST(CampaignTest, NvpCorruptsAndGeckoSurvives)
+{
+    CampaignConfig config;
+    config.cases = 288;
+    config.seed = 7;
+    exp::ThreadPool pool(3);
+    config.pool = &pool;
+    CampaignResult result = runCampaign(config);
+
+    EXPECT_TRUE(result.geckoClean);
+    EXPECT_EQ(result.geckoCorruptions, 0u);
+    EXPECT_GT(result.nvpCorruptions, 0u);
+    // The defences actually fired along the way.
+    EXPECT_GT(result.crcRejects, 0u);
+    EXPECT_GT(result.corruptedRestores, 0u);
+}
+
+TEST(CampaignTest, CorpusCasesReplayStandalone)
+{
+    CampaignConfig config;
+    config.cases = 144;
+    config.seed = 7;
+    exp::ThreadPool pool(2);
+    config.pool = &pool;
+    CampaignResult result = runCampaign(config);
+    ASSERT_FALSE(result.corpusCases.empty());
+
+    // Replay through the corpus *text*, exactly like the driver's
+    // --replay path: parse each line back into a spec and re-run it.
+    std::uint64_t seed = 0;
+    auto entries = parseCorpus(result.corpus, &seed);
+    EXPECT_EQ(seed, config.seed);
+    ASSERT_EQ(entries.size(), result.corpusCases.size());
+    for (const CorpusEntry& entry : entries) {
+        CaseResult rerun = runCase(entry.spec);
+        EXPECT_EQ(rerun.outcome, entry.outcome)
+            << formatCorpusLine(rerun);
+        EXPECT_TRUE(isCorruption(rerun.outcome));
+    }
+}
+
+}  // namespace
+}  // namespace gecko::fault

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "compiler/pipeline.hpp"
+#include "exp/rng.hpp"
 #include "ir/builder.hpp"
 #include "runtime/gecko_runtime.hpp"
 #include "sim/intermittent_sim.hpp"
@@ -59,6 +60,9 @@ class Rng
 ir::Program
 generate(std::uint32_t seed)
 {
+    // A nonzero GECKO_SEED reseeds the whole population (exp/rng.hpp);
+    // the unseeded baseline keeps the historical programs.
+    seed = static_cast<std::uint32_t>(exp::applyGlobalSeed(seed));
     Rng rng(seed);
     ir::ProgramBuilder b("fuzz" + std::to_string(seed));
     int label_counter = 0;

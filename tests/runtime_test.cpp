@@ -169,6 +169,88 @@ TEST(GeckoRuntimeTest, NvpRestoresStaleImageAndCounts)
     EXPECT_TRUE(rig.runtime.jitActive());  // NVP has no defence
 }
 
+TEST(GeckoRuntimeTest, TornImageRejectedAtEveryTruncationOffset)
+{
+    // Every truncation offset of the 28-word image must fail the
+    // guarded-restore check: offsets before the epoch word leave a
+    // consumed (stale) epoch, offsets before the CRC word leave a stale
+    // CRC over mixed contents, and an offset at the ACK word leaves a
+    // CRC that folded an ACK value never written.
+    for (int cut = 0; cut < static_cast<int>(Nvm::kJitWords); ++cut) {
+        Rig rig(Scheme::kGecko);
+        // Detectors off: the torn image must be caught by the CRC/epoch
+        // guard itself, not by the ACK/timer attack detectors.
+        rig.runtime.setDetectors(false, false);
+        rig.runtime.onBoot();
+        rig.run(500);
+        rig.gracefulFailAndBoot();  // last-known-good state
+        rig.run(500);
+
+        int n = 0;
+        JitCheckpoint::checkpoint(rig.machine, rig.nvm,
+                                  [&](int) { return n++ < cut; });
+        rig.machine.powerCycle();
+        rig.runtime.onBoot();
+
+        EXPECT_EQ(rig.runtime.stats.crcRejects, 1u) << "cut=" << cut;
+        EXPECT_GE(rig.runtime.stats.corruptedRestores, 1u) << "cut=" << cut;
+        // The fallback rolled back to the last committed region: pc at
+        // its entry, live-ins restored from the guarded slots.
+        const auto& info =
+            rig.prog.region(static_cast<int>(rig.nvm.committedRegion));
+        EXPECT_EQ(rig.machine.pc(), info.entryIdx) << "cut=" << cut;
+        for (const auto& ck : info.ckpts) {
+            EXPECT_EQ(rig.machine.regs()[ck.reg],
+                      rig.nvm.slots[ck.reg]
+                                   [static_cast<std::size_t>(ck.slot)])
+                << "cut=" << cut << " r" << static_cast<int>(ck.reg);
+        }
+    }
+}
+
+TEST(GeckoRuntimeTest, PersistentIntegrityFailuresDegradeToRollback)
+{
+    Rig rig(Scheme::kGecko);
+    rig.runtime.setDetectors(false, false);
+    rig.runtime.onBoot();
+    for (int i = 0; i < GeckoRuntime::kMaxIntegrityFailures; ++i) {
+        ASSERT_TRUE(rig.runtime.jitActive()) << "boot " << i;
+        rig.run(500);
+        int n = 0;
+        JitCheckpoint::checkpoint(rig.machine, rig.nvm,
+                                  [&](int) { return n++ < 5; });
+        rig.machine.powerCycle();
+        rig.runtime.onBoot();
+    }
+    // Three consecutive CRC rejects: graceful degradation to the
+    // JIT-disabled rollback mode, with the re-enable probe armed.
+    EXPECT_EQ(rig.runtime.stats.crcRejects,
+              static_cast<std::uint64_t>(
+                  GeckoRuntime::kMaxIntegrityFailures));
+    EXPECT_EQ(rig.runtime.stats.integrityDegradations, 1u);
+    EXPECT_FALSE(rig.runtime.jitActive());
+}
+
+TEST(GeckoRuntimeTest, ValidCheckpointResetsIntegrityFailureStreak)
+{
+    Rig rig(Scheme::kGecko);
+    rig.runtime.setDetectors(false, false);
+    rig.runtime.onBoot();
+    for (int i = 0; i < 4; ++i) {
+        rig.run(500);
+        int n = 0;
+        JitCheckpoint::checkpoint(rig.machine, rig.nvm,
+                                  [&](int) { return n++ < 5; });
+        rig.machine.powerCycle();
+        rig.runtime.onBoot();  // CRC reject
+        rig.run(500);
+        rig.gracefulFailAndBoot();  // valid restore resets the streak
+    }
+    EXPECT_EQ(rig.runtime.stats.crcRejects, 4u);
+    EXPECT_EQ(rig.runtime.stats.integrityDegradations, 0u);
+    EXPECT_TRUE(rig.runtime.jitActive());
+}
+
 TEST(GeckoRuntimeTest, RollbackRestoresLiveInsFromSlots)
 {
     Rig rig(Scheme::kGecko);
