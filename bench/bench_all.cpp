@@ -41,6 +41,9 @@ const std::vector<std::string> kFigures = {
 
 struct FigureResult {
     std::string figure;
+    /// Child telemetry schema version; records predating the
+    /// `schema_version` key are version 1.
+    int schemaVersion = 1;
     double wallS = 0.0;
     double serialWallS = 0.0;
     double simCycles = 0.0;
@@ -145,6 +148,10 @@ main(int argc, char** argv)
                   << (r.ok ? "" : " FAILED") << "\n";
 
         std::string childJson = readFile(jsonPath);
+        // Tolerant read: unknown keys are skipped by the find-based
+        // extractors, so newer child records still aggregate here.
+        r.schemaVersion = static_cast<int>(
+            jsonNumber(childJson, "schema_version").value_or(1.0));
         r.simCycles = jsonNumber(childJson, "sim_cycles").value_or(0.0);
         r.status = gecko::metrics::jsonString(childJson, "status")
                        .value_or(r.ok ? "pass" : "fail");
@@ -177,7 +184,8 @@ main(int argc, char** argv)
 
     unsigned hw = std::thread::hardware_concurrency();
     std::ostringstream os;
-    os << "{\"suite\":\"gecko-bench\",\"threads\":" << threads
+    os << "{\"schema_version\":" << gecko::metrics::kBenchSchemaVersion
+       << ",\"suite\":\"gecko-bench\",\"threads\":" << threads
        << ",\"host_cores\":" << (hw >= 1 ? hw : 1)
        << ",\"total_wall_s\":" << gecko::metrics::fmt(totalWall, 3);
     if (totalSerial > 0)
@@ -203,7 +211,8 @@ main(int argc, char** argv)
         if (i)
             os << ",";
         os << "{\"figure\":\"" << gecko::metrics::jsonEscape(r.figure)
-           << "\",\"ok\":" << (r.ok ? "true" : "false") << ",\"status\":\""
+           << "\",\"schema_version\":" << r.schemaVersion
+           << ",\"ok\":" << (r.ok ? "true" : "false") << ",\"status\":\""
            << gecko::metrics::jsonEscape(r.status)
            << "\",\"wall_s\":" << gecko::metrics::fmt(r.wallS, 3);
         if (r.serialWallS > 0)

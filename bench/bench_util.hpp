@@ -27,6 +27,8 @@
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
 #include "sim/intermittent_sim.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "workloads/workloads.hpp"
 
 /**
@@ -91,6 +93,12 @@ struct Telemetry {
     std::atomic<std::uint64_t> corruptedRestores{0};
     std::atomic<std::uint64_t> crcRejects{0};
     std::atomic<std::uint64_t> retriesExhausted{0};
+    /// Event-trace sink, non-null when `--trace=PATH` or
+    /// `GECKO_TRACE_OUT` requested one; every runSweep point records
+    /// into its own per-point buffer.
+    std::unique_ptr<trace::Collector> collector;
+    /// Destination of the merged trace ("" = tracing off).
+    std::string traceOut;
     std::chrono::steady_clock::time_point processStart =
         std::chrono::steady_clock::now();
 };
@@ -104,12 +112,18 @@ telemetry()
 
 /**
  * Bench entry hook: parse the shared CLI flags before the global pool
- * exists.  Supported: `--threads=N` (overrides `GECKO_THREADS`) and
- * `--seed=N` (overrides `GECKO_SEED`; see exp/rng.hpp).
+ * exists.  Supported: `--threads=N` (overrides `GECKO_THREADS`),
+ * `--seed=N` (overrides `GECKO_SEED`; see exp/rng.hpp), and
+ * `--trace=PATH` (overrides `GECKO_TRACE_OUT`) to write a merged event
+ * trace of every sweep point — `.json` gets Chrome-trace/Perfetto
+ * format, anything else JSONL (see trace/export.hpp).
  */
 inline void
 init(int argc, char** argv)
 {
+    std::string traceOut;
+    if (const char* env = std::getenv("GECKO_TRACE_OUT"); env && *env)
+        traceOut = env;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--threads=", 0) == 0) {
@@ -118,6 +132,17 @@ init(int argc, char** argv)
                 exp::ThreadPool::setGlobalThreads(n);
         } else if (arg.rfind("--seed=", 0) == 0) {
             exp::setGlobalSeed(std::strtoull(arg.c_str() + 7, nullptr, 10));
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            traceOut = arg.substr(8);
+        }
+    }
+    if (!traceOut.empty()) {
+        if (trace::compiledIn()) {
+            telemetry().traceOut = traceOut;
+            telemetry().collector = std::make_unique<trace::Collector>();
+        } else {
+            std::cerr << "[bench] --trace requested but tracing is "
+                         "compiled out (GECKO_TRACE=0); ignoring\n";
         }
     }
     telemetry();  // pin the process start time
@@ -134,8 +159,16 @@ runSweep(const std::string& label, const std::vector<Point>& points, Fn fn)
     auto& pool = exp::ThreadPool::global();
     std::vector<double> taskSeconds;
     auto t0 = std::chrono::steady_clock::now();
-    auto results = exp::parallelMap(pool, points, std::move(fn),
-                                    &taskSeconds);
+    // Each point records into its own trace buffer keyed by
+    // (sweep label, point ordinal); parallelMap hands `fn` references
+    // into `points`, so the ordinal is recoverable by address.
+    auto traced = [&](const Point& p) {
+        trace::CaseScope scope(
+            telemetry().collector.get(), label,
+            static_cast<std::uint64_t>(&p - points.data()));
+        return fn(p);
+    };
+    auto results = exp::parallelMap(pool, points, traced, &taskSeconds);
     auto t1 = std::chrono::steady_clock::now();
 
     metrics::SweepRecord record;
@@ -170,17 +203,29 @@ noteRuntimeStats(const runtime::RuntimeStats& stats)
  * bench::writeBenchReport("fig04");` — stdout stays untouched so
  * series output remains byte-comparable across thread counts.
  * `status` ("pass"/"fail") is for benches with a verdict; empty means
- * "no pass/fail semantics".
+ * "no pass/fail semantics".  Also flushes the event trace when
+ * `--trace=`/`GECKO_TRACE_OUT` armed one — independent of
+ * GECKO_BENCH_JSON.
  */
 inline int
 writeBenchReport(const std::string& figure, const std::string& status = "")
 {
+    int rc = 0;
+    if (telemetry().collector) {
+        if (!trace::writeTraceFile(*telemetry().collector,
+                                   telemetry().traceOut)) {
+            std::cerr << "[bench] cannot write trace "
+                      << telemetry().traceOut << "\n";
+            rc = 1;
+        }
+    }
     const char* path = std::getenv("GECKO_BENCH_JSON");
     if (!path || !*path)
-        return 0;
+        return rc;
     metrics::BenchReport report;
     report.figure = figure;
     report.status = status;
+    report.traceOut = telemetry().traceOut;
     report.corruptedRestores =
         telemetry().corruptedRestores.load(std::memory_order_relaxed);
     report.crcRejects =
@@ -206,7 +251,7 @@ writeBenchReport(const std::string& figure, const std::string& status = "")
         return 1;
     }
     out << report.toJson() << "\n";
-    return 0;
+    return rc;
 }
 
 /**

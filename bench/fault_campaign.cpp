@@ -23,6 +23,8 @@
  *   --out=DIR      write DIR/fault_corpus.txt and DIR/fault_report.txt
  *   --replay=FILE  replay a corpus file case-by-case instead of
  *                  running a campaign
+ *   --trace=FILE   record per-case event traces (campaign and replay
+ *                  alike) and write the merged trace to FILE
  *   --expect-nvp-corruption  exit nonzero unless NVP showed corruption
  *                  (guards the campaign's discriminating power)
  *
@@ -56,6 +58,17 @@ replayCorpus(const std::string& path)
               << " (campaign seed " << campaignSeed << ")\n";
     int mismatches = 0;
     for (const fault::CorpusEntry& entry : entries) {
+        // Same buffer label scheme as the campaign, so a replayed
+        // case's events diff cleanly against the campaign trace.
+        const std::uint64_t ordinal = static_cast<std::uint64_t>(
+            &entry - entries.data());
+        trace::CaseScope scope(
+            bench::telemetry().collector.get(),
+            entry.spec.workload + "|" +
+                compiler::schemeName(entry.spec.scheme) + "|" +
+                fault::injectorName(entry.spec.injector) + "|" +
+                std::to_string(entry.spec.seed),
+            ordinal);
         fault::CaseResult res = fault::runCase(entry.spec);
         bool match = res.outcome == entry.outcome;
         if (!match)
@@ -64,7 +77,9 @@ replayCorpus(const std::string& path)
                   << (match ? "  [reproduced]" : "  [MISMATCH]") << "\n";
     }
     std::cout << "# replay mismatches=" << mismatches << "\n";
-    return mismatches == 0 ? 0 : 1;
+    int rc = bench::writeBenchReport("fault_campaign_replay",
+                                     mismatches == 0 ? "pass" : "fail");
+    return mismatches == 0 ? rc : 1;
 }
 
 }  // namespace
@@ -75,6 +90,7 @@ main(int argc, char** argv)
     bench::init(argc, argv);
 
     fault::CampaignConfig config;
+    config.collector = bench::telemetry().collector.get();
     if (exp::globalSeed() != 0)
         config.seed = exp::globalSeed();
     std::string outDir;

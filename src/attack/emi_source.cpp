@@ -2,13 +2,44 @@
 
 #include <cmath>
 
+#include "trace/trace.hpp"
+
 namespace gecko::attack {
+
+namespace {
+
+/** Offset-encoded milli-dBm (+200 dBm bias keeps the payload unsigned). */
+[[maybe_unused]] std::uint64_t
+traceMilliDbm(double powerDbm)
+{
+    const double biased = (powerDbm + 200.0) * 1000.0;
+    return biased > 0 ? static_cast<std::uint64_t>(std::llround(biased)) : 0;
+}
+
+}  // namespace
 
 EmiSource::EmiSource(const InjectionRig& rig, double freqHz,
                      double powerDbm, double clockSkewPpm)
     : rig_(rig), freqHz_(freqHz), powerDbm_(powerDbm),
       amplitude_(rig.amplitude(freqHz, powerDbm)), skewPpm_(clockSkewPpm)
 {
+}
+
+void
+EmiSource::setEnabled(bool enabled)
+{
+    if (enabled == enabled_)
+        return;
+    enabled_ = enabled;
+    if (enabled) {
+        GECKO_TRACE_EVENT(trace::EventKind::kEmiOn, 0,
+                          static_cast<std::uint64_t>(freqHz_),
+                          traceMilliDbm(powerDbm_));
+    } else {
+        GECKO_TRACE_EVENT(trace::EventKind::kEmiOff, 0,
+                          static_cast<std::uint64_t>(freqHz_),
+                          traceMilliDbm(powerDbm_));
+    }
 }
 
 void

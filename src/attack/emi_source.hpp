@@ -36,8 +36,8 @@ class EmiSource
     /** Retune the generator. */
     void setTone(double freqHz, double powerDbm);
 
-    /** Key the carrier on or off. */
-    void setEnabled(bool enabled) { enabled_ = enabled; }
+    /** Key the carrier on or off (traced as injection on/off edges). */
+    void setEnabled(bool enabled);
     bool enabled() const { return enabled_; }
 
     double freqHz() const { return freqHz_; }

@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.hpp"
+
 namespace gecko::energy {
+
+namespace {
+
+/// Open-circuit voltage below which the harvester counts as dark.
+constexpr double kOutageVocV = 0.05;
+
+[[maybe_unused]] std::uint64_t
+traceMv(double v)
+{
+    return v > 0 ? static_cast<std::uint64_t>(std::llround(v * 1000.0)) : 0;
+}
+
+}  // namespace
 
 Capacitor::Capacitor(const CapacitorConfig& config) : config_(config)
 {
@@ -19,14 +34,17 @@ Capacitor::voltage() const
 double
 Capacitor::discharge(double joules)
 {
+    const double prevE = energyJ_;
     double drawn = std::min(joules, energyJ_);
     energyJ_ -= drawn;
+    traceCrossings(prevE, energyJ_);
     return drawn;
 }
 
 void
 Capacitor::chargeFrom(double vOc, double rSeries, double dt)
 {
+    traceOutage(vOc);
     // The harvester front end rectifies (Fig. 1): no reverse current
     // flows into a source below the capacitor voltage.
     if (vOc <= voltage()) {
@@ -40,19 +58,23 @@ Capacitor::chargeFrom(double vOc, double rSeries, double dt)
     const double a = 1.0 / (rSeries * c) + config_.leakageS / c;
     const double b = vOc / (rSeries * c);
     const double v_inf = b / a;
+    const double prevE = energyJ_;
     double v = voltage();
     v = v_inf + (v - v_inf) * std::exp(-a * dt);
     v = std::clamp(v, 0.0, config_.maxV);
     setVoltage(v);
+    traceCrossings(prevE, energyJ_);
 }
 
 void
 Capacitor::leak(double dt)
 {
     // Pure leakage: V(t) = V e^{-G dt / C}.
+    const double prevE = energyJ_;
     double v = voltage() *
                std::exp(-config_.leakageS * dt / config_.capacitanceF);
     setVoltage(v);
+    traceCrossings(prevE, energyJ_);
 }
 
 double
@@ -74,6 +96,57 @@ Capacitor::setVoltage(double v)
 {
     v = std::clamp(v, 0.0, config_.maxV);
     energyJ_ = 0.5 * config_.capacitanceF * v * v;
+}
+
+void
+Capacitor::watchThresholds(double vOff, double vBackup, double vOn)
+{
+    watching_ = true;
+    thresholds_[0] = vOff;
+    thresholds_[1] = vBackup;
+    thresholds_[2] = vOn;
+    // Precompute ½CV² per threshold so crossings compare against the
+    // stored energy directly — no sqrt on the hot discharge path.
+    for (int i = 0; i < 3; ++i)
+        thresholdsE_[i] = 0.5 * config_.capacitanceF * thresholds_[i] *
+                          thresholds_[i];
+}
+
+void
+Capacitor::traceCrossings(double prevE, double newE)
+{
+    if (!watching_ || prevE == newE || trace::current() == nullptr)
+        return;
+    for (int i = 0; i < 3; ++i) {
+        const double thrE = thresholdsE_[i];
+        if (prevE < thrE && newE >= thrE) {
+            GECKO_TRACE_EVENT(trace::EventKind::kThresholdCross,
+                              trace::kFlagUp, static_cast<std::uint64_t>(i),
+                              traceMv(thresholds_[i]));
+        } else if (prevE > thrE && newE <= thrE) {
+            GECKO_TRACE_EVENT(trace::EventKind::kThresholdCross,
+                              trace::kFlagDown,
+                              static_cast<std::uint64_t>(i),
+                              traceMv(thresholds_[i]));
+        }
+    }
+}
+
+void
+Capacitor::traceOutage(double vOc)
+{
+    if (!watching_)
+        return;
+    const bool dark = vOc < kOutageVocV;
+    if (dark == outage_)
+        return;
+    outage_ = dark;
+    if (dark) {
+        GECKO_TRACE_EVENT(trace::EventKind::kOutageStart, 0, traceMv(vOc),
+                          0);
+    } else {
+        GECKO_TRACE_EVENT(trace::EventKind::kOutageEnd, 0, traceMv(vOc), 0);
+    }
 }
 
 double

@@ -68,9 +68,28 @@ class Capacitor
     /** Force the voltage (used by tests and scenario setup). */
     void setVoltage(double v);
 
+    /**
+     * Arm trace emission of threshold crossings (V_off, V_backup, V_on)
+     * and harvester outage edges.  Off by default; the intermittent
+     * simulator arms it when event tracing is compiled in.  Purely
+     * observational — never changes the energy state.
+     */
+    void watchThresholds(double vOff, double vBackup, double vOn);
+
   private:
+    // Crossing detection runs in the energy domain (E = ½CV² is strictly
+    // monotone in V) so the per-quantum discharge path never needs the
+    // sqrt in voltage() just to feed tracing.
+    void traceCrossings(double prevE, double newE);
+    void traceOutage(double vOc);
+
     CapacitorConfig config_;
     double energyJ_;
+    // Trace-only state (inert unless watchThresholds was called).
+    bool watching_ = false;
+    bool outage_ = false;
+    double thresholds_[3] = {0.0, 0.0, 0.0};
+    double thresholdsE_[3] = {0.0, 0.0, 0.0};
 };
 
 /**

@@ -14,6 +14,7 @@
 #include "fault/injectors.hpp"
 #include "sim/intermittent_sim.hpp"
 #include "sim/jit_checkpoint.hpp"
+#include "trace/trace.hpp"
 #include "workloads/workloads.hpp"
 
 namespace gecko::fault {
@@ -59,6 +60,11 @@ goldenFor(const std::string& workload, Scheme scheme, bool simLevel)
     auto it = cache.find(key);
     if (it != cache.end())
         return *it->second;
+
+    // The oracle run is shared lazy state: whichever case misses the
+    // cache first would otherwise record the golden run's events into
+    // *its* buffer, making traces depend on scheduling.  Suppress.
+    trace::BufferScope untraced(nullptr);
 
     auto golden = std::make_unique<Golden>();
     // Sim-level victims are compiled with a tighter region budget so
@@ -263,8 +269,16 @@ runMachineCase(const CaseSpec& spec)
                                       ? spec.wordOverride
                                       : cutDerived;
                         int n = 0;
-                        JitCheckpoint::checkpoint(
+                        GECKO_TRACE_EVENT(trace::EventKind::kFaultInject, 0,
+                                          trace::kSiteTornWrite,
+                                          static_cast<std::uint64_t>(cut));
+                        sim::JitResult jr = JitCheckpoint::checkpoint(
                             machine, nvm, [&](int) { return n++ < cut; });
+                        if (!jr.complete) {
+                            GECKO_TRACE_EVENT(
+                                trace::EventKind::kJitSaveTorn, 0, 0,
+                                static_cast<std::uint64_t>(cut));
+                        }
                         res.word = cut;
                         // Torn: the ACK never toggled; the image stays
                         // stale/partial — do not mark it fresh.
@@ -555,6 +569,16 @@ runCampaign(const CampaignConfig& config)
 
     CampaignResult out;
     out.cases = exp::parallelMap(pool, specs, [&](const CaseSpec& spec) {
+        // parallelMap hands out references into `specs`, so the case
+        // ordinal (the deterministic trace-merge index) is recoverable.
+        const auto ordinal =
+            static_cast<std::uint64_t>(&spec - specs.data());
+        trace::CaseScope scope(
+            config.collector,
+            spec.workload + "|" + compiler::schemeName(spec.scheme) + "|" +
+                injectorName(spec.injector) + "|" +
+                std::to_string(spec.seed),
+            ordinal);
         return runCase(spec, config.simTimeBudgetS);
     });
 
@@ -612,6 +636,9 @@ runCampaign(const CampaignConfig& config)
     // any thread count — each auto-minimised.
     std::map<std::string, int> kept;
     std::uint64_t dropped = 0;
+    // Minimisation probes re-run cases many times; keep them out of any
+    // ambient trace buffer (only each case's primary run is recorded).
+    trace::BufferScope untraced(nullptr);
     for (const CaseResult& r : out.cases) {
         if (!isCorruption(r.outcome))
             continue;

@@ -8,6 +8,10 @@
 #include "exp/thread_pool.hpp"
 #include "fault/fault.hpp"
 
+namespace gecko::trace {
+class Collector;
+}  // namespace gecko::trace
+
 /**
  * @file
  * The deterministic fault-injection campaign driver.
@@ -49,6 +53,11 @@ struct CampaignConfig {
     double simTimeBudgetS = 1.5;
     /// Pool override for tests (null = the process-wide pool).
     exp::ThreadPool* pool = nullptr;
+    /// Event-trace sink: when set, every case records into its own
+    /// buffer labelled "workload|scheme|injector|seed" with the case
+    /// ordinal as merge index (null = tracing off).  Minimisation
+    /// probes are untraced — only the primary run of each case is.
+    trace::Collector* collector = nullptr;
 };
 
 /** Outcome counts for one (scheme, injector) cell. */

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace gecko::fault {
 
 const char*
@@ -97,6 +99,8 @@ corruptJitWord(sim::Nvm& nvm, int nBits, exp::Rng& rng,
     int w = wordOverride >= 0 ? wordOverride : derived;
     nvm.jit[static_cast<std::size_t>(w)] =
         flipBits(nvm.jit[static_cast<std::size_t>(w)], nBits, rng);
+    GECKO_TRACE_EVENT(trace::EventKind::kFaultInject, 0,
+                      trace::kSiteJitWord, static_cast<std::uint64_t>(w));
     return w;
 }
 
@@ -112,6 +116,8 @@ corruptSlotWord(sim::Nvm& nvm, int nBits, exp::Rng& rng,
     auto r = static_cast<std::size_t>(reg);
     auto s = static_cast<std::size_t>(slot);
     nvm.slots[r][s] = flipBits(nvm.slots[r][s], nBits, rng);
+    GECKO_TRACE_EVENT(trace::EventKind::kFaultInject, 0,
+                      trace::kSiteSlotWord, static_cast<std::uint64_t>(w));
     return w;
 }
 
@@ -120,6 +126,8 @@ corruptAckWord(sim::Nvm& nvm, exp::Rng& rng)
 {
     nvm.jit[sim::Nvm::kJitAckIndex] =
         flipBits(nvm.jit[sim::Nvm::kJitAckIndex], 1, rng);
+    GECKO_TRACE_EVENT(trace::EventKind::kFaultInject, 0,
+                      trace::kSiteAckWord, sim::Nvm::kJitAckIndex);
 }
 
 void
@@ -127,6 +135,9 @@ substituteJitImage(
     sim::Nvm& nvm, const std::array<std::uint32_t, sim::Nvm::kJitWords>& old)
 {
     nvm.jit = old;
+    GECKO_TRACE_EVENT(trace::EventKind::kFaultInject, 0,
+                      trace::kSiteStaleImage,
+                      old[sim::Nvm::kJitEpochIndex]);
 }
 
 void
@@ -135,6 +146,9 @@ substituteStaleSlot(sim::Nvm& nvm, int reg, int slot,
 {
     nvm.slots[static_cast<std::size_t>(reg)]
              [static_cast<std::size_t>(slot)] = staleValue;
+    GECKO_TRACE_EVENT(
+        trace::EventKind::kFaultInject, 0, trace::kSiteStaleSlot,
+        static_cast<std::uint64_t>(reg * compiler::kMaxSlots + slot));
 }
 
 BrownoutHarvester::BrownoutHarvester(const energy::Harvester& base,

@@ -46,7 +46,8 @@ std::string
 BenchReport::toJson() const
 {
     std::ostringstream os;
-    os << "{\"figure\":\"" << jsonEscape(figure) << "\""
+    os << "{\"schema_version\":" << schemaVersion
+       << ",\"figure\":\"" << jsonEscape(figure) << "\""
        << ",\"threads\":" << threads << ",\"host_cores\":" << hostCores
        << ",\"wall_s\":" << num(wallS);
     if (serialWallS > 0)
@@ -58,7 +59,10 @@ BenchReport::toJson() const
         os << ",\"status\":\"" << jsonEscape(status) << "\"";
     os << ",\"corrupted_restores\":" << corruptedRestores
        << ",\"crc_rejects\":" << crcRejects
-       << ",\"retries_exhausted\":" << retriesExhausted << ",\"sweeps\":[";
+       << ",\"retries_exhausted\":" << retriesExhausted;
+    if (!traceOut.empty())
+        os << ",\"trace_out\":\"" << jsonEscape(traceOut) << "\"";
+    os << ",\"sweeps\":[";
     for (std::size_t i = 0; i < sweeps.size(); ++i) {
         const SweepRecord& s = sweeps[i];
         if (i)

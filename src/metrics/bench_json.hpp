@@ -37,8 +37,21 @@ struct SweepRecord {
     double taskS = 0.0;
 };
 
+/**
+ * Wire-format version of BenchReport::toJson().  History:
+ *  - 1: initial format (implicit — records without a
+ *    `schema_version` key are version 1).
+ *  - 2: added `schema_version` itself and the optional `trace_out`
+ *    path of the event-trace file written alongside the report.
+ * Readers must tolerate unknown keys so newer records keep
+ * aggregating under older readers (the find-based extractors below
+ * do this by construction).
+ */
+inline constexpr int kBenchSchemaVersion = 2;
+
 /** Telemetry of one bench binary run. */
 struct BenchReport {
+    int schemaVersion = kBenchSchemaVersion;
     std::string figure;
     int threads = 1;
     unsigned hostCores = 1;
@@ -57,6 +70,8 @@ struct BenchReport {
     std::uint64_t corruptedRestores = 0;
     std::uint64_t crcRejects = 0;
     std::uint64_t retriesExhausted = 0;
+    /// Path of the event-trace file written for this run ("" = none).
+    std::string traceOut;
     std::vector<SweepRecord> sweeps;
 
     /** Speedup vs. the recorded serial baseline (0 = unknown). */

@@ -1,5 +1,7 @@
 #include "runtime/gecko_runtime.hpp"
 
+#include "trace/trace.hpp"
+
 namespace gecko::runtime {
 
 using compiler::CkptSpec;
@@ -49,6 +51,8 @@ GeckoRuntime::degradeToRollback()
         return;
     nvm_->jitDisabledFlag = 1;
     ++stats.integrityDegradations;
+    GECKO_TRACE_EVENT(trace::EventKind::kJitDisabled, 0,
+                      stats.integrityDegradations, 0);
 }
 
 void
@@ -81,12 +85,18 @@ GeckoRuntime::onProgress()
     if (!sawBackupSinceBoot_) {
         nvm_->jitDisabledFlag = 0;
         ++stats.jitReenables;
+        GECKO_TRACE_EVENT(trace::EventKind::kJitReenabled, 0,
+                          stats.jitReenables, 0);
     }
 }
 
 std::uint64_t
 GeckoRuntime::jitRestore()
 {
+    // maybe_unused: read before the restore mutates the image, but
+    // consumed only by trace events (compiled away under GECKO_TRACE=0).
+    [[maybe_unused]] const std::uint64_t imageEpoch =
+        nvm_->jit[sim::Nvm::kJitEpochIndex];
     if (guarded()) {
         if (!sim::JitCheckpoint::imageValid(*nvm_)) {
             // Torn, bit-flipped, ACK-corrupted or stale image: refuse to
@@ -97,6 +107,8 @@ GeckoRuntime::jitRestore()
             // down).
             ++stats.crcRejects;
             ++stats.corruptedRestores;
+            GECKO_TRACE_EVENT(trace::EventKind::kCrcReject, 0, imageEpoch,
+                              stats.crcRejects);
             if (++consecutiveIntegrityFailures_ >= kMaxIntegrityFailures) {
                 degradeToRollback();
                 probeArmed_ = true;
@@ -110,6 +122,12 @@ GeckoRuntime::jitRestore()
     ++stats.jitRestores;
     if (!jitImageFresh_)
         ++stats.corruptedRestores;
+    GECKO_TRACE_EVENT(
+        trace::EventKind::kJitRestore,
+        static_cast<std::uint16_t>(
+            (guarded() ? trace::kFlagGuarded : 0) |
+            (jitImageFresh_ ? 0 : trace::kFlagStale)),
+        imageEpoch, stats.jitRestores);
     return sim::JitCheckpoint::restore(*machine_, *nvm_, jitRamWords_);
 }
 
@@ -120,8 +138,11 @@ GeckoRuntime::rollback()
 
     const auto& regions = compiled_->regions;
     std::uint32_t id = nvm_->committedRegion;
-    if (regions.empty())
+    if (regions.empty()) {
+        GECKO_TRACE_EVENT(trace::EventKind::kRollback, 0, id,
+                          nvm_->commitCount);
         return 0;
+    }
     if (id >= regions.size())
         id = 0;
     const RegionInfo& info = regions[id];
@@ -147,10 +168,18 @@ GeckoRuntime::rollback()
                 continue;
             if (guarded()) {
                 sim::SlotRead sr = nvm_->readSlotGuarded(ck.reg, ck.slot);
-                if (sr.repaired)
+                if (sr.repaired) {
                     ++stats.slotRepairs;
-                if (sr.unrecoverable)
+                    GECKO_TRACE_EVENT(trace::EventKind::kSlotRepair, 0,
+                                      ck.reg,
+                                      static_cast<std::uint64_t>(ck.slot));
+                }
+                if (sr.unrecoverable) {
                     ++stats.slotUnrecoverable;
+                    GECKO_TRACE_EVENT(trace::EventKind::kSlotUnrecoverable,
+                                      0, ck.reg,
+                                      static_cast<std::uint64_t>(ck.slot));
+                }
                 regs[ck.reg] = sr.value;
             } else {
                 regs[ck.reg] =
@@ -178,11 +207,15 @@ GeckoRuntime::rollback()
             regs[spec.reg] = env[spec.reg];
             covered |= compiler::regBit(spec.reg);
             ++stats.recoveryBlockRuns;
+            GECKO_TRACE_EVENT(trace::EventKind::kRecoveryBlock, 0, spec.reg,
+                              spec.code.size());
         }
     }
 
     machine_->setPc(static_cast<std::uint32_t>(info.entryIdx));
     ++stats.rollbacks;
+    GECKO_TRACE_EVENT(trace::EventKind::kRollback, 0, id,
+                      nvm_->commitCount);
     return cycles;
 }
 
@@ -237,6 +270,16 @@ GeckoRuntime::onBoot(std::uint64_t prevOnCycles)
     }
     if (attack) {
         ++stats.attackDetections;
+        GECKO_TRACE_EVENT(
+            trace::EventKind::kAttackDetected,
+            static_cast<std::uint16_t>(
+                ((ackDetectorOn_ && !ack_changed) ? trace::kFlagAckDetect
+                                                  : 0) |
+                ((timerDetectorOn_ &&
+                  (commits_since == 0 || prevOnCycles < minOnCycles_))
+                     ? trace::kFlagTimerDetect
+                     : 0)),
+            stats.attackDetections, 0);
         nvm_->jitDisabledFlag = 1;
         probeArmed_ = true;
         commitsAtProbeArm_ = nvm_->commitCount;

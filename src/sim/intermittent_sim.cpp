@@ -4,10 +4,22 @@
 #include <cmath>
 
 #include "exp/rng.hpp"
+#include "trace/trace.hpp"
 
 namespace gecko::sim {
 
 using compiler::Scheme;
+
+namespace {
+
+/** Voltage in integer millivolt for trace payloads (clamped at 0). */
+[[maybe_unused]] std::uint64_t
+traceMv(double v)
+{
+    return v > 0 ? static_cast<std::uint64_t>(std::llround(v * 1000.0)) : 0;
+}
+
+}  // namespace
 
 IntermittentSim::IntermittentSim(const compiler::CompiledProgram& compiled,
                                  const device::DeviceProfile& device,
@@ -51,6 +63,12 @@ IntermittentSim::IntermittentSim(const compiler::CompiledProgram& compiled,
     // sample sequence bit-for-bit.
     sampleSeq_ =
         static_cast<std::uint32_t>(exp::applyGlobalSeed(config.monitorSeed));
+
+#if GECKO_TRACE
+    // Arm trace emission of threshold crossings and outage edges; inert
+    // unless a trace buffer is installed for the running case.
+    cap_.watchThresholds(vOff_, vBackup_, vOn_);
+#endif
 }
 
 bool
@@ -97,6 +115,22 @@ IntermittentSim::emiAt(double t)
 analog::MonitorEvent
 IntermittentSim::observeMonitor()
 {
+    GECKO_TRACE_TIME(now_);
+    // maybe_unused: referenced only from trace-macro arguments, which
+    // a GECKO_TRACE=0 build compiles away.
+    [[maybe_unused]] const auto tripFlags =
+        [this](const analog::MonitorEvent& ev) {
+        std::uint16_t flags = 0;
+        if (ev.backup)
+            flags |= trace::kFlagBackup;
+        if (ev.wake)
+            flags |= trace::kFlagWake;
+        if (attackActive())
+            flags |= trace::kFlagAttack;
+        if (monitorFault_)
+            flags |= trace::kFlagMonitorFault;
+        return flags;
+    };
     double v = cap_.voltage();
     // Continuous (comparator) monitors react to every excursion inside
     // the window: feed them the window's envelope under attack.
@@ -104,17 +138,39 @@ IntermittentSim::observeMonitor()
         double lo = v - emi_->amplitude();
         double hi = v + emi_->amplitude();
         if (monitorFault_) {
-            lo = monitorFault_(lo, now_);
-            hi = monitorFault_(hi, now_);
+            double flo = monitorFault_(lo, now_);
+            double fhi = monitorFault_(hi, now_);
+            if (!monitorFaultTraced_ && (flo != lo || fhi != hi)) {
+                monitorFaultTraced_ = true;
+                GECKO_TRACE_EVENT(trace::EventKind::kFaultInject, 0,
+                                  trace::kSiteMonitorFault, traceMv(fhi));
+            }
+            lo = flo;
+            hi = fhi;
             if (lo > hi)
                 std::swap(lo, hi);
         }
-        return monitor_->observeEnvelope(lo, hi);
+        analog::MonitorEvent ev = monitor_->observeEnvelope(lo, hi);
+        if (ev.backup || ev.wake)
+            GECKO_TRACE_EVENT(trace::EventKind::kMonitorTrip, tripFlags(ev),
+                              traceMv(v), traceMv(hi));
+        return ev;
     }
     double seen = v + emiAt(now_);
-    if (monitorFault_)
-        seen = monitorFault_(seen, now_);
-    return monitor_->observe(seen);
+    if (monitorFault_) {
+        double faulted = monitorFault_(seen, now_);
+        if (!monitorFaultTraced_ && faulted != seen) {
+            monitorFaultTraced_ = true;
+            GECKO_TRACE_EVENT(trace::EventKind::kFaultInject, 0,
+                              trace::kSiteMonitorFault, traceMv(faulted));
+        }
+        seen = faulted;
+    }
+    analog::MonitorEvent ev = monitor_->observe(seen);
+    if (ev.backup || ev.wake)
+        GECKO_TRACE_EVENT(trace::EventKind::kMonitorTrip, tripFlags(ev),
+                          traceMv(v), traceMv(seen));
+    return ev;
 }
 
 void
@@ -142,6 +198,9 @@ IntermittentSim::doJitCheckpoint()
                 // disturbance): the routine detects it and bails out so
                 // the boot path never trusts the partial image.
                 faulted = true;
+                GECKO_TRACE_EVENT(trace::EventKind::kFaultInject, 0,
+                                  trace::kSiteJitWriteFault,
+                                  static_cast<std::uint64_t>(words));
                 return false;
             }
             double e = cycles * epc_;
@@ -149,6 +208,7 @@ IntermittentSim::doJitCheckpoint()
                 return false;  // buffer dead: checkpoint torn
             cap_.discharge(e);
             now_ += cycles * spc_;
+            GECKO_TRACE_TIME(now_);
             ++words;
             // The harvester keeps feeding the buffer during the routine.
             if ((words & 63) == 0)
@@ -176,10 +236,15 @@ IntermittentSim::doJitCheckpoint()
             ++stats.jitCheckpointsComplete;
             runtime_.noteJitCheckpointComplete();
             state_ = State::kSleeping;
+            GECKO_TRACE_EVENT(trace::EventKind::kSleepEnter,
+                              trace::kFlagJitArmed, 0, 0);
             return;
         }
         if (aborted) {
             ++stats.jitCheckpointsAborted;
+            GECKO_TRACE_EVENT(trace::EventKind::kJitSaveAbort, 0,
+                              static_cast<std::uint64_t>(attempt),
+                              static_cast<std::uint64_t>(words));
             // The wake ISR cancels the powerdown: keep running with the
             // volatile state intact.
             state_ = State::kRunning;
@@ -190,6 +255,9 @@ IntermittentSim::doJitCheckpoint()
             // Bounded retry with linear backoff: idle a short while so a
             // transient disturbance burst can pass, then try again.
             runtime_.noteCkptSaveRetry();
+            GECKO_TRACE_EVENT(trace::EventKind::kJitSaveRetry, 0,
+                              static_cast<std::uint64_t>(attempt),
+                              static_cast<std::uint64_t>(words));
             double backoff =
                 static_cast<double>(config_.jitRetryBackoffCycles) *
                 (attempt + 1);
@@ -198,12 +266,21 @@ IntermittentSim::doJitCheckpoint()
                             harvester_.seriesResistance(now_),
                             backoff * spc_);
             now_ += backoff * spc_;
+            GECKO_TRACE_TIME(now_);
             continue;
         }
-        if (faulted)
+        GECKO_TRACE_EVENT(trace::EventKind::kJitSaveTorn, 0,
+                          static_cast<std::uint64_t>(attempt),
+                          faulted ? 1u : 0u);
+        if (faulted) {
+            GECKO_TRACE_EVENT(trace::EventKind::kJitRetriesExhausted, 0,
+                              static_cast<std::uint64_t>(attempt), 0);
             runtime_.noteCkptRetriesExhausted();
+        }
         ++stats.jitCheckpointsTorn;
         state_ = State::kSleeping;
+        GECKO_TRACE_EVENT(trace::EventKind::kSleepEnter,
+                          trace::kFlagJitArmed, 0, 0);
         return;
     }
 }
@@ -212,6 +289,10 @@ void
 IntermittentSim::hardDeath()
 {
     ++stats.hardDeaths;
+    GECKO_TRACE_TIME(now_);
+    GECKO_TRACE_EVENT(trace::EventKind::kPowerLoss,
+                      runtime_.jitActive() ? trace::kFlagJitArmed : 0,
+                      stats.hardDeaths, 0);
     if (runtime_.jitActive())
         ++stats.missedCheckpoints;
     state_ = State::kSleeping;
@@ -225,6 +306,9 @@ IntermittentSim::boot()
     // Timer evidence for the boot protocol: how long did the previous
     // power-on period actually run?
     std::uint64_t prev_on = machine_.stats.cycles - cyclesAtBoot_;
+    GECKO_TRACE_TIME(now_);
+    GECKO_TRACE_EVENT(trace::EventKind::kBoot, 0, stats.reboots,
+                      stats.reboots == 1 ? 0 : prev_on);
     std::uint64_t cycles = config_.bootOverheadCycles +
                            runtime_.onBoot(stats.reboots == 1
                                                ? ~std::uint64_t{0}
@@ -292,14 +376,20 @@ IntermittentSim::stepRunning()
     analog::MonitorEvent ev = observeMonitor();
     if (ev.backup) {
         ++stats.backupSignals;
+        GECKO_TRACE_EVENT(trace::EventKind::kBackupSignal,
+                          runtime_.jitActive() ? 0 : trace::kFlagIgnored,
+                          stats.backupSignals, 0);
         runtime_.onBackupSignal();
         if (runtime_.jitActive())
             doJitCheckpoint();
         else
             ++stats.ignoredBackups;
     }
-    if (ev.wake)
+    if (ev.wake) {
         ++stats.wakeSignals;
+        GECKO_TRACE_EVENT(trace::EventKind::kWakeSignal, 0,
+                          stats.wakeSignals, 0);
+    }
 }
 
 void
@@ -325,6 +415,9 @@ IntermittentSim::stepSleeping()
             now_ += t_wake + monitor_->sampleIntervalS();
             monitor_->reset(cap_.voltage());
             ++stats.wakeSignals;
+            GECKO_TRACE_TIME(now_);
+            GECKO_TRACE_EVENT(trace::EventKind::kWakeSignal, 0,
+                              stats.wakeSignals, 0);
             boot();
             return;
         }
@@ -345,7 +438,11 @@ IntermittentSim::stepSleeping()
         // V_off plus hysteresis.  A fake wake can only boot the system
         // inside the paper's malicious window V_off < V_fail < V_backup
         // (or legitimately above).
-        if (cap_.voltage() > vOff_ + config_.bootLockoutV)
+        const bool clear = cap_.voltage() > vOff_ + config_.bootLockoutV;
+        GECKO_TRACE_EVENT(trace::EventKind::kWakeSignal,
+                          clear ? 0 : trace::kFlagLockout,
+                          stats.wakeSignals, 0);
+        if (clear)
             boot();
     }
 }
@@ -354,13 +451,17 @@ void
 IntermittentSim::run(double simSeconds)
 {
     double end = now_ + simSeconds;
+    GECKO_TRACE_TIME(now_);
     // Initial power-up.
     if (nvm_.bootCount == 0 && cap_.voltage() >= vOn_ &&
         state_ == State::kSleeping) {
         ++stats.wakeSignals;
+        GECKO_TRACE_EVENT(trace::EventKind::kWakeSignal, 0,
+                          stats.wakeSignals, 0);
         boot();
     }
     while (now_ < end) {
+        GECKO_TRACE_TIME(now_);
         updateAttack();
         if (state_ == State::kRunning)
             stepRunning();

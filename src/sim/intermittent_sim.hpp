@@ -204,6 +204,9 @@ class IntermittentSim
     std::function<bool(int word)> jitWriteFault_;
 
     State state_ = State::kSleeping;
+    // First-divergence latch so a monitor fault is traced once per case,
+    // not once per sample.
+    bool monitorFaultTraced_ = false;
     double now_ = 0.0;
     double cycleCarry_ = 0.0;
     std::uint64_t cyclesAtBoot_ = 0;

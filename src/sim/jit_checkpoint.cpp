@@ -1,5 +1,7 @@
 #include "sim/jit_checkpoint.hpp"
 
+#include "trace/trace.hpp"
+
 namespace gecko::sim {
 
 namespace {
@@ -20,6 +22,12 @@ JitCheckpoint::checkpoint(const Machine& machine, Nvm& nvm,
                           int ramPaddingWords)
 {
     JitResult result;
+
+    // One start per call: the intermittent simulator calls once per
+    // retry attempt, so retries show as start/retry pairs in the trace.
+    GECKO_TRACE_EVENT(trace::EventKind::kJitSaveStart, 0,
+                      nvm.jitEpoch + 1,
+                      static_cast<std::uint64_t>(ramPaddingWords));
 
     // SRAM/peripheral snapshot first (cost only; see header).
     for (int i = 0; i < ramPaddingWords; ++i) {
@@ -61,6 +69,8 @@ JitCheckpoint::checkpoint(const Machine& machine, Nvm& nvm,
     ++nvm.jitAreaWrites;
     result.cycles += kJitStoreCycles;
     result.complete = true;
+    GECKO_TRACE_EVENT(trace::EventKind::kJitSaveCommit, 0, nvm.jitEpoch,
+                      static_cast<std::uint64_t>(result.wordsWritten));
     return result;
 }
 

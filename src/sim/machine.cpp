@@ -2,10 +2,26 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace gecko::sim {
 
 using ir::Instr;
 using ir::Opcode;
+
+namespace {
+
+/** Committed output-words total, the exactly-once I/O witness. */
+[[maybe_unused]] std::uint64_t
+committedOutTotal(const Nvm& nvm)
+{
+    std::uint64_t total = 0;
+    for (int p = 0; p < kIoPorts; ++p)
+        total += nvm.outCount[static_cast<std::size_t>(p)];
+    return total;
+}
+
+}  // namespace
 
 Machine::Machine(const compiler::CompiledProgram& prog, Nvm& nvm, IoHub& io)
     : prog_(&prog), nvm_(&nvm), io_(&io)
@@ -67,6 +83,7 @@ Machine::fault()
         throw std::runtime_error("machine fault (bad PC or address)");
     faulted_ = true;
     ++stats.faults;
+    GECKO_TRACE_EVENT(trace::EventKind::kMachineFault, 0, pc_, 0);
     return false;
 }
 
@@ -165,6 +182,8 @@ Machine::step(std::uint64_t* cycles)
         ++stats.completions;
         if (stagedIo_)
             commitIo();
+        GECKO_TRACE_EVENT(trace::EventKind::kCompletion, 0,
+                          stats.completions, committedOutTotal(*nvm_));
         if (continuous_) {
             restartProgram();
             return true;
@@ -183,6 +202,8 @@ Machine::step(std::uint64_t* cycles)
             nvm_->committedRegion = static_cast<std::uint32_t>(ins.imm);
             ++nvm_->commitCount;
             commitIo();
+            GECKO_TRACE_EVENT(trace::EventKind::kRegionCommit, 0,
+                              nvm_->committedRegion, nvm_->commitCount);
         }
         ++stats.boundaryCommits;
         break;
@@ -414,6 +435,9 @@ Machine::runFast(std::uint64_t cycleBudget, std::uint64_t* consumed)
                 ++stats.completions;
                 if (staged)
                     commitIo();
+                GECKO_TRACE_EVENT(trace::EventKind::kCompletion, 0,
+                                  stats.completions,
+                                  committedOutTotal(nvm));
                 if (continuous_) {
                     restartProgram();
                     pc = 0;
@@ -431,6 +455,8 @@ Machine::runFast(std::uint64_t cycleBudget, std::uint64_t* consumed)
                     nvm.committedRegion = d.imm;
                     ++nvm.commitCount;
                     commitIo();
+                    GECKO_TRACE_EVENT(trace::EventKind::kRegionCommit, 0,
+                                      nvm.committedRegion, nvm.commitCount);
                 }
                 ++stats.boundaryCommits;
                 break;

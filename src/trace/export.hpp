@@ -1,0 +1,41 @@
+#ifndef GECKO_TRACE_EXPORT_HPP_
+#define GECKO_TRACE_EXPORT_HPP_
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+/**
+ * @file
+ * Trace exporters.
+ *
+ *  - JSONL ("trace.jsonl"): one header line with buffer metadata, then
+ *    one line per merged event.  Floats print with %.9g so the bytes
+ *    are stable across platforms and thread counts — the format the
+ *    golden-trace differential suite diffs.
+ *  - Chrome trace ("trace.json"): the Trace Event Format consumed by
+ *    Perfetto / chrome://tracing.  Instant events per protocol event,
+ *    duration pairs for EMI windows and outages, one track per merged
+ *    buffer.
+ *
+ * writeTraceFile() picks the format from the extension: ".json" gets
+ * Chrome trace, anything else JSONL.
+ */
+
+namespace gecko::trace {
+
+/** Serialize the merged trace as JSONL (deterministic bytes). */
+std::string toJsonl(const Collector& collector);
+
+/** Serialize the merged trace in Chrome Trace Event Format. */
+std::string toChromeTrace(const Collector& collector);
+
+/**
+ * Write the collector's merged trace to `path` (format by extension).
+ * @return true on success.
+ */
+bool writeTraceFile(const Collector& collector, const std::string& path);
+
+}  // namespace gecko::trace
+
+#endif  // GECKO_TRACE_EXPORT_HPP_

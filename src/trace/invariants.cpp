@@ -1,0 +1,197 @@
+#include "trace/invariants.hpp"
+
+#include <sstream>
+
+namespace gecko::trace {
+
+namespace {
+
+bool
+isComputeEvent(EventKind k)
+{
+    switch (k) {
+        case EventKind::kRegionCommit:
+        case EventKind::kCompletion:
+        case EventKind::kMachineFault:
+        case EventKind::kJitSaveStart:
+        case EventKind::kJitSaveCommit:
+        case EventKind::kJitSaveAbort:
+        case EventKind::kJitSaveTorn:
+        case EventKind::kJitSaveRetry:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool
+isSaveLifecycle(EventKind k)
+{
+    switch (k) {
+        case EventKind::kJitSaveStart:
+        case EventKind::kJitSaveCommit:
+        case EventKind::kJitSaveAbort:
+        case EventKind::kJitSaveTorn:
+        case EventKind::kJitSaveRetry:
+        case EventKind::kJitRetriesExhausted:
+            return true;
+        default:
+            return false;
+    }
+}
+
+std::string
+at(std::size_t i, const Event& e)
+{
+    std::ostringstream os;
+    os << "event " << i << " (" << eventName(static_cast<EventKind>(e.kind))
+       << " t=" << e.t << " seq=" << e.seq << ")";
+    return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string>
+checkInvariants(const std::vector<Event>& events)
+{
+    std::vector<std::string> violations;
+    const auto report = [&](const char* inv, std::size_t i, const Event& e,
+                            const std::string& what) {
+        violations.push_back(std::string(inv) + ": " + what + " at " +
+                             at(i, e));
+    };
+
+    double lastT = -1.0;
+    std::uint32_t lastSeq = 0;
+    bool haveSeq = false;
+
+    std::uint64_t lastCommitCount = 0;
+    bool haveCommit = false;
+
+    std::uint64_t lastCompletion = 0;
+    std::uint64_t lastIoTotal = 0;
+
+    std::uint64_t lastSaveEpoch = 0;
+    bool haveSaveEpoch = false;
+    std::uint64_t lastGuardedRestoreEpoch = 0;
+    bool haveGuardedRestore = false;
+
+    bool saveOpen = false;       // save_start awaiting resolution
+    bool commitOpen = false;     // save_commit awaiting consumption
+    std::size_t commitIdx = 0;
+
+    bool inOutage = false;       // power_loss/sleep_enter .. boot
+    bool bootOpen = false;       // boot awaiting recovery decision
+    std::size_t bootIdx = 0;
+    bool sawBoot = false;
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event& e = events[i];
+        const auto kind = static_cast<EventKind>(e.kind);
+
+        // I1: time nondecreasing, seq strictly increasing.
+        if (e.t < lastT)
+            report("I1", i, e, "time went backwards");
+        lastT = e.t;
+        if (haveSeq && e.seq <= lastSeq)
+            report("I1", i, e, "seq not strictly increasing");
+        lastSeq = e.seq;
+        haveSeq = true;
+
+        // I5: save lifecycle.
+        if (isSaveLifecycle(kind)) {
+            if (kind == EventKind::kJitSaveStart) {
+                if (saveOpen)
+                    report("I5", i, e, "save_start while save unresolved");
+                saveOpen = true;
+            } else if (kind == EventKind::kJitRetriesExhausted) {
+                if (saveOpen)
+                    report("I5", i, e,
+                           "retries_exhausted with save unresolved");
+            } else {
+                if (!saveOpen)
+                    report("I5", i, e, "save outcome without save_start");
+                saveOpen = false;
+            }
+        }
+
+        // I7: no compute between outage start and boot.
+        if (inOutage && isComputeEvent(kind))
+            report("I7", i, e, "compute event during outage");
+
+        switch (kind) {
+            case EventKind::kRegionCommit:
+                // I2: commitCount strictly increasing.
+                if (haveCommit && e.b <= lastCommitCount)
+                    report("I2", i, e, "commitCount not increasing");
+                lastCommitCount = e.b;
+                haveCommit = true;
+                break;
+            case EventKind::kCompletion:
+                // I3: completions count by one; I/O totals never regress.
+                if (e.a != lastCompletion + 1)
+                    report("I3", i, e, "completion count skipped");
+                lastCompletion = e.a;
+                if (e.b < lastIoTotal)
+                    report("I3", i, e, "committed I/O total regressed");
+                lastIoTotal = e.b;
+                break;
+            case EventKind::kJitSaveCommit:
+                // I4: commit epochs nondecreasing.
+                if (haveSaveEpoch && e.a < lastSaveEpoch)
+                    report("I4", i, e, "save epoch regressed");
+                lastSaveEpoch = e.a;
+                haveSaveEpoch = true;
+                commitOpen = true;
+                commitIdx = i;
+                break;
+            case EventKind::kJitRestore:
+                if ((e.flags & kFlagGuarded) != 0) {
+                    // I4: guarded restores never consume an older epoch.
+                    if (haveGuardedRestore &&
+                        e.a < lastGuardedRestoreEpoch)
+                        report("I4", i, e, "guarded restore epoch regressed");
+                    lastGuardedRestoreEpoch = e.a;
+                    haveGuardedRestore = true;
+                }
+                commitOpen = false;
+                if (bootOpen)
+                    bootOpen = false;
+                else if (sawBoot)
+                    report("I8", i, e, "second recovery decision after boot");
+                break;
+            case EventKind::kRollback:
+                commitOpen = false;
+                if (bootOpen)
+                    bootOpen = false;
+                else if (sawBoot)
+                    report("I8", i, e, "second recovery decision after boot");
+                break;
+            case EventKind::kPowerLoss:
+            case EventKind::kSleepEnter:
+                inOutage = true;
+                break;
+            case EventKind::kBoot:
+                if (bootOpen)
+                    report("I8", bootIdx, events[bootIdx],
+                           "boot without recovery decision");
+                bootOpen = true;
+                bootIdx = i;
+                sawBoot = true;
+                inOutage = false;
+                saveOpen = false;  // power died with a save in flight
+                break;
+            default:
+                break;
+        }
+    }
+
+    // I6: a commit left open at end-of-trace is fine (superseded-by-end);
+    // nothing to flag.  A dangling boot means the case ended mid-recovery,
+    // also fine.
+    (void)commitOpen;
+    (void)commitIdx;
+    return violations;
+}
+
+}  // namespace gecko::trace

@@ -1,0 +1,42 @@
+#ifndef GECKO_TRACE_INVARIANTS_HPP_
+#define GECKO_TRACE_INVARIANTS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+/**
+ * @file
+ * Checkpoint-protocol invariants expressed as trace properties.
+ *
+ * These run over ONE case's event stream (a single Buffer, or one
+ * buffer's slice of a merged trace) and return human-readable
+ * violations.  Checked properties:
+ *
+ *  I1  time nondecreasing, seq strictly increasing;
+ *  I2  commitCount strictly increasing across region commits;
+ *  I3  completions count up by exactly 1; committed I/O totals never
+ *      regress (exactly-once I/O);
+ *  I4  JIT epochs monotone: nondecreasing on save commits, and a
+ *      *guarded* restore never consumes an epoch older than the last
+ *      guarded restore (an unguarded/NVP stale restore is the paper's
+ *      vulnerability, not a trace violation);
+ *  I5  save lifecycle: a save_start is resolved by exactly one of
+ *      commit/abort/torn/retry before the next save_start;
+ *  I6  every save_commit is eventually consumed (restore), rolled
+ *      back, or superseded by a newer commit (or the trace ends);
+ *  I7  no compute events (region_commit/completion/machine_fault/
+ *      jit_save_*) between power_loss or sleep_enter and the next boot;
+ *  I8  every boot is followed by exactly one recovery decision
+ *      (jit_restore or rollback) before the next boot.
+ */
+
+namespace gecko::trace {
+
+/** Check protocol invariants over one case's events (emission order). */
+std::vector<std::string> checkInvariants(const std::vector<Event>& events);
+
+}  // namespace gecko::trace
+
+#endif  // GECKO_TRACE_INVARIANTS_HPP_

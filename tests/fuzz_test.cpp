@@ -7,6 +7,8 @@
 #include "ir/builder.hpp"
 #include "runtime/gecko_runtime.hpp"
 #include "sim/intermittent_sim.hpp"
+#include "trace/invariants.hpp"
+#include "trace/trace.hpp"
 
 /**
  * @file
@@ -275,6 +277,49 @@ TEST_P(FuzzTest, InstrumentationPreservesSemantics)
     EXPECT_EQ(nvp.out, gecko.out) << "seed " << GetParam();
     EXPECT_EQ(nvp.out, ratchet.out) << "seed " << GetParam();
     EXPECT_EQ(nvp.memory, gecko.memory) << "seed " << GetParam();
+}
+
+TEST_P(FuzzTest, TraceInvariantsHoldUnderPowerFailures)
+{
+    if (!trace::compiledIn())
+        GTEST_SKIP() << "tracing compiled out (GECKO_TRACE=0)";
+
+    ir::Program prog = generate(GetParam());
+    ASSERT_EQ(prog.validate(), "");
+
+    for (Scheme scheme : {Scheme::kRatchet, Scheme::kGecko}) {
+        CompiledProgram compiled = compiler::compile(prog, scheme);
+        trace::Buffer buffer;
+        {
+            trace::BufferScope scope(&buffer);
+            failingRun(compiled, 331);
+        }
+        std::vector<trace::Event> events = buffer.events();
+        ASSERT_FALSE(events.empty())
+            << "seed " << GetParam() << " scheme "
+            << compiler::schemeName(scheme)
+            << ": power-failure run produced no trace events";
+        std::vector<std::string> violations =
+            trace::checkInvariants(events);
+        EXPECT_TRUE(violations.empty())
+            << "seed " << GetParam() << " scheme "
+            << compiler::schemeName(scheme) << ": "
+            << (violations.empty() ? "" : violations.front())
+            << " (" << violations.size() << " violations, "
+            << events.size() << " events)";
+
+        // Tracing itself is deterministic: the identical run traces to
+        // the identical event stream.
+        trace::Buffer again;
+        {
+            trace::BufferScope scope(&again);
+            failingRun(compiled, 331);
+        }
+        EXPECT_TRUE(again.events() == events)
+            << "seed " << GetParam() << " scheme "
+            << compiler::schemeName(scheme)
+            << ": re-run traced differently";
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "device/device_db.hpp"
+#include "energy/harvester.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * The compiled-out overhead guard.
+ *
+ * This translation unit is built with `-DGECKO_TRACE=0` (see
+ * tests/CMakeLists.txt), so every GECKO_TRACE_EVENT/GECKO_TRACE_TIME
+ * here must expand to `((void)0)` — no argument evaluation, no buffer
+ * interaction — proving the macro contract a whole-build
+ * `-DGECKO_TRACE_EVENTS=OFF` relies on.
+ *
+ * The second half checks the other side of the zero-cost claim:
+ * tracing (compiled in or out) is purely observational.  Execution
+ * statistics, NVM images, and I/O streams are bit-identical whether or
+ * not a trace buffer is installed — the instrumented library run here
+ * against itself with tracing idle vs recording.
+ */
+
+#if GECKO_TRACE
+#error "trace_off_test must be compiled with GECKO_TRACE=0"
+#endif
+
+namespace gecko {
+namespace {
+
+TEST(TraceOffTest, MacroArgumentsAreNotEvaluated)
+{
+    int evaluations = 0;
+    // maybe_unused: with the macros compiled out the lambda is, by
+    // design, never called — that absence is what this test asserts.
+    [[maybe_unused]] auto bump = [&evaluations]() -> std::uint64_t {
+        ++evaluations;
+        return 0;
+    };
+    GECKO_TRACE_EVENT(trace::EventKind::kBoot, 0, bump(), bump());
+    GECKO_TRACE_TIME(static_cast<double>(bump()));
+    EXPECT_EQ(evaluations, 0)
+        << "GECKO_TRACE=0 must compile macro arguments away";
+}
+
+TEST(TraceOffTest, MacroIgnoresAnInstalledBuffer)
+{
+    trace::Buffer buffer;
+    trace::BufferScope scope(&buffer);
+    GECKO_TRACE_EVENT(trace::EventKind::kBoot, 0, 1, 2);
+    GECKO_TRACE_TIME(1.0);
+    EXPECT_EQ(buffer.size(), 0u);
+    EXPECT_EQ(buffer.time(), 0.0);
+}
+
+/** One intermittent run's observable outcome. */
+struct Observed {
+    std::uint64_t cycles = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t reboots = 0;
+    std::uint64_t jitComplete = 0;
+    std::vector<std::uint32_t> out0;
+    std::vector<std::uint32_t> memory;
+
+    bool operator==(const Observed&) const = default;
+};
+
+Observed
+runOnce(bool installBuffer, trace::Buffer* buffer)
+{
+    trace::BufferScope scope(installBuffer ? buffer : nullptr);
+
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    auto compiled = compiler::compile(workloads::build("sensor_loop"),
+                                      compiler::Scheme::kGecko);
+    sim::IoHub io;
+    workloads::setupIo("sensor_loop", io);
+    sim::SimConfig cfg;
+    cfg.jitRamWords = 4;
+    cfg.bootOverheadCycles = 1000;
+    cfg.cap.capacitanceF = 20e-6;
+    cfg.cap.initialV = 3.3;
+    energy::SquareWaveHarvester wave(3.3, 5.0, 0.004, 0.004);
+    sim::IntermittentSim simulation(compiled, dev, cfg, wave, io);
+    simulation.run(0.03);
+
+    Observed o;
+    o.cycles = simulation.machine().stats.cycles;
+    o.completions = simulation.machine().stats.completions;
+    o.reboots = simulation.stats.reboots;
+    o.jitComplete = simulation.stats.jitCheckpointsComplete;
+    o.out0 = io.output(0).values();
+    o.memory = simulation.nvm().data();
+    return o;
+}
+
+TEST(TraceOffTest, TracingIsObservationallyPure)
+{
+    trace::Buffer buffer;
+    Observed idle = runOnce(false, nullptr);
+    Observed recorded = runOnce(true, &buffer);
+    EXPECT_TRUE(idle == recorded)
+        << "installing a trace buffer changed the simulation: cycles "
+        << idle.cycles << " vs " << recorded.cycles << ", reboots "
+        << idle.reboots << " vs " << recorded.reboots;
+    if (trace::compiledIn())
+        EXPECT_GT(buffer.size(), 0u)
+            << "the instrumented library should have recorded events";
+    else
+        EXPECT_EQ(buffer.size(), 0u);
+    // And a second idle run is bit-identical to the first: the cycle
+    // counts a GECKO_TRACE_EVENTS=OFF build asserts against are exactly
+    // these, so any nonzero tracing residue would show here.
+    Observed again = runOnce(false, nullptr);
+    EXPECT_TRUE(idle == again);
+}
+
+}  // namespace
+}  // namespace gecko

@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/attack_schedule.hpp"
+#include "attack/emi_source.hpp"
+#include "attack/rigs.hpp"
+#include "compiler/pipeline.hpp"
+#include "device/device_db.hpp"
+#include "energy/harvester.hpp"
+#include "exp/parallel.hpp"
+#include "exp/rng.hpp"
+#include "exp/thread_pool.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "trace/export.hpp"
+#include "trace/invariants.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
+
+/**
+ * @file
+ * The golden-trace differential suite.
+ *
+ * A canonical workload x scheme matrix runs under intermittent power
+ * (plus EMI-attack scenarios), records its protocol events, and the
+ * merged JSONL trace is diffed byte-for-byte against the checked-in
+ * goldens in tests/golden/.  On top of the golden match, the suite
+ * asserts the determinism contracts directly: step() and fast dispatch
+ * trace identically, and the merged trace is byte-identical across
+ * thread-pool widths.
+ *
+ * Regenerating goldens (after an intentional schema or protocol
+ * change — never to silence a diff you can't explain):
+ *
+ *     GECKO_UPDATE_GOLDEN=1 ./build/tests/trace_test
+ *
+ * then review the golden diff like source code.  The goldens are
+ * defined at the default global seed; a nonzero GECKO_SEED skips the
+ * golden comparison (the determinism properties still run).
+ */
+
+namespace gecko {
+namespace {
+
+using compiler::Scheme;
+
+/** One canonical traced scenario. */
+struct Scenario {
+    std::string workload;
+    Scheme scheme;
+    bool attack = false;  ///< EMI-attack scenario vs plain harvesting
+
+    std::string label() const
+    {
+        return workload + "|" + compiler::schemeName(scheme) +
+               (attack ? "|attack" : "|harvest");
+    }
+};
+
+std::vector<Scenario>
+scenarioMatrix()
+{
+    std::vector<Scenario> m;
+    for (const char* w : {"crc16", "sensor_loop"})
+        for (Scheme s :
+             {Scheme::kNvp, Scheme::kRatchet, Scheme::kGecko})
+            m.push_back({w, s, false});
+    // The paper's attack victim under a scheduled resonant tone.
+    m.push_back({"sensor_loop", Scheme::kNvp, true});
+    m.push_back({"sensor_loop", Scheme::kGecko, true});
+    return m;
+}
+
+/**
+ * Run one scenario into whatever trace buffer is current.  Every call
+ * owns its simulator; the compiled program is rebuilt per call so
+ * scenarios are order-independent (no shared lazy caches).
+ */
+void
+runScenario(const Scenario& sc, bool fastDispatch)
+{
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    auto compiled =
+        compiler::compile(workloads::build(sc.workload), sc.scheme);
+    sim::IoHub io;
+    workloads::setupIo(sc.workload, io);
+
+    sim::SimConfig cfg;
+    cfg.jitRamWords = 4;  // small CTPL padding keeps the suite fast
+    cfg.bootOverheadCycles = 1000;
+    cfg.cap.capacitanceF = 20e-6;
+    cfg.cap.initialV = 3.3;
+
+    std::unique_ptr<energy::Harvester> harvester;
+    if (sc.attack)
+        harvester = std::make_unique<energy::ConstantHarvester>(3.3, 5.0);
+    else
+        harvester = std::make_unique<energy::SquareWaveHarvester>(
+            3.3, 5.0, 0.004, 0.004);
+
+    sim::IntermittentSim simulation(compiled, dev, cfg, *harvester, io);
+    simulation.machine().setFastDispatch(fastDispatch);
+
+    attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.1);
+    attack::EmiSource source(rig, 27e6, 35.0);
+    attack::AttackSchedule schedule(
+        {{0.005, 0.012, 27e6, 35.0}, {0.018, 0.025, 27e6, 35.0}});
+    if (sc.attack) {
+        simulation.setEmiSource(&source);
+        simulation.setAttackSchedule(&schedule);
+    }
+    simulation.run(0.03);
+}
+
+/** Trace one scenario into a standalone buffer. */
+trace::Buffer
+traceScenario(const Scenario& sc, bool fastDispatch)
+{
+    trace::Buffer buffer;
+    buffer.setLabel(sc.label());
+    {
+        trace::BufferScope scope(&buffer);
+        runScenario(sc, fastDispatch);
+    }
+    return buffer;
+}
+
+/** Record the whole matrix into `collector` on `pool`. */
+void
+traceMatrix(trace::Collector& collector, exp::ThreadPool& pool)
+{
+    const std::vector<Scenario> matrix = scenarioMatrix();
+    exp::parallelMap(pool, matrix, [&](const Scenario& sc) {
+        trace::CaseScope scope(
+            &collector, sc.label(),
+            static_cast<std::uint64_t>(&sc - matrix.data()));
+        runScenario(sc, true);
+        return 0;
+    });
+}
+
+std::vector<std::string>
+splitLines(const std::string& text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/**
+ * Diff `actual` against the golden file, printing the first divergent
+ * line with +-3 lines of context on mismatch.  With GECKO_UPDATE_GOLDEN
+ * set, rewrites the golden instead (the only sanctioned way to change
+ * files under tests/golden/).
+ */
+void
+expectGoldenMatch(const std::string& name, const std::string& actual)
+{
+    const std::string path = std::string(GECKO_GOLDEN_DIR) + "/" + name;
+    const char* update = std::getenv("GECKO_UPDATE_GOLDEN");
+    if (update && *update) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write golden " << path;
+        out << actual;
+        std::cout << "[golden] regenerated " << path << " ("
+                  << actual.size() << " bytes)\n";
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden " << path
+                    << " -- generate it with GECKO_UPDATE_GOLDEN=1";
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string golden = os.str();
+    if (golden == actual)
+        return;
+
+    const std::vector<std::string> a = splitLines(golden);
+    const std::vector<std::string> b = splitLines(actual);
+    std::size_t first = 0;
+    while (first < a.size() && first < b.size() && a[first] == b[first])
+        ++first;
+    std::ostringstream diff;
+    diff << "golden mismatch: " << name << " (golden " << a.size()
+         << " lines, actual " << b.size() << " lines, first divergence "
+         << "at line " << first + 1 << ")\n";
+    const std::size_t lo = first >= 3 ? first - 3 : 0;
+    for (std::size_t i = lo; i <= first + 3; ++i) {
+        if (i < a.size())
+            diff << "  golden " << i + 1 << ": " << a[i] << "\n";
+        if (i < b.size())
+            diff << "  actual " << i + 1 << ": " << b[i] << "\n";
+    }
+    diff << "If the change is intentional, regenerate with "
+            "GECKO_UPDATE_GOLDEN=1 and review the golden diff.";
+    FAIL() << diff.str();
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (!trace::compiledIn())
+            GTEST_SKIP() << "tracing compiled out (GECKO_TRACE=0)";
+    }
+};
+
+TEST_F(TraceTest, RingBufferKeepsNewestAndCountsDrops)
+{
+    trace::Buffer small(8);
+    for (int i = 0; i < 20; ++i) {
+        small.setTime(i * 0.5);
+        small.emit(trace::EventKind::kWakeSignal, 0,
+                   static_cast<std::uint64_t>(i), 0);
+    }
+    EXPECT_EQ(small.size(), 8u);
+    EXPECT_EQ(small.dropped(), 12u);
+    std::vector<trace::Event> events = small.events();
+    ASSERT_EQ(events.size(), 8u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].a, 12 + i) << "oldest events evicted first";
+        EXPECT_EQ(events[i].seq, 12 + i) << "seq survives eviction";
+    }
+}
+
+TEST_F(TraceTest, EventNamesAndIdsAreStable)
+{
+    // Wire IDs are append-only; goldens and external tooling key on
+    // them.  Spot-check the schema anchors.
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kRegionCommit), 1);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kBoot), 16);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kJitSaveStart), 32);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kJitRestore), 48);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kThresholdCross), 64);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kEmiOn), 80);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kFaultInject), 96);
+    EXPECT_STREQ(trace::eventName(trace::EventKind::kRegionCommit),
+                 "region_commit");
+    EXPECT_STREQ(trace::eventName(trace::EventKind::kJitSaveTorn),
+                 "jit_save_torn");
+    EXPECT_STREQ(trace::eventName(trace::EventKind::kFaultInject),
+                 "fault_inject");
+}
+
+TEST_F(TraceTest, MacroIsInertWithoutACurrentBuffer)
+{
+    ASSERT_EQ(trace::current(), nullptr);
+    // Must not crash and must not observably do anything.
+    GECKO_TRACE_EVENT(trace::EventKind::kBoot, 0, 1, 2);
+    GECKO_TRACE_TIME(1.0);
+    EXPECT_EQ(trace::current(), nullptr);
+}
+
+TEST_F(TraceTest, FastAndSlowDispatchTraceIdentically)
+{
+    for (const Scenario& sc : scenarioMatrix()) {
+        trace::Buffer fast = traceScenario(sc, true);
+        trace::Buffer slow = traceScenario(sc, false);
+        ASSERT_GT(fast.size(), 0u) << sc.label();
+        EXPECT_TRUE(fast.events() == slow.events())
+            << sc.label()
+            << ": step() and fast dispatch must emit identical traces";
+    }
+}
+
+TEST_F(TraceTest, MergedTraceIsThreadCountInvariant)
+{
+    trace::Collector serial;
+    {
+        exp::ThreadPool one(1);
+        traceMatrix(serial, one);
+    }
+    trace::Collector parallel;
+    {
+        exp::ThreadPool eight(8);
+        traceMatrix(parallel, eight);
+    }
+    EXPECT_EQ(trace::toJsonl(serial), trace::toJsonl(parallel))
+        << "merged trace bytes must not depend on the pool width";
+}
+
+TEST_F(TraceTest, ProtocolInvariantsHoldPerScenario)
+{
+    for (const Scenario& sc : scenarioMatrix()) {
+        trace::Buffer buffer = traceScenario(sc, true);
+        std::vector<std::string> violations =
+            trace::checkInvariants(buffer.events());
+        EXPECT_TRUE(violations.empty())
+            << sc.label() << ": "
+            << (violations.empty() ? "" : violations.front()) << " ("
+            << violations.size() << " violations)";
+    }
+}
+
+TEST_F(TraceTest, AttackScenarioCarriesTheAttackStoryline)
+{
+    // The traced attack run must contain the causal chain the paper's
+    // figures tell: tone keyed on, monitor trips flagged as
+    // attack-window trips, and under GECKO a detection event.
+    trace::Buffer buffer =
+        traceScenario({"sensor_loop", Scheme::kGecko, true}, true);
+    bool sawEmiOn = false, sawEmiOff = false, sawAttackTrip = false;
+    for (const trace::Event& e : buffer.events()) {
+        const auto kind = static_cast<trace::EventKind>(e.kind);
+        if (kind == trace::EventKind::kEmiOn)
+            sawEmiOn = true;
+        if (kind == trace::EventKind::kEmiOff)
+            sawEmiOff = true;
+        if (kind == trace::EventKind::kMonitorTrip &&
+            (e.flags & trace::kFlagAttack))
+            sawAttackTrip = true;
+    }
+    EXPECT_TRUE(sawEmiOn) << "tone on-edge missing";
+    EXPECT_TRUE(sawEmiOff) << "tone off-edge missing";
+    EXPECT_TRUE(sawAttackTrip)
+        << "no monitor trip inside the attack window";
+}
+
+TEST_F(TraceTest, GoldenTraceMatrix)
+{
+    if (exp::globalSeed() != 0)
+        GTEST_SKIP() << "goldens are defined at the default seed";
+    trace::Collector collector;
+    exp::ThreadPool one(1);
+    traceMatrix(collector, one);
+    ASSERT_GT(collector.totalEvents(), 0u);
+    EXPECT_EQ(collector.totalDropped(), 0u)
+        << "golden scenarios must fit the ring";
+    expectGoldenMatch("trace_matrix.jsonl", trace::toJsonl(collector));
+}
+
+TEST_F(TraceTest, ExportersAgreeWithExtension)
+{
+    trace::Collector collector;
+    {
+        trace::CaseScope scope(&collector, "export", 0);
+        runScenario({"crc16", Scheme::kGecko, false}, true);
+    }
+
+    const std::string jsonl = trace::toJsonl(collector);
+    ASSERT_FALSE(jsonl.empty());
+    EXPECT_EQ(jsonl.rfind("{\"schema\":\"gecko-trace\"", 0), 0u);
+
+    const std::string chrome = trace::toChromeTrace(collector);
+    EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(chrome.find("thread_name"), std::string::npos);
+
+    const std::string dir = ::testing::TempDir();
+    const std::string jsonlPath = dir + "/gecko_trace_test.jsonl";
+    const std::string chromePath = dir + "/gecko_trace_test.json";
+    ASSERT_TRUE(trace::writeTraceFile(collector, jsonlPath));
+    ASSERT_TRUE(trace::writeTraceFile(collector, chromePath));
+    auto slurp = [](const std::string& p) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    };
+    EXPECT_EQ(slurp(jsonlPath), jsonl);
+    EXPECT_EQ(slurp(chromePath), chrome);
+    std::remove(jsonlPath.c_str());
+    std::remove(chromePath.c_str());
+}
+
+TEST_F(TraceTest, CaseScopeWithNullCollectorSuppressesTracing)
+{
+    trace::Buffer outer;
+    trace::BufferScope outerScope(&outer);
+    {
+        // A null collector must install nullptr, not inherit `outer`:
+        // with GECKO_THREADS=1 case bodies run inline on the caller's
+        // thread and would otherwise leak into the outer buffer.
+        trace::CaseScope scope(nullptr, "suppressed", 0);
+        EXPECT_EQ(trace::current(), nullptr);
+        GECKO_TRACE_EVENT(trace::EventKind::kBoot, 0, 0, 0);
+    }
+    EXPECT_EQ(trace::current(), &outer);
+    EXPECT_EQ(outer.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gecko
