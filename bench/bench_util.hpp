@@ -99,6 +99,10 @@ struct Telemetry {
     std::unique_ptr<trace::Collector> collector;
     /// Destination of the merged trace ("" = tracing off).
     std::string traceOut;
+    /// Defense configuration of the bench's victims, recorded into the
+    /// JSON report: "static" (paper default) or "adaptive" (a bench
+    /// that arms the online controller sets this).
+    std::string defenseMode = "static";
     std::chrono::steady_clock::time_point processStart =
         std::chrono::steady_clock::now();
 };
@@ -232,6 +236,8 @@ writeBenchReport(const std::string& figure, const std::string& status = "")
         telemetry().crcRejects.load(std::memory_order_relaxed);
     report.retriesExhausted =
         telemetry().retriesExhausted.load(std::memory_order_relaxed);
+    report.seed = exp::globalSeed();
+    report.defenseMode = telemetry().defenseMode;
     report.threads = exp::ThreadPool::global().threadCount();
     unsigned hw = std::thread::hardware_concurrency();
     report.hostCores = hw >= 1 ? hw : 1;

@@ -19,6 +19,8 @@
  * Flags:
  *   --cases=N      grid size (default 5000)
  *   --seed=N       campaign seed (default GECKO_SEED, else 1)
+ *   --watchdog=N   machine-level livelock budget in run-loop iterations
+ *                  (default GECKO_WATCHDOG, else 400000)
  *   --threads=N    pool width (default GECKO_THREADS / host cores)
  *   --out=DIR      write DIR/fault_corpus.txt and DIR/fault_report.txt
  *   --replay=FILE  replay a corpus file case-by-case instead of
@@ -100,6 +102,9 @@ main(int argc, char** argv)
         std::string arg = argv[i];
         if (arg.rfind("--cases=", 0) == 0)
             config.cases = std::atoi(arg.c_str() + 8);
+        else if (arg.rfind("--watchdog=", 0) == 0)
+            config.watchdogBudget = std::strtoull(arg.c_str() + 11,
+                                                  nullptr, 10);
         else if (arg.rfind("--out=", 0) == 0)
             outDir = arg.substr(6);
         else if (arg.rfind("--replay=", 0) == 0)

@@ -1,0 +1,285 @@
+#include "defense/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/trace.hpp"
+
+namespace gecko::defense {
+
+namespace {
+
+/** Score in integer milli-units for trace payloads (clamped at 0). */
+[[maybe_unused]] std::uint64_t
+traceScore(double s)
+{
+    return s > 0 ? static_cast<std::uint64_t>(std::llround(s * 1000.0)) : 0;
+}
+
+}  // namespace
+
+const char*
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::kNominal:
+        return "nominal";
+      case Mode::kSuspicious:
+        return "suspicious";
+      case Mode::kUnderAttack:
+        return "under_attack";
+      case Mode::kDegraded:
+        return "degraded";
+    }
+    return "unknown";
+}
+
+DefenseController::DefenseController(const DefenseConfig& config,
+                                     const PlantModel& plant)
+    : config_(config), plant_(plant)
+{
+    // Legitimate dV/dt is bounded by the plant: the CPU discharging the
+    // buffer at worst-case active power, plus the harvester charging it
+    // through the Thevenin source resistance.  EMI couples volts into
+    // the *monitor*, not the rail, so a seen excursion beyond this bound
+    // (plus margin) is physical evidence of a forged reading.
+    const double c = std::max(plant.capacitanceF, 1e-12);
+    const double dischargeSlew =
+        plant.energyPerCycleJ * plant.clockHz / (c * std::max(plant.vOff, 0.1));
+    const double chargeSlew =
+        plant.maxV / (std::max(plant.sourceResistance, 1e-3) * c);
+    maxSlewVps_ = dischargeSlew + chargeSlew;
+
+    debtBudgetJ_ =
+        config.energyDebtBudgetJ > 0
+            ? config.energyDebtBudgetJ
+            : 8.0 * 0.5 * c * (plant.vOn * plant.vOn -
+                               plant.vOff * plant.vOff);
+    commitCreditJ_ = config.commitCreditJ > 0 ? config.commitCreditJ
+                                              : plant.bootEnergyJ;
+}
+
+void
+DefenseController::setMode(double t, Mode next)
+{
+    if (next == mode_)
+        return;
+    const Mode prev = mode_;
+    mode_ = next;
+    if (next > prev) {
+        ++stats_.escalations;
+        if (stats_.firstEscalationT < 0)
+            stats_.firstEscalationT = t;
+    } else {
+        ++stats_.deEscalations;
+    }
+    if (next == Mode::kDegraded)
+        committedSinceDegrade_ = false;
+    if (next < Mode::kDegraded)
+        wakeNotBefore_ = -1.0;
+    calmRun_ = 0;
+    GECKO_TRACE_EVENT(trace::EventKind::kDefenseModeChange, 0,
+                      static_cast<std::uint64_t>(next),
+                      static_cast<std::uint64_t>(prev));
+}
+
+void
+DefenseController::escalateTo(double t, Mode target)
+{
+    if (target > mode_)
+        setMode(t, target);
+}
+
+void
+DefenseController::tripRatchet(double t,
+                               [[maybe_unused]] std::uint32_t regionId,
+                               [[maybe_unused]] std::uint64_t count)
+{
+    ++stats_.ratchetTrips;
+    GECKO_TRACE_EVENT(trace::EventKind::kDefenseRatchetTrip, 0,
+                      static_cast<std::uint64_t>(regionId), count);
+    escalateTo(t, Mode::kDegraded);
+}
+
+void
+DefenseController::addEvidence(double t, double weight,
+                               [[maybe_unused]] std::uint64_t evidence)
+{
+    score_ = std::min(score_ + weight, config_.scoreMax);
+    calmRun_ = 0;
+    if (!aboveSuspicion_ && score_ >= config_.scoreSuspicious) {
+        aboveSuspicion_ = true;
+        ++stats_.anomalies;
+        GECKO_TRACE_EVENT(trace::EventKind::kDefenseAnomaly, 0,
+                          traceScore(score_), evidence);
+    }
+    if (score_ >= config_.scoreAttack)
+        escalateTo(t, Mode::kUnderAttack);
+    else if (score_ >= config_.scoreSuspicious)
+        escalateTo(t, Mode::kSuspicious);
+}
+
+void
+DefenseController::decayAndMaybeDeescalate(double t)
+{
+    score_ = std::max(0.0, score_ * (1.0 - config_.decayPerSample));
+    if (score_ < config_.scoreClear)
+        aboveSuspicion_ = false;
+    if (mode_ == Mode::kNominal || score_ > config_.scoreClear) {
+        if (score_ > config_.scoreClear)
+            calmRun_ = 0;
+        return;
+    }
+    if (++calmRun_ < config_.calmSamples)
+        return;
+    // One level per calm dwell — the hysteresis that keeps an attacker
+    // from flapping the policy with a 50% duty-cycle tone.  Leaving
+    // kDegraded additionally requires proven forward progress.
+    if (mode_ == Mode::kDegraded && !committedSinceDegrade_) {
+        calmRun_ = 0;
+        return;
+    }
+    setMode(t, static_cast<Mode>(static_cast<std::uint8_t>(mode_) - 1));
+}
+
+void
+DefenseController::observeSample(double t, double vLo, double vHi,
+                                 const analog::MonitorEvent& primary,
+                                 const analog::MonitorEvent& shadow)
+{
+    ++stats_.samples;
+    std::uint64_t evidence = 0;
+
+    if (lastSampleT_ >= 0.0 && t > lastSampleT_) {
+        // Legitimate motion since the previous sample is bounded by the
+        // RC physics; both the within-window envelope span and the
+        // between-sample step must fit it.
+        const double bound =
+            (t - lastSampleT_) * maxSlewVps_ + config_.physicsMarginV;
+        const double mid = 0.5 * (vLo + vHi);
+        if ((vHi - vLo) > bound || std::abs(mid - lastSampleV_) > bound) {
+            evidence |= kEvidencePhysics;
+            ++stats_.physicsViolations;
+        }
+    }
+    if (primary.backup != shadow.backup || primary.wake != shadow.wake) {
+        evidence |= kEvidenceDisagree;
+        ++stats_.disagreements;
+    }
+
+    decayAndMaybeDeescalate(t);
+    if (evidence & kEvidencePhysics)
+        addEvidence(t, config_.physicsWeight, evidence);
+    if (evidence & kEvidenceDisagree)
+        addEvidence(t, config_.disagreeWeight, evidence);
+
+    lastSampleT_ = t;
+    lastSampleV_ = 0.5 * (vLo + vHi);
+}
+
+void
+DefenseController::noteBootEvidence(double t, bool ackDetect,
+                                    bool timerDetect)
+{
+    if (!ackDetect && !timerDetect)
+        return;
+    const double w = config_.bootEvidenceWeight *
+                     ((ackDetect ? 1 : 0) + (timerDetect ? 1 : 0));
+    addEvidence(t, w, kEvidenceBoot);
+}
+
+void
+DefenseController::noteRollback(double t, std::uint32_t regionId)
+{
+    // Progress test: a recovery that merely re-commits the rolled-back
+    // region before dying again (one commit per power cycle) is a
+    // livelock, not progress — the commit counter advances while the
+    // frontier stays put.  Only >=2 commits since the previous rollback
+    // (the redo plus something new) re-arm the budget.
+    const std::uint64_t commitsSince =
+        lastCommitCount_ - commitCountAtRollback_;
+    commitCountAtRollback_ = lastCommitCount_;
+    if (regionId == lastRollbackRegion_ && commitsSince <= 1) {
+        ++consecutiveRollbacks_;
+    } else {
+        lastRollbackRegion_ = regionId;
+        consecutiveRollbacks_ = 1;
+    }
+    if (mode_ != Mode::kDegraded &&
+        consecutiveRollbacks_ >
+            static_cast<std::uint64_t>(config_.rollbackBudgetPerRegion))
+        tripRatchet(t, regionId, consecutiveRollbacks_);
+}
+
+void
+DefenseController::noteCommit(std::uint64_t commitCount)
+{
+    if (commitCount <= lastCommitCount_)
+        return;
+    const std::uint64_t committed = commitCount - lastCommitCount_;
+    lastCommitCount_ = commitCount;
+    // Each committed region pays one boot-quantum of debt back.  The
+    // credit is bounded (not a wholesale clear) so an attack that lets
+    // a trickle of progress through cannot keep the ledger from
+    // integrating its boot churn.  The rollback budget re-arms in
+    // noteRollback, which can tell a redo-commit from real progress.
+    stats_.energyDebtJ = std::max(
+        0.0, stats_.energyDebtJ -
+                 commitCreditJ_ * static_cast<double>(committed));
+    if (mode_ == Mode::kDegraded)
+        committedSinceDegrade_ = true;
+}
+
+void
+DefenseController::noteRetriesExhausted(double t)
+{
+    addEvidence(t, config_.scoreAttack, kEvidenceRetries);
+    // Persistent save failures mean the NVM write path itself is being
+    // disturbed: go straight to the ratcheted rollback-only mode.
+    escalateTo(t, Mode::kDegraded);
+}
+
+void
+DefenseController::noteSleepEnter(double t, double fullChargeEstS)
+{
+    if (mode_ == Mode::kDegraded && fullChargeEstS >= 0.0)
+        wakeNotBefore_ = t + fullChargeEstS;
+    else
+        wakeNotBefore_ = -1.0;
+}
+
+void
+DefenseController::noteEnergyCost(double t, double joules)
+{
+    stats_.energyDebtJ += joules;
+    stats_.peakEnergyDebtJ =
+        std::max(stats_.peakEnergyDebtJ, stats_.energyDebtJ);
+    if (mode_ != Mode::kDegraded && stats_.energyDebtJ > debtBudgetJ_)
+        tripRatchet(t, lastRollbackRegion_, consecutiveRollbacks_);
+}
+
+bool
+DefenseController::wakeAllowed(double t)
+{
+    if (mode_ != Mode::kDegraded || wakeNotBefore_ < 0.0)
+        return true;
+    if (t >= wakeNotBefore_ - 1e-12)
+        return true;
+    ++stats_.wakesDeferred;
+    return false;
+}
+
+int
+DefenseController::backoffCycles(int attempt) const
+{
+    const int a = std::max(attempt, 0);
+    if (mode_ == Mode::kNominal)
+        return config_.backoffBaseCycles * (a + 1);
+    const int shift = std::min(a, 20);
+    const long long exp =
+        static_cast<long long>(config_.backoffBaseCycles) << shift;
+    return static_cast<int>(
+        std::min<long long>(exp, config_.backoffCapCycles));
+}
+
+}  // namespace gecko::defense

@@ -1,0 +1,141 @@
+#ifndef GECKO_DEFENSE_CONTROLLER_HPP_
+#define GECKO_DEFENSE_CONTROLLER_HPP_
+
+#include <cstdint>
+
+#include "analog/voltage_monitor.hpp"
+#include "defense/defense.hpp"
+
+/**
+ * @file
+ * The online adaptive defense controller (DESIGN.md §11).
+ *
+ * One instance rides along with one simulated node.  The intermittent
+ * simulator feeds it every monitor observation (both the primary and
+ * the shadow monitor's view of the same sample) plus protocol
+ * notifications (boot detections, rollbacks, commits, save-retry
+ * exhaustion, sleep entries); the runtime and simulator query it for
+ * the current checkpoint policy.  The controller is pure deterministic
+ * state — no RNG, no clocks — so traces and campaign bytes stay
+ * thread-count-invariant.
+ */
+
+namespace gecko::defense {
+
+/** Evidence bits carried in kDefenseAnomaly's payload `b`. */
+enum AnomalyEvidence : std::uint64_t {
+    kEvidencePhysics = 0x1,    ///< dV/dt outside the RC bound
+    kEvidenceDisagree = 0x2,   ///< monitor views disagree on an edge
+    kEvidenceBoot = 0x4,       ///< ACK/timer detection at boot
+    kEvidenceRetries = 0x8,    ///< save-retry budget exhausted
+};
+
+class DefenseController
+{
+  public:
+    DefenseController(const DefenseConfig& config, const PlantModel& plant);
+
+    // ------------------------------------------------------------------
+    // Observations (simulator / runtime → controller).
+    // ------------------------------------------------------------------
+    /**
+     * One monitor sample at time `t`.  Point samples pass vLo == vHi;
+     * continuous monitors under attack pass the window envelope.  The
+     * controller cross-validates the two monitor views and checks the
+     * observed voltage step against the RC physics bound.
+     */
+    void observeSample(double t, double vLo, double vHi,
+                       const analog::MonitorEvent& primary,
+                       const analog::MonitorEvent& shadow);
+
+    /** Boot-time detector verdicts (§VI-A ACK / timer evidence). */
+    void noteBootEvidence(double t, bool ackDetect, bool timerDetect);
+
+    /** A rollback recovery of `regionId` just ran (ratchet input). */
+    void noteRollback(double t, std::uint32_t regionId);
+
+    /** Committed-region progress (monotone commit counter). */
+    void noteCommit(std::uint64_t commitCount);
+
+    /** The bounded checkpoint-save retry budget ran out. */
+    void noteRetriesExhausted(double t);
+
+    /**
+     * The node entered sleep at `t`; `fullChargeEstS` is the physics
+     * estimate of the time to recharge to V_on (negative =
+     * unreachable).  In kDegraded this arms the recharge dwell that
+     * gates forgeable monitor wakes.
+     */
+    void noteSleepEnter(double t, double fullChargeEstS);
+
+    /** Energy charged to the debt ledger (boot/rollback overhead). */
+    void noteEnergyCost(double t, double joules);
+
+    // ------------------------------------------------------------------
+    // Policy queries (controller → runtime / simulator).
+    // ------------------------------------------------------------------
+    Mode mode() const { return mode_; }
+    double score() const { return score_; }
+
+    /** May the JIT checkpoint protocol be trusted right now? */
+    bool jitAllowed() const { return mode_ <= Mode::kSuspicious; }
+
+    /**
+     * May a monitor wake signal boot the node at time `t`?  Always true
+     * outside kDegraded; inside it, the physics-timed recharge dwell
+     * must have elapsed (wake signals are forgeable, timers are not).
+     */
+    bool wakeAllowed(double t);
+
+    /**
+     * Save-retry backoff for `attempt` (0-based), in cycles.  kNominal
+     * preserves the legacy linear policy; escalated modes back off
+     * exponentially with a cap so a sustained burst cannot be ridden
+     * out by hammering the NVM.
+     */
+    int backoffCycles(int attempt) const;
+
+    const DefenseStats& stats() const { return stats_; }
+    const DefenseConfig& config() const { return config_; }
+
+  private:
+    void addEvidence(double t, double weight, std::uint64_t evidence);
+    void decayAndMaybeDeescalate(double t);
+    void escalateTo(double t, Mode target);
+    void setMode(double t, Mode next);
+    void tripRatchet(double t, std::uint32_t regionId,
+                     std::uint64_t count);
+
+    DefenseConfig config_;
+    PlantModel plant_;
+    /// Max legitimate |dV/dt| (V/s): discharge + charge slew.
+    double maxSlewVps_ = 0.0;
+    double debtBudgetJ_ = 0.0;
+    double commitCreditJ_ = 0.0;
+
+    Mode mode_ = Mode::kNominal;
+    double score_ = 0.0;
+    bool aboveSuspicion_ = false;  ///< anomaly-edge latch (traced once)
+    int calmRun_ = 0;
+
+    double lastSampleT_ = -1.0;
+    double lastSampleV_ = -1.0;
+
+    // Ratchet state.
+    std::uint32_t lastRollbackRegion_ = ~std::uint32_t{0};
+    std::uint64_t consecutiveRollbacks_ = 0;
+    std::uint64_t lastCommitCount_ = 0;
+    /// Commit count at the previous rollback: distinguishes a redo of
+    /// the rolled-back region (not progress) from the frontier moving.
+    std::uint64_t commitCountAtRollback_ = 0;
+    bool committedSinceDegrade_ = false;
+
+    // Recharge dwell (kDegraded wake gate).
+    double wakeNotBefore_ = -1.0;
+
+    DefenseStats stats_;
+};
+
+}  // namespace gecko::defense
+
+#endif  // GECKO_DEFENSE_CONTROLLER_HPP_

@@ -1,0 +1,137 @@
+#ifndef GECKO_DEFENSE_DEFENSE_HPP_
+#define GECKO_DEFENSE_DEFENSE_HPP_
+
+#include <cstdint>
+
+/**
+ * @file
+ * Types of the adaptive attack-aware defense controller.
+ *
+ * The paper evaluates its defenses (ACK/timer detectors, idempotent
+ * regions) as a *static* configuration (§VI, Fig. 13).  The controller
+ * in this directory closes the loop online instead: it scores EMI
+ * anomalies from the redundant monitor views and the capacitor's RC
+ * physics, escalates through a hysteretic mode ladder, and enforces a
+ * forward-progress ratchet so a sustained attack can degrade throughput
+ * but never livelock a workload that fits the power period.  See
+ * DESIGN.md §11.
+ */
+
+namespace gecko::defense {
+
+/**
+ * Escalation ladder.  Checkpoint policy per mode:
+ *  - kNominal:    JIT-trusting (paper default, linear retry backoff)
+ *  - kSuspicious: guarded JIT with exponential-with-cap save backoff
+ *  - kUnderAttack: JIT disabled, rollback-only recovery
+ *  - kDegraded:   rollback-only plus the forward-progress ratchet —
+ *    monitor wake signals are distrusted and boots are gated on a
+ *    physics-timed recharge dwell.
+ */
+enum class Mode : std::uint8_t {
+    kNominal = 0,
+    kSuspicious = 1,
+    kUnderAttack = 2,
+    kDegraded = 3,
+};
+
+/** Stable lowercase name ("nominal", "suspicious", ...). */
+const char* modeName(Mode mode);
+
+/** Controller knobs.  Defaults are inert: `enabled=false` leaves every
+ *  existing configuration byte-identical. */
+struct DefenseConfig {
+    /// Master switch; off by default so the static-paper configurations
+    /// are untouched.
+    bool enabled = false;
+
+    // --- anomaly scoring ---
+    /// Escalate to kSuspicious at this score.
+    double scoreSuspicious = 1.0;
+    /// Escalate to kUnderAttack at this score.
+    double scoreAttack = 2.5;
+    /// A sample is "calm" (eligible for de-escalation) below this.
+    double scoreClear = 0.5;
+    /// Saturation ceiling so de-escalation latency is bounded.
+    double scoreMax = 8.0;
+    /// Exponential decay applied per monitor sample: s *= (1 - decay).
+    double decayPerSample = 0.04;
+    /// Evidence weight: the two monitor views disagree on an edge.
+    double disagreeWeight = 0.4;
+    /// Evidence weight: observed dV/dt violates the RC physics bound.
+    double physicsWeight = 1.2;
+    /// Evidence weight: boot-time ACK/timer detection (§VI-A).
+    double bootEvidenceWeight = 1.5;
+    /// Slack (V) added to the physics bound — absorbs quantization and
+    /// sampling-phase error without admitting volt-scale EMI swings.
+    double physicsMarginV = 0.05;
+
+    // --- hysteretic de-escalation ---
+    /// Consecutive calm samples required to step *one* level down.
+    int calmSamples = 64;
+
+    // --- escalated checkpoint-save policy ---
+    /// Base of the save-retry backoff (cycles).
+    int backoffBaseCycles = 256;
+    /// Cap of the exponential backoff used at kSuspicious and above.
+    int backoffCapCycles = 8192;
+
+    // --- forward-progress ratchet ---
+    /// Consecutive rollbacks of the *same* region tolerated before the
+    /// ratchet trips to kDegraded.
+    int rollbackBudgetPerRegion = 4;
+    /// Energy-debt ceiling (J); 0 = derive from the physics at
+    /// construction (a few full-buffer discharges).
+    double energyDebtBudgetJ = 0.0;
+    /// Debt paid back per committed region (J); 0 = one boot's worth
+    /// (PlantModel::bootEnergyJ).  A bounded credit — rather than
+    /// clearing the ledger — keeps a trickle of forced progress from
+    /// masking sustained forged-wake boot churn.
+    double commitCreditJ = 0.0;
+};
+
+/**
+ * Plant constants the controller's physics plausibility check and
+ * ratchet are derived from (all design-time knowns on a real board).
+ */
+struct PlantModel {
+    double clockHz = 8e6;
+    double energyPerCycleJ = 3e-9;
+    double sleepPowerW = 2e-6;
+    double capacitanceF = 1e-3;
+    /// Nominal Thevenin source resistance (charge-slew bound).
+    double sourceResistance = 5.0;
+    double maxV = 3.3;
+    double vOn = 3.0;
+    double vOff = 2.08;
+    /// Fixed cold-boot energy (clock settling, re-init) — the per-boot
+    /// quantum of the debt ledger's commit credit.
+    double bootEnergyJ = 4.8e-5;
+};
+
+/** Observable controller counters. */
+struct DefenseStats {
+    std::uint64_t samples = 0;
+    /// Upward crossings of the suspicion threshold (traced).
+    std::uint64_t anomalies = 0;
+    /// Samples carrying monitor-disagreement evidence.
+    std::uint64_t disagreements = 0;
+    /// Samples carrying physics-violation evidence.
+    std::uint64_t physicsViolations = 0;
+    std::uint64_t escalations = 0;
+    std::uint64_t deEscalations = 0;
+    std::uint64_t ratchetTrips = 0;
+    /// Monitor wake signals deferred by the kDegraded recharge dwell.
+    std::uint64_t wakesDeferred = 0;
+    /// Sim time of the first escalation out of kNominal (<0 = never);
+    /// the detection-latency numerator of bench/fig_adaptive.
+    double firstEscalationT = -1.0;
+    /// Outstanding rollback/boot energy not yet paid back by commits.
+    double energyDebtJ = 0.0;
+    /// High-water mark of the ledger over the run.
+    double peakEnergyDebtJ = 0.0;
+};
+
+}  // namespace gecko::defense
+
+#endif  // GECKO_DEFENSE_DEFENSE_HPP_

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <sstream>
 
+#include "attack/attack_schedule.hpp"
+#include "attack/emi_source.hpp"
+#include "attack/rigs.hpp"
 #include "compiler/compile_cache.hpp"
 #include "device/device_db.hpp"
 #include "exp/parallel.hpp"
@@ -33,6 +37,24 @@ namespace {
 /** NVM data words of every campaign victim (matches the test harnesses
  *  and the SimConfig default, so NVM oracles are comparable). */
 constexpr std::size_t kMemWords = 16384;
+
+/** Historical machine-level livelock budget (run-loop iterations). */
+constexpr std::uint64_t kDefaultWatchdogBudget = 400000;
+
+/** 0 → GECKO_WATCHDOG from the environment → the historical default. */
+std::uint64_t
+resolveWatchdogBudget(std::uint64_t requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char* env = std::getenv("GECKO_WATCHDOG")) {
+        char* end = nullptr;
+        std::uint64_t v = std::strtoull(env, &end, 10);
+        if (end != env && v > 0)
+            return v;
+    }
+    return kDefaultWatchdogBudget;
+}
 
 /** The fault-free oracle of one (workload, scheme, harness level). */
 struct Golden {
@@ -169,7 +191,7 @@ hasJit(Scheme scheme)
 // (the crash_consistency_test harness plus a fault).
 // ---------------------------------------------------------------------
 CaseResult
-runMachineCase(const CaseSpec& spec)
+runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget)
 {
     const Golden& gold = goldenFor(spec.workload, spec.scheme, false);
     CaseResult res;
@@ -335,9 +357,16 @@ runMachineCase(const CaseSpec& spec)
             }
             next_failure += interval;
         }
-        if (++watchdog > 400000 || executed > cycleCap) {
+        if (++watchdog > watchdogBudget || executed > cycleCap) {
             res.outcome = CaseOutcome::kLivelock;
-            res.detail = "no forward progress within watchdog budget";
+            std::ostringstream why;
+            why << "no forward progress within watchdog budget ("
+                << (watchdog > watchdogBudget ? "watchdog=" : "cycleCap=")
+                << (watchdog > watchdogBudget ? watchdogBudget : cycleCap)
+                << " pc=" << machine.pc()
+                << " region=" << nvm.committedRegion
+                << " commits=" << nvm.commitCount << ")";
+            res.detail = why.str();
             break;
         }
     }
@@ -392,6 +421,15 @@ runSimCase(const CaseSpec& spec, double simTimeBudgetS)
     double burstS = 0.002 + 0.002 * rng.uniform();
     double faultProb = 0.05 + 0.20 * rng.uniform();
     std::uint64_t hookSeed = rng.next();
+    // EMI-burst parameters (drawn after the shared prefix, so every
+    // other kind's sequence is untouched).
+    double atkStart = 0.0, atkOnS = 0.0, atkGapS = 0.0, atkPower = 0.0;
+    if (spec.injector == InjectorKind::kEmiBurst) {
+        atkStart = 0.003 + 0.003 * rng.uniform();
+        atkOnS = 0.010 + 0.010 * rng.uniform();
+        atkGapS = 0.004 + 0.004 * rng.uniform();
+        atkPower = 30.0 + 8.0 * rng.uniform();
+    }
 
     sim::SimConfig cfg;
     cfg.continuous = false;
@@ -416,8 +454,35 @@ runSimCase(const CaseSpec& spec, double simTimeBudgetS)
             supply, burstPeriodS, burstS, spec.seed, simTimeBudgetS + 1.0);
         source = brownout.get();
     }
+    if (spec.injector == InjectorKind::kEmiBurst) {
+        // The attack — not the energy environment — is the fault: a
+        // steady supply, with the adaptive controller armed (a no-op
+        // for the unguarded NVP/Ratchet victims).
+        source = &supply;
+        cfg.defense.enabled = true;
+    }
 
     sim::IntermittentSim simulation(*gold.prog, dev, cfg, *source, io);
+
+    std::unique_ptr<attack::RemoteRig> rig;
+    std::unique_ptr<attack::EmiSource> emiSource;
+    std::unique_ptr<attack::AttackSchedule> atkSchedule;
+    if (spec.injector == InjectorKind::kEmiBurst) {
+        rig = std::make_unique<attack::RemoteRig>(
+            dev, cfg.monitorKind, 0.5);
+        emiSource = std::make_unique<attack::EmiSource>(*rig, 27e6,
+                                                        atkPower);
+        std::vector<attack::AttackWindow> windows;
+        double start = atkStart;
+        for (int i = 0; i < 3; ++i) {
+            windows.push_back({start, start + atkOnS, 27e6, atkPower});
+            start += atkOnS + atkGapS;
+        }
+        atkSchedule =
+            std::make_unique<attack::AttackSchedule>(std::move(windows));
+        simulation.setEmiSource(emiSource.get());
+        simulation.setAttackSchedule(atkSchedule.get());
+    }
 
     switch (spec.injector) {
       case InjectorKind::kMonitorStuck:
@@ -445,6 +510,10 @@ runSimCase(const CaseSpec& spec, double simTimeBudgetS)
 
     bool completed = simulation.runUntilCompletions(1, simTimeBudgetS);
     collectRuntimeStats(res, simulation.geckoRuntime());
+    if (const auto* dc = simulation.defenseController()) {
+        res.defenseEscalations = dc->stats().escalations;
+        res.defenseRatchetTrips = dc->stats().ratchetTrips;
+    }
 
     if (completed) {
         judgeCompletedRun(res, gold, io, simulation.nvm());
@@ -457,6 +526,12 @@ runSimCase(const CaseSpec& spec, double simTimeBudgetS)
             res.outcome = CaseOutcome::kTimeout;
             res.detail = "no completion within sim-time budget";
         }
+    }
+    // Detected-then-survived attack: the controller escalated during the
+    // run and the outputs still match the golden oracle — a pass.
+    if (res.outcome == CaseOutcome::kOk && res.defenseEscalations > 0) {
+        res.defended = true;
+        res.detail = "defended";
     }
     return res;
 }
@@ -484,7 +559,7 @@ bisectDown(std::int64_t hi, Probe failsAt)
  * shrinking ever stops reproducing, the original result is kept.
  */
 CaseResult
-minimizeCase(const CaseResult& failing)
+minimizeCase(const CaseResult& failing, std::uint64_t watchdogBudget)
 {
     if (isSimLevel(failing.spec.injector) || failing.injectAt < 0)
         return failing;
@@ -494,7 +569,8 @@ minimizeCase(const CaseResult& failing)
     spec.injectAtOverride = bisectDown(failing.injectAt, [&](std::int64_t a) {
         CaseSpec probe = spec;
         probe.injectAtOverride = a;
-        return isCorruption(runCase(probe).outcome);
+        return isCorruption(
+            runMachineCase(probe, watchdogBudget).outcome);
     });
     if (failing.spec.injector == InjectorKind::kTornWrite &&
         failing.word > 0) {
@@ -502,10 +578,11 @@ minimizeCase(const CaseResult& failing)
             static_cast<std::int32_t>(bisectDown(failing.word, [&](std::int64_t w) {
                 CaseSpec probe = spec;
                 probe.wordOverride = static_cast<std::int32_t>(w);
-                return isCorruption(runCase(probe).outcome);
+                return isCorruption(
+                    runMachineCase(probe, watchdogBudget).outcome);
             }));
     }
-    CaseResult minimized = runCase(spec);
+    CaseResult minimized = runMachineCase(spec, watchdogBudget);
     if (!isCorruption(minimized.outcome))
         return failing;
     minimized.minimized = true;
@@ -525,6 +602,9 @@ constexpr InjectorKind kSchedule[] = {
     InjectorKind::kBitFlip,      InjectorKind::kTornWrite,
     InjectorKind::kAckCorrupt,   InjectorKind::kStaleImage,
     InjectorKind::kMultiBitFlip, InjectorKind::kBrownoutBurst,
+    InjectorKind::kBitFlip,      InjectorKind::kTornWrite,
+    InjectorKind::kAckCorrupt,   InjectorKind::kStaleImage,
+    InjectorKind::kMultiBitFlip, InjectorKind::kEmiBurst,
 };
 constexpr std::size_t kScheduleLen =
     sizeof(kSchedule) / sizeof(kSchedule[0]);
@@ -553,11 +633,12 @@ makeCampaignCases(const CampaignConfig& config)
 }
 
 CaseResult
-runCase(const CaseSpec& spec, double simTimeBudgetS)
+runCase(const CaseSpec& spec, double simTimeBudgetS,
+        std::uint64_t watchdogBudget)
 {
     if (isSimLevel(spec.injector))
         return runSimCase(spec, simTimeBudgetS);
-    return runMachineCase(spec);
+    return runMachineCase(spec, resolveWatchdogBudget(watchdogBudget));
 }
 
 CampaignResult
@@ -566,6 +647,8 @@ runCampaign(const CampaignConfig& config)
     std::vector<CaseSpec> specs = makeCampaignCases(config);
     exp::ThreadPool& pool =
         config.pool ? *config.pool : exp::ThreadPool::global();
+    const std::uint64_t watchdogBudget =
+        resolveWatchdogBudget(config.watchdogBudget);
 
     CampaignResult out;
     out.cases = exp::parallelMap(pool, specs, [&](const CaseSpec& spec) {
@@ -579,7 +662,7 @@ runCampaign(const CampaignConfig& config)
                 injectorName(spec.injector) + "|" +
                 std::to_string(spec.seed),
             ordinal);
-        return runCase(spec, config.simTimeBudgetS);
+        return runCase(spec, config.simTimeBudgetS, watchdogBudget);
     });
 
     // Aggregate per (scheme, injector).
@@ -615,6 +698,12 @@ runCampaign(const CampaignConfig& config)
         }
         if (r.detail == "not-injected")
             ++g.notInjected;
+        if (r.defended) {
+            ++g.defended;
+            ++out.defendedCases;
+        }
+        out.defenseEscalations += r.defenseEscalations;
+        out.defenseRatchetTrips += r.defenseRatchetTrips;
         bool corrupt = isCorruption(r.outcome);
         if (corrupt && (r.spec.scheme == Scheme::kGecko ||
                         r.spec.scheme == Scheme::kGeckoNoPrune)) {
@@ -650,7 +739,7 @@ runCampaign(const CampaignConfig& config)
             continue;
         }
         ++kept[group];
-        out.corpusCases.push_back(minimizeCase(r));
+        out.corpusCases.push_back(minimizeCase(r, watchdogBudget));
     }
     out.corpus = formatCorpus(config.seed, out.corpusCases);
 
@@ -682,6 +771,9 @@ runCampaign(const CampaignConfig& config)
         << " ckptSaveRetries=" << out.ckptSaveRetries
         << " retriesExhausted=" << out.retriesExhausted
         << " integrityDegradations=" << out.integrityDegradations << "\n";
+    rep << "defense defended=" << out.defendedCases
+        << " escalations=" << out.defenseEscalations
+        << " ratchetTrips=" << out.defenseRatchetTrips << "\n";
     rep << "summary geckoCorruptions=" << out.geckoCorruptions
         << " nvpCorruptions=" << out.nvpCorruptions << " geckoClean="
         << (out.geckoClean ? "yes" : "no") << "\n";

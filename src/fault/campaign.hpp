@@ -51,6 +51,10 @@ struct CampaignConfig {
     int corpusPerGroup = 4;
     /// Sim-level cases: max simulated seconds before kTimeout.
     double simTimeBudgetS = 1.5;
+    /// Machine-level livelock watchdog: run-loop iterations before a
+    /// case is declared kLivelock.  0 = use GECKO_WATCHDOG from the
+    /// environment, falling back to the historical 400000.
+    std::uint64_t watchdogBudget = 0;
     /// Pool override for tests (null = the process-wide pool).
     exp::ThreadPool* pool = nullptr;
     /// Event-trace sink: when set, every case records into its own
@@ -69,6 +73,8 @@ struct GroupCounts {
     std::uint64_t livelock = 0;
     std::uint64_t timeout = 0;
     std::uint64_t notInjected = 0;
+    /// Detected-then-survived attacks (adaptive defense).
+    std::uint64_t defended = 0;
 
     std::uint64_t corrupted() const
     {
@@ -97,6 +103,10 @@ struct CampaignResult {
     std::uint64_t ckptSaveRetries = 0;
     std::uint64_t retriesExhausted = 0;
     std::uint64_t integrityDegradations = 0;
+    /// Adaptive-defense aggregates (EMI-burst cases).
+    std::uint64_t defendedCases = 0;
+    std::uint64_t defenseEscalations = 0;
+    std::uint64_t defenseRatchetTrips = 0;
 };
 
 /** Deterministic case list for a config (grid enumeration). */
@@ -107,8 +117,12 @@ std::vector<CaseSpec> makeCampaignCases(const CampaignConfig& config);
  * Pure function of the spec: compiles/looks up the victim, derives all
  * injection parameters from the case seed, runs against the golden
  * oracle.
+ *
+ * @param watchdogBudget machine-level livelock budget; 0 resolves from
+ *        GECKO_WATCHDOG, falling back to 400000.
  */
-CaseResult runCase(const CaseSpec& spec, double simTimeBudgetS = 1.5);
+CaseResult runCase(const CaseSpec& spec, double simTimeBudgetS = 1.5,
+                   std::uint64_t watchdogBudget = 0);
 
 /** Run the full campaign. */
 CampaignResult runCampaign(const CampaignConfig& config);

@@ -51,9 +51,14 @@ enum class InjectorKind {
     /// windows; checkpoint saves inside a burst fail transiently
     /// (exercises the bounded-retry/backoff path).
     kBrownoutBurst,
+    /// Sustained EMI tone bursts forging backup/wake signals in the
+    /// monitor's view (the paper's attack).  Guarded schemes run with
+    /// the adaptive defense controller enabled: a detected-then-survived
+    /// attack is a pass.
+    kEmiBurst,
 };
 
-inline constexpr int kInjectorKinds = 8;
+inline constexpr int kInjectorKinds = 9;
 
 const char* injectorName(InjectorKind kind);
 bool injectorFromName(const std::string& name, InjectorKind* out);
@@ -65,7 +70,8 @@ isSimLevel(InjectorKind kind)
 {
     return kind == InjectorKind::kMonitorStuck ||
            kind == InjectorKind::kMonitorOffset ||
-           kind == InjectorKind::kBrownoutBurst;
+           kind == InjectorKind::kBrownoutBurst ||
+           kind == InjectorKind::kEmiBurst;
 }
 
 /** One campaign case, fully replayable from these fields. */
@@ -119,6 +125,13 @@ struct CaseResult {
     std::uint64_t ckptSaveRetries = 0;
     std::uint64_t retriesExhausted = 0;
     std::uint64_t integrityDegradations = 0;
+    /// Adaptive-defense evidence (EMI-burst cases with the controller
+    /// attached): mode escalations and ratchet trips observed.
+    std::uint64_t defenseEscalations = 0;
+    std::uint64_t defenseRatchetTrips = 0;
+    /// The controller detected the attack online and the run still
+    /// matched its golden oracle (detected-then-survived = pass).
+    bool defended = false;
     /// True when injectAt/word were shrunk by the minimiser.
     bool minimized = false;
 };

@@ -26,6 +26,8 @@ injectorName(InjectorKind kind)
         return "monitoroffset";
       case InjectorKind::kBrownoutBurst:
         return "brownoutburst";
+      case InjectorKind::kEmiBurst:
+        return "emiburst";
     }
     return "unknown";
 }

@@ -49,6 +49,8 @@ BenchReport::toJson() const
     os << "{\"schema_version\":" << schemaVersion
        << ",\"figure\":\"" << jsonEscape(figure) << "\""
        << ",\"threads\":" << threads << ",\"host_cores\":" << hostCores
+       << ",\"seed\":" << seed
+       << ",\"defense_mode\":\"" << jsonEscape(defenseMode) << "\""
        << ",\"wall_s\":" << num(wallS);
     if (serialWallS > 0)
         os << ",\"serial_wall_s\":" << num(serialWallS)

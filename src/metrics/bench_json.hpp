@@ -43,11 +43,15 @@ struct SweepRecord {
  *    `schema_version` key are version 1).
  *  - 2: added `schema_version` itself and the optional `trace_out`
  *    path of the event-trace file written alongside the report.
+ *  - 3: added `seed` (effective GECKO_SEED, 0 = unseeded) and
+ *    `defense_mode` (the run's defense configuration: "static" for the
+ *    paper's fixed detectors, "adaptive" when the online controller
+ *    was armed).  `threads` was already the effective pool width.
  * Readers must tolerate unknown keys so newer records keep
  * aggregating under older readers (the find-based extractors below
  * do this by construction).
  */
-inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr int kBenchSchemaVersion = 3;
 
 /** Telemetry of one bench binary run. */
 struct BenchReport {
@@ -55,6 +59,12 @@ struct BenchReport {
     std::string figure;
     int threads = 1;
     unsigned hostCores = 1;
+    /// Effective global seed of the run (GECKO_SEED / --seed=; 0 =
+    /// unseeded historical sequences).
+    std::uint64_t seed = 0;
+    /// Defense configuration the victims ran with: "static" (paper
+    /// default) or "adaptive" (online controller armed).
+    std::string defenseMode = "static";
     /// Process wall time from bench::init to report write (s).
     double wallS = 0.0;
     /// Recorded serial (1-thread) wall time for the same figure; 0

@@ -1,5 +1,6 @@
 #include "runtime/gecko_runtime.hpp"
 
+#include "defense/controller.hpp"
 #include "trace/trace.hpp"
 
 namespace gecko::runtime {
@@ -30,7 +31,8 @@ GeckoRuntime::jitActive() const
       case Scheme::kRatchet:
         return false;
       default:
-        return nvm_->jitDisabledFlag == 0;
+        return nvm_->jitDisabledFlag == 0 &&
+               (defense_ == nullptr || defense_->jitAllowed());
     }
 }
 
@@ -60,6 +62,8 @@ GeckoRuntime::noteCkptRetriesExhausted()
 {
     ++stats.retriesExhausted;
     degradeToRollback();
+    if (defense_)
+        defense_->noteRetriesExhausted(now_);
 }
 
 void
@@ -71,6 +75,8 @@ GeckoRuntime::onBackupSignal()
 void
 GeckoRuntime::onProgress()
 {
+    if (defense_)
+        defense_->noteCommit(nvm_->commitCount);
     // Rollback resumes at the interrupted region's entry sequence, whose
     // own boundary re-commits almost immediately — that re-commit is not
     // progress.  The probe therefore waits for a *second* commit (a full
@@ -214,6 +220,8 @@ GeckoRuntime::rollback()
 
     machine_->setPc(static_cast<std::uint32_t>(info.entryIdx));
     ++stats.rollbacks;
+    if (defense_)
+        defense_->noteRollback(now_, id);
     GECKO_TRACE_EVENT(trace::EventKind::kRollback, 0, id,
                       nvm_->commitCount);
     return cycles;
@@ -245,17 +253,22 @@ GeckoRuntime::onBoot(std::uint64_t prevOnCycles)
     }
 
     // GECKO boot protocol.
-    if (nvm_->jitDisabledFlag != 0) {
-        // Attack mode: rollback recovery and probe for the all-clear.
+    if (nvm_->jitDisabledFlag != 0 ||
+        (defense_ && !defense_->jitAllowed())) {
+        // Attack mode (NVM flag or escalated controller): rollback
+        // recovery and probe for the all-clear.
         probeArmed_ = true;
         commitsAtProbeArm_ = nvm_->commitCount;
         return rollback();
     }
 
     bool attack = false;
+    bool ack_detect = false;
+    bool timer_detect = false;
     if (!first_boot) {
         if (ackDetectorOn_ && !ack_changed) {
             attack = true;
+            ack_detect = true;
             ++stats.ackDetections;
         }
         // Timer-based detection: a power outage recurring before one
@@ -265,20 +278,19 @@ GeckoRuntime::onBoot(std::uint64_t prevOnCycles)
         if (timerDetectorOn_ &&
             (commits_since == 0 || prevOnCycles < minOnCycles_)) {
             attack = true;
+            timer_detect = true;
             ++stats.dosDetections;
         }
     }
+    if (defense_)
+        defense_->noteBootEvidence(now_, ack_detect, timer_detect);
     if (attack) {
         ++stats.attackDetections;
         GECKO_TRACE_EVENT(
             trace::EventKind::kAttackDetected,
             static_cast<std::uint16_t>(
-                ((ackDetectorOn_ && !ack_changed) ? trace::kFlagAckDetect
-                                                  : 0) |
-                ((timerDetectorOn_ &&
-                  (commits_since == 0 || prevOnCycles < minOnCycles_))
-                     ? trace::kFlagTimerDetect
-                     : 0)),
+                (ack_detect ? trace::kFlagAckDetect : 0) |
+                (timer_detect ? trace::kFlagTimerDetect : 0)),
             stats.attackDetections, 0);
         nvm_->jitDisabledFlag = 1;
         probeArmed_ = true;

@@ -17,6 +17,10 @@
  * uniformly.
  */
 
+namespace gecko::defense {
+class DefenseController;
+}
+
 namespace gecko::runtime {
 
 /** Counters maintained by the runtime. */
@@ -139,6 +143,22 @@ class GeckoRuntime
         timerDetectorOn_ = timer;
     }
 
+    /**
+     * Attach the adaptive defense controller (may be null, the
+     * static-paper default).  When attached, the runtime reports boot
+     * detections, rollbacks, commits and retry exhaustion to it, and
+     * the controller's mode gates the JIT protocol on top of the NVM
+     * disable flag.
+     */
+    void setDefense(defense::DefenseController* defense)
+    {
+        defense_ = defense;
+    }
+
+    /** Simulator clock, fed before boot/notification calls so defense
+     *  events carry sim time (runtime itself has no clock). */
+    void setNow(double t) { now_ = t; }
+
     RuntimeStats stats;
 
   private:
@@ -151,6 +171,8 @@ class GeckoRuntime
     const compiler::CompiledProgram* compiled_;
     sim::Machine* machine_;
     sim::Nvm* nvm_;
+    defense::DefenseController* defense_ = nullptr;
+    double now_ = 0.0;
 
     bool jitImageFresh_ = false;
     int jitRamWords_ = 0;

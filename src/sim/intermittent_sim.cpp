@@ -64,6 +64,40 @@ IntermittentSim::IntermittentSim(const compiler::CompiledProgram& compiled,
     sampleSeq_ =
         static_cast<std::uint32_t>(exp::applyGlobalSeed(config.monitorSeed));
 
+    // Adaptive defense (DESIGN.md §11): guarded schemes only — NVP and
+    // Ratchet stay exactly as the paper evaluates them.
+    if (config.defense.enabled &&
+        (compiled.scheme == Scheme::kGecko ||
+         compiled.scheme == Scheme::kGeckoNoPrune)) {
+        if (config.monitorKind == analog::MonitorKind::kAdc) {
+            shadowMonitor_ = std::make_unique<analog::ComparatorMonitor>(
+                vBackup_, vOn_, device.compHysteresisV, device.compCheckHz);
+        } else {
+            shadowMonitor_ = std::make_unique<analog::AdcMonitor>(
+                device.adcBits, device.vccNominal, vBackup_, vOn_,
+                device.adcSampleHz);
+        }
+        shadowMonitor_->reset(cap_.voltage());
+
+        defense::PlantModel plant;
+        plant.clockHz = device.power.clockHz;
+        plant.energyPerCycleJ = device.power.energyPerCycleJ;
+        plant.sleepPowerW = device.power.sleepPowerW;
+        plant.capacitanceF = cap_.capacitance();
+        plant.sourceResistance =
+            std::max(harvester.seriesResistance(0.0), 1e-3);
+        plant.maxV = device.vccNominal;
+        plant.vOn = vOn_;
+        plant.vOff = vOff_;
+        plant.bootEnergyJ =
+            static_cast<double>(config.bootOverheadCycles) *
+            device.power.energyPerCycleJ;
+        defense_ =
+            std::make_unique<defense::DefenseController>(config.defense,
+                                                         plant);
+        runtime_.setDefense(defense_.get());
+    }
+
 #if GECKO_TRACE
     // Arm trace emission of threshold crossings and outage edges; inert
     // unless a trace buffer is installed for the running case.
@@ -135,8 +169,10 @@ IntermittentSim::observeMonitor()
     // Continuous (comparator) monitors react to every excursion inside
     // the window: feed them the window's envelope under attack.
     if (monitor_->continuous() && attackActive()) {
-        double lo = v - emi_->amplitude();
-        double hi = v + emi_->amplitude();
+        const double wLo = v - emi_->amplitude();
+        const double wHi = v + emi_->amplitude();
+        double lo = wLo;
+        double hi = wHi;
         if (monitorFault_) {
             double flo = monitorFault_(lo, now_);
             double fhi = monitorFault_(hi, now_);
@@ -154,6 +190,8 @@ IntermittentSim::observeMonitor()
         if (ev.backup || ev.wake)
             GECKO_TRACE_EVENT(trace::EventKind::kMonitorTrip, tripFlags(ev),
                               traceMv(v), traceMv(hi));
+        if (defense_)
+            feedDefense(wLo, wHi, ev);
         return ev;
     }
     double seen = v + emiAt(now_);
@@ -170,7 +208,28 @@ IntermittentSim::observeMonitor()
     if (ev.backup || ev.wake)
         GECKO_TRACE_EVENT(trace::EventKind::kMonitorTrip, tripFlags(ev),
                           traceMv(v), traceMv(seen));
+    if (defense_) {
+        // The analog reality the redundant sensing path is exposed to:
+        // the full tone envelope under attack, the point reading
+        // otherwise.
+        if (attackActive())
+            feedDefense(v - emi_->amplitude(), v + emi_->amplitude(), ev);
+        else
+            feedDefense(seen, seen, ev);
+    }
     return ev;
+}
+
+void
+IntermittentSim::feedDefense(double vLo, double vHi,
+                             const analog::MonitorEvent& primary)
+{
+    analog::MonitorEvent shadow;
+    if (shadowMonitor_->continuous() && vHi > vLo)
+        shadow = shadowMonitor_->observeEnvelope(vLo, vHi);
+    else
+        shadow = shadowMonitor_->observe(0.5 * (vLo + vHi));
+    defense_->observeSample(now_, vLo, vHi, primary, shadow);
 }
 
 void
@@ -235,7 +294,7 @@ IntermittentSim::doJitCheckpoint()
         if (result.complete) {
             ++stats.jitCheckpointsComplete;
             runtime_.noteJitCheckpointComplete();
-            state_ = State::kSleeping;
+            enterSleep();
             GECKO_TRACE_EVENT(trace::EventKind::kSleepEnter,
                               trace::kFlagJitArmed, 0, 0);
             return;
@@ -258,9 +317,14 @@ IntermittentSim::doJitCheckpoint()
             GECKO_TRACE_EVENT(trace::EventKind::kJitSaveRetry, 0,
                               static_cast<std::uint64_t>(attempt),
                               static_cast<std::uint64_t>(words));
+            // The adaptive controller owns the backoff policy when
+            // attached (linear in kNominal, exponential-with-cap once
+            // escalated); the static linear schedule otherwise.
             double backoff =
-                static_cast<double>(config_.jitRetryBackoffCycles) *
-                (attempt + 1);
+                defense_
+                    ? static_cast<double>(defense_->backoffCycles(attempt))
+                    : static_cast<double>(config_.jitRetryBackoffCycles) *
+                          (attempt + 1);
             cap_.discharge(backoff * epc_);
             cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
                             harvester_.seriesResistance(now_),
@@ -275,10 +339,11 @@ IntermittentSim::doJitCheckpoint()
         if (faulted) {
             GECKO_TRACE_EVENT(trace::EventKind::kJitRetriesExhausted, 0,
                               static_cast<std::uint64_t>(attempt), 0);
+            runtime_.setNow(now_);
             runtime_.noteCkptRetriesExhausted();
         }
         ++stats.jitCheckpointsTorn;
-        state_ = State::kSleeping;
+        enterSleep();
         GECKO_TRACE_EVENT(trace::EventKind::kSleepEnter,
                           trace::kFlagJitArmed, 0, 0);
         return;
@@ -295,7 +360,21 @@ IntermittentSim::hardDeath()
                       stats.hardDeaths, 0);
     if (runtime_.jitActive())
         ++stats.missedCheckpoints;
+    enterSleep();
+}
+
+void
+IntermittentSim::enterSleep()
+{
     state_ = State::kSleeping;
+    if (defense_) {
+        // Physics estimate of the full recharge; in kDegraded this arms
+        // the dwell that gates forgeable monitor wakes.
+        defense_->noteSleepEnter(
+            now_, cap_.timeToReach(vOn_,
+                                   harvester_.openCircuitVoltage(now_),
+                                   harvester_.seriesResistance(now_)));
+    }
 }
 
 void
@@ -309,6 +388,7 @@ IntermittentSim::boot()
     GECKO_TRACE_TIME(now_);
     GECKO_TRACE_EVENT(trace::EventKind::kBoot, 0, stats.reboots,
                       stats.reboots == 1 ? 0 : prev_on);
+    runtime_.setNow(now_);
     std::uint64_t cycles = config_.bootOverheadCycles +
                            runtime_.onBoot(stats.reboots == 1
                                                ? ~std::uint64_t{0}
@@ -320,6 +400,8 @@ IntermittentSim::boot()
                     cycles * spc_);
     now_ += cycles * spc_;
     stats.bootCycles += cycles;
+    if (defense_)
+        defense_->noteEnergyCost(now_, static_cast<double>(cycles) * epc_);
     state_ = State::kRunning;
 }
 
@@ -410,10 +492,14 @@ IntermittentSim::stepSleeping()
                     tone_later = true;
         }
         if (!tone_later && t_wake >= 0 &&
-            harvester_.steadyOver(now_, t_wake)) {
+            harvester_.steadyOver(now_, t_wake) &&
+            (defense_ == nullptr ||
+             defense_->wakeAllowed(now_ + t_wake))) {
             cap_.chargeFrom(voc, rs, t_wake);
             now_ += t_wake + monitor_->sampleIntervalS();
             monitor_->reset(cap_.voltage());
+            if (shadowMonitor_)
+                shadowMonitor_->reset(cap_.voltage());
             ++stats.wakeSignals;
             GECKO_TRACE_TIME(now_);
             GECKO_TRACE_EVENT(trace::EventKind::kWakeSignal, 0,
@@ -439,10 +525,17 @@ IntermittentSim::stepSleeping()
         // inside the paper's malicious window V_off < V_fail < V_backup
         // (or legitimately above).
         const bool clear = cap_.voltage() > vOff_ + config_.bootLockoutV;
+        // In kDegraded the controller distrusts the forgeable monitor
+        // wake and defers the boot until the physics-timed recharge
+        // dwell has elapsed (forward-progress ratchet, DESIGN.md §11).
+        const bool allowed =
+            defense_ == nullptr || defense_->wakeAllowed(now_);
         GECKO_TRACE_EVENT(trace::EventKind::kWakeSignal,
-                          clear ? 0 : trace::kFlagLockout,
+                          static_cast<std::uint16_t>(
+                              (clear ? 0 : trace::kFlagLockout) |
+                              (allowed ? 0 : trace::kFlagIgnored)),
                           stats.wakeSignals, 0);
-        if (clear)
+        if (clear && allowed)
             boot();
     }
 }

@@ -8,6 +8,7 @@
 #include "attack/attack_schedule.hpp"
 #include "attack/emi_source.hpp"
 #include "compiler/pipeline.hpp"
+#include "defense/controller.hpp"
 #include "device/device_profile.hpp"
 #include "energy/capacitor.hpp"
 #include "energy/harvester.hpp"
@@ -78,6 +79,10 @@ struct SimConfig {
     /// the attempt number (linear backoff lets a short disturbance burst
     /// pass).
     int jitRetryBackoffCycles = 256;
+    /// Adaptive defense controller (DESIGN.md §11).  Off by default:
+    /// the static-paper configurations and their byte-exact outputs are
+    /// untouched.  Takes effect only for the guarded GECKO schemes.
+    defense::DefenseConfig defense;
 };
 
 /** Simulation-level counters. */
@@ -171,6 +176,11 @@ class IntermittentSim
     runtime::GeckoRuntime& geckoRuntime() { return runtime_; }
     Nvm& nvm() { return nvm_; }
     energy::Capacitor& capacitor() { return cap_; }
+    /** Adaptive controller, or null when SimConfig::defense is off. */
+    defense::DefenseController* defenseController()
+    {
+        return defense_.get();
+    }
 
     /** Checkpoint failure rate F = N_fail / N_checkpoints (§IV-B2). */
     double checkpointFailureRate() const;
@@ -187,6 +197,9 @@ class IntermittentSim
     void doJitCheckpoint();
     void hardDeath();
     void boot();
+    void enterSleep();
+    void feedDefense(double vLo, double vHi,
+                     const analog::MonitorEvent& primary);
 
     enum class State { kRunning, kSleeping };
 
@@ -198,6 +211,10 @@ class IntermittentSim
     runtime::GeckoRuntime runtime_;
     energy::Capacitor cap_;
     std::unique_ptr<analog::VoltageMonitor> monitor_;
+    /// Redundant monitor of the opposite kind, feeding the defense
+    /// controller's cross-validation (null when defense is off).
+    std::unique_ptr<analog::VoltageMonitor> shadowMonitor_;
+    std::unique_ptr<defense::DefenseController> defense_;
     attack::EmiSource* emi_ = nullptr;
     const attack::AttackSchedule* schedule_ = nullptr;
     std::function<double(double v, double t)> monitorFault_;

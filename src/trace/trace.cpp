@@ -38,6 +38,9 @@ eventName(EventKind kind)
         case EventKind::kEmiOn: return "emi_on";
         case EventKind::kEmiOff: return "emi_off";
         case EventKind::kFaultInject: return "fault_inject";
+        case EventKind::kDefenseAnomaly: return "defense_anomaly";
+        case EventKind::kDefenseModeChange: return "defense_mode_change";
+        case EventKind::kDefenseRatchetTrip: return "defense_ratchet_trip";
     }
     return "unknown";
 }

@@ -83,8 +83,13 @@ enum class EventKind : std::uint16_t {
     kEmiOn = 80,  ///< a=freqHz, b=power in milli-dBm (signed, offset)
     kEmiOff = 81,
 
-    // Fault injection (96..)
+    // Fault injection (96..111)
     kFaultInject = 96,  ///< a=FaultSite, b=site-specific payload
+
+    // Adaptive defense controller (112..)
+    kDefenseAnomaly = 112,     ///< a=score milli-units, b=evidence bits
+    kDefenseModeChange = 113,  ///< a=new defense::Mode, b=previous Mode
+    kDefenseRatchetTrip = 114, ///< a=regionId, b=consecutive rollbacks
 };
 
 /** Payload `a` values for EventKind::kFaultInject. */

@@ -43,6 +43,54 @@ TEST(ComparatorTest, HysteresisPreventsChatter)
     EXPECT_TRUE(comp.evaluate(2.26));   // above band: trips high
 }
 
+TEST(ComparatorTest, ExactBandEdgeEqualityHoldsState)
+{
+    // Transitions are strict inequalities: landing *exactly* on
+    // ref ± hysteresis/2 holds the current state.  EMI tones sampled at
+    // a resonance null can park the seen voltage on the band edge for
+    // many evaluations; equality must not flip the output.  Values are
+    // binary-exact so there is no rounding slack in the comparison.
+    Comparator comp(2.0, 0.5, true);
+    EXPECT_TRUE(comp.evaluate(1.75));      // == ref - half: holds high
+    EXPECT_TRUE(comp.evaluate(1.75));      // parked there: still holds
+    EXPECT_FALSE(comp.evaluate(1.749999));  // strictly below: trips
+    EXPECT_FALSE(comp.evaluate(2.25));     // == ref + half: holds low
+    EXPECT_FALSE(comp.evaluate(2.25));
+    EXPECT_TRUE(comp.evaluate(2.250001));  // strictly above: trips
+}
+
+TEST(ComparatorTest, ZeroHysteresisIsStableAtTheReference)
+{
+    // Degenerate zero-width band: both edges collapse onto the
+    // reference.  Input exactly at the reference must hold state in
+    // either direction (no chatter from equality), while any strict
+    // crossing still trips.
+    Comparator comp(2.0, 0.0, true);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(comp.evaluate(2.0));  // v == ref: holds high forever
+    EXPECT_FALSE(comp.evaluate(1.999999));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(comp.evaluate(2.0));  // and holds low symmetrically
+    EXPECT_TRUE(comp.evaluate(2.000001));
+    EXPECT_TRUE(comp.output());
+}
+
+TEST(VoltageMonitorTest, ComparatorMonitorZeroHysteresisEdges)
+{
+    // Regression: a zero-hysteresis monitor must still be edge-driven —
+    // exact-threshold samples generate no backup/wake edge, strict
+    // crossings exactly one.
+    ComparatorMonitor mon(2.0, 3.0, 0.0, 2e6);
+    mon.reset(3.3);
+    EXPECT_FALSE(mon.observe(2.0).backup);  // parked on V_backup: none
+    EXPECT_FALSE(mon.observe(2.0).backup);
+    MonitorEvent ev = mon.observe(1.999999);
+    EXPECT_TRUE(ev.backup);
+    EXPECT_FALSE(mon.observe(1.9).backup);  // edge-triggered, no re-fire
+    EXPECT_FALSE(mon.observe(3.0).wake);    // parked on V_wake: none...
+    EXPECT_TRUE(mon.observe(3.000001).wake);  // ...strict cross fires
+}
+
 TEST(VoltageMonitorTest, AdcMonitorBackupEdge)
 {
     AdcMonitor mon(12, 3.3, 2.2, 3.0, 100e3);

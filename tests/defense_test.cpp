@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "defense/controller.hpp"
+
+/**
+ * Unit tests of the adaptive defense controller (DESIGN.md §11): the
+ * anomaly-scoring escalation ladder, the hysteretic de-escalation, the
+ * forward-progress ratchet, the escalated save backoff, and the
+ * kDegraded recharge-dwell wake gate.  The controller is pure state, so
+ * every test drives it directly with synthetic observations.
+ */
+
+namespace gecko::defense {
+namespace {
+
+DefenseConfig
+fastConfig()
+{
+    DefenseConfig config;
+    config.enabled = true;
+    config.calmSamples = 4;
+    config.decayPerSample = 0.2;
+    return config;
+}
+
+/** Feed one physics-violating sample (a step far beyond the RC bound). */
+void
+violate(DefenseController& dc, double& t, double& v)
+{
+    analog::MonitorEvent ev;
+    t += 1e-5;
+    v = (v > 2.0) ? 0.5 : 3.3;  // volt-scale jump every call
+    dc.observeSample(t, v, v, ev, ev);
+}
+
+/** Feed one calm sample (no motion, agreeing views). */
+void
+calm(DefenseController& dc, double& t, double v)
+{
+    analog::MonitorEvent ev;
+    t += 1e-5;
+    dc.observeSample(t, v, v, ev, ev);
+}
+
+TEST(DefenseTest, ModeNamesAreStable)
+{
+    EXPECT_STREQ(modeName(Mode::kNominal), "nominal");
+    EXPECT_STREQ(modeName(Mode::kSuspicious), "suspicious");
+    EXPECT_STREQ(modeName(Mode::kUnderAttack), "under_attack");
+    EXPECT_STREQ(modeName(Mode::kDegraded), "degraded");
+}
+
+TEST(DefenseTest, CleanSamplesNeverEscalate)
+{
+    DefenseController dc(fastConfig(), PlantModel{});
+    double t = 0.0;
+    analog::MonitorEvent ev;
+    // A legitimate discharge ramp: small steps well inside the physics
+    // bound, both monitor views agreeing.
+    double v = 3.0;
+    for (int i = 0; i < 1000; ++i) {
+        dc.observeSample(t, v, v, ev, ev);
+        t += 1e-5;
+        v -= 1e-5;
+    }
+    EXPECT_EQ(dc.mode(), Mode::kNominal);
+    EXPECT_EQ(dc.stats().escalations, 0u);
+    EXPECT_EQ(dc.stats().anomalies, 0u);
+    EXPECT_TRUE(dc.jitAllowed());
+}
+
+TEST(DefenseTest, PhysicsViolationsEscalateThroughLadder)
+{
+    DefenseController dc(fastConfig(), PlantModel{});
+    double t = 0.0, v = 3.0;
+    calm(dc, t, v);  // baseline sample
+    violate(dc, t, v);
+    EXPECT_EQ(dc.mode(), Mode::kSuspicious);  // one hit crosses 1.0
+    EXPECT_TRUE(dc.jitAllowed());             // guarded JIT still on
+    while (dc.mode() != Mode::kUnderAttack)
+        violate(dc, t, v);
+    EXPECT_FALSE(dc.jitAllowed());
+    EXPECT_GE(dc.stats().physicsViolations, 2u);
+    EXPECT_EQ(dc.stats().anomalies, 1u);  // edge-latched, traced once
+    EXPECT_GE(dc.stats().firstEscalationT, 0.0);
+}
+
+TEST(DefenseTest, MonitorDisagreementIsEvidence)
+{
+    DefenseController dc(fastConfig(), PlantModel{});
+    double t = 0.0;
+    analog::MonitorEvent primary, shadow;
+    primary.backup = true;  // shadow channel saw no backup edge
+    for (int i = 0; i < 10; ++i) {
+        dc.observeSample(t, 3.0, 3.0, primary, shadow);
+        t += 1e-5;
+    }
+    EXPECT_GE(dc.stats().disagreements, 10u);
+    EXPECT_GE(dc.mode(), Mode::kSuspicious);
+}
+
+TEST(DefenseTest, HysteresisStepsDownOneLevelPerCalmDwell)
+{
+    DefenseConfig config = fastConfig();
+    DefenseController dc(config, PlantModel{});
+    double t = 0.0, v = 3.0;
+    calm(dc, t, v);
+    while (dc.mode() != Mode::kUnderAttack)
+        violate(dc, t, v);
+
+    // Decay to below scoreClear, then count the calm dwell per level.
+    int toSuspicious = 0;
+    while (dc.mode() == Mode::kUnderAttack) {
+        calm(dc, t, v);
+        ++toSuspicious;
+    }
+    EXPECT_EQ(dc.mode(), Mode::kSuspicious);
+    EXPECT_GE(toSuspicious, config.calmSamples);
+    // The next level needs a *fresh* dwell — strictly more samples.
+    int toNominal = 0;
+    while (dc.mode() == Mode::kSuspicious) {
+        calm(dc, t, v);
+        ++toNominal;
+    }
+    EXPECT_EQ(dc.mode(), Mode::kNominal);
+    EXPECT_EQ(toNominal, config.calmSamples);
+    EXPECT_EQ(dc.stats().deEscalations, 2u);
+}
+
+TEST(DefenseTest, RatchetTripsOnStuckRegion)
+{
+    DefenseController dc(fastConfig(), PlantModel{});
+    // Budget is 4 consecutive rollbacks of one region; the 5th trips.
+    for (int i = 0; i < 4; ++i)
+        dc.noteRollback(0.1 * i, 7);
+    EXPECT_EQ(dc.stats().ratchetTrips, 0u);
+    EXPECT_NE(dc.mode(), Mode::kDegraded);
+    dc.noteRollback(0.5, 7);
+    EXPECT_EQ(dc.stats().ratchetTrips, 1u);
+    EXPECT_EQ(dc.mode(), Mode::kDegraded);
+    EXPECT_FALSE(dc.jitAllowed());
+}
+
+TEST(DefenseTest, RedoCommitDoesNotReArmRatchet)
+{
+    // The livelock signature: every power cycle re-commits the
+    // rolled-back region once, then dies again.  The commit counter
+    // moves but the frontier does not — the budget must still trip.
+    DefenseController dc(fastConfig(), PlantModel{});
+    std::uint64_t commits = 0;
+    for (int i = 0; i < 5; ++i) {
+        dc.noteRollback(0.1 * i, 7);
+        dc.noteCommit(++commits);  // the redo commit
+    }
+    EXPECT_EQ(dc.mode(), Mode::kDegraded);
+    EXPECT_EQ(dc.stats().ratchetTrips, 1u);
+}
+
+TEST(DefenseTest, RealProgressReArmsRatchet)
+{
+    // Two or more commits per power cycle (the redo plus new work) is
+    // forward progress: the budget re-arms and never trips.
+    DefenseController dc(fastConfig(), PlantModel{});
+    std::uint64_t commits = 0;
+    for (int i = 0; i < 50; ++i) {
+        dc.noteRollback(0.1 * i, 7);
+        commits += 2;
+        dc.noteCommit(commits);
+    }
+    EXPECT_EQ(dc.stats().ratchetTrips, 0u);
+    EXPECT_NE(dc.mode(), Mode::kDegraded);
+}
+
+TEST(DefenseTest, EnergyDebtLedgerTripsAndCommitsPayBack)
+{
+    DefenseConfig config = fastConfig();
+    config.energyDebtBudgetJ = 1e-3;
+    PlantModel plant;
+    plant.bootEnergyJ = 1e-4;  // commit credit quantum
+    DefenseController dc(config, plant);
+
+    // Nine boots' worth of waste with one commit in between: the commit
+    // pays exactly one quantum back, so the tenth pushes past budget.
+    for (int i = 0; i < 9; ++i)
+        dc.noteEnergyCost(0.01 * i, 1e-4);
+    dc.noteCommit(1);
+    EXPECT_NEAR(dc.stats().energyDebtJ, 8e-4, 1e-12);
+    EXPECT_EQ(dc.stats().ratchetTrips, 0u);
+    dc.noteEnergyCost(0.2, 1.5e-4);
+    dc.noteEnergyCost(0.3, 1.5e-4);
+    EXPECT_EQ(dc.stats().ratchetTrips, 1u);
+    EXPECT_EQ(dc.mode(), Mode::kDegraded);
+    EXPECT_GT(dc.stats().peakEnergyDebtJ, 1e-3);
+}
+
+TEST(DefenseTest, RetriesExhaustedDegradesDirectly)
+{
+    DefenseController dc(fastConfig(), PlantModel{});
+    dc.noteRetriesExhausted(1.0);
+    EXPECT_EQ(dc.mode(), Mode::kDegraded);
+    EXPECT_FALSE(dc.jitAllowed());
+}
+
+TEST(DefenseTest, DegradedExitRequiresProvenProgress)
+{
+    DefenseConfig config = fastConfig();
+    DefenseController dc(config, PlantModel{});
+    double t = 0.0, v = 3.0;
+    dc.noteRetriesExhausted(t);
+    ASSERT_EQ(dc.mode(), Mode::kDegraded);
+
+    // Calm alone is not enough: without a commit since entering
+    // kDegraded the controller refuses to step down.
+    for (int i = 0; i < 20 * config.calmSamples; ++i)
+        calm(dc, t, v);
+    EXPECT_EQ(dc.mode(), Mode::kDegraded);
+
+    dc.noteCommit(1);
+    while (dc.mode() != Mode::kNominal)
+        calm(dc, t, v);
+    EXPECT_EQ(dc.stats().deEscalations, 3u);
+    EXPECT_TRUE(dc.jitAllowed());
+}
+
+TEST(DefenseTest, BackoffLinearNominalExponentialEscalated)
+{
+    DefenseConfig config = fastConfig();
+    DefenseController dc(config, PlantModel{});
+    // Nominal preserves the legacy linear policy.
+    EXPECT_EQ(dc.backoffCycles(0), 256);
+    EXPECT_EQ(dc.backoffCycles(1), 512);
+    EXPECT_EQ(dc.backoffCycles(2), 768);
+
+    double t = 0.0, v = 3.0;
+    calm(dc, t, v);
+    violate(dc, t, v);
+    ASSERT_EQ(dc.mode(), Mode::kSuspicious);
+    // Escalated: exponential with a cap, immune to shift overflow.
+    EXPECT_EQ(dc.backoffCycles(0), 256);
+    EXPECT_EQ(dc.backoffCycles(1), 512);
+    EXPECT_EQ(dc.backoffCycles(2), 1024);
+    EXPECT_EQ(dc.backoffCycles(5), 8192);
+    EXPECT_EQ(dc.backoffCycles(63), 8192);
+}
+
+TEST(DefenseTest, WakeDwellGatesOnlyDegraded)
+{
+    DefenseController dc(fastConfig(), PlantModel{});
+    // Outside kDegraded the dwell never arms.
+    dc.noteSleepEnter(0.0, 0.5);
+    EXPECT_TRUE(dc.wakeAllowed(0.1));
+    EXPECT_EQ(dc.stats().wakesDeferred, 0u);
+
+    dc.noteRetriesExhausted(0.2);
+    ASSERT_EQ(dc.mode(), Mode::kDegraded);
+    dc.noteSleepEnter(1.0, 0.5);  // recharge estimate: ready at 1.5
+    EXPECT_FALSE(dc.wakeAllowed(1.1));
+    EXPECT_FALSE(dc.wakeAllowed(1.49));
+    EXPECT_TRUE(dc.wakeAllowed(1.5));
+    EXPECT_TRUE(dc.wakeAllowed(2.0));
+    EXPECT_EQ(dc.stats().wakesDeferred, 2u);
+
+    // An unreachable threshold (negative estimate) must not deadlock
+    // the node: the gate stays open.
+    dc.noteSleepEnter(3.0, -1.0);
+    EXPECT_TRUE(dc.wakeAllowed(3.0));
+}
+
+}  // namespace
+}  // namespace gecko::defense

@@ -16,9 +16,12 @@ TEST(BenchJsonTest, ReportLeadsWithSchemaVersion)
     std::string json = report.toJson();
     // schema_version is the first key so even a truncated record
     // identifies its format.
-    EXPECT_EQ(json.rfind("{\"schema_version\":2,", 0), 0u) << json;
+    EXPECT_EQ(json.rfind("{\"schema_version\":3,", 0), 0u) << json;
     EXPECT_EQ(jsonNumber(json, "schema_version"),
               static_cast<double>(kBenchSchemaVersion));
+    // Version-3 provenance keys are always present.
+    EXPECT_EQ(jsonNumber(json, "seed"), 0.0);
+    EXPECT_EQ(jsonString(json, "defense_mode"), "static");
     // trace_out only appears when a trace was written.
     EXPECT_EQ(json.find("trace_out"), std::string::npos);
     report.traceOut = "out/trace.jsonl";
@@ -32,14 +35,14 @@ TEST(BenchJsonTest, ReadersTolerateUnknownKeys)
     // skip keys it doesn't know and still find the ones it does — the
     // compatibility bench_all relies on.
     const std::string futureRecord =
-        "{\"schema_version\":3,\"figure\":\"fig04\","
+        "{\"schema_version\":4,\"figure\":\"fig04\","
         "\"novel_key\":{\"nested\":[1,2]},\"threads\":4,"
         "\"trace_out\":\"t.jsonl\",\"sim_cycles\":123,"
         "\"status\":\"pass\"}";
     EXPECT_EQ(jsonNumber(futureRecord, "sim_cycles"), 123.0);
     EXPECT_EQ(jsonNumber(futureRecord, "threads"), 4.0);
     EXPECT_EQ(jsonString(futureRecord, "status"), "pass");
-    EXPECT_EQ(jsonNumber(futureRecord, "schema_version"), 3.0);
+    EXPECT_EQ(jsonNumber(futureRecord, "schema_version"), 4.0);
     // Unknown keys read as absent, not as garbage.
     EXPECT_FALSE(jsonNumber(futureRecord, "wall_s").has_value());
     // Legacy records without the version key read as version 1.

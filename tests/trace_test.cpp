@@ -243,12 +243,22 @@ TEST_F(TraceTest, EventNamesAndIdsAreStable)
     EXPECT_EQ(static_cast<int>(trace::EventKind::kThresholdCross), 64);
     EXPECT_EQ(static_cast<int>(trace::EventKind::kEmiOn), 80);
     EXPECT_EQ(static_cast<int>(trace::EventKind::kFaultInject), 96);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kDefenseAnomaly), 112);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kDefenseModeChange), 113);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kDefenseRatchetTrip),
+              114);
     EXPECT_STREQ(trace::eventName(trace::EventKind::kRegionCommit),
                  "region_commit");
     EXPECT_STREQ(trace::eventName(trace::EventKind::kJitSaveTorn),
                  "jit_save_torn");
     EXPECT_STREQ(trace::eventName(trace::EventKind::kFaultInject),
                  "fault_inject");
+    EXPECT_STREQ(trace::eventName(trace::EventKind::kDefenseAnomaly),
+                 "defense_anomaly");
+    EXPECT_STREQ(trace::eventName(trace::EventKind::kDefenseModeChange),
+                 "defense_mode_change");
+    EXPECT_STREQ(trace::eventName(trace::EventKind::kDefenseRatchetTrip),
+                 "defense_ratchet_trip");
 }
 
 TEST_F(TraceTest, MacroIsInertWithoutACurrentBuffer)
@@ -336,6 +346,85 @@ TEST_F(TraceTest, GoldenTraceMatrix)
     EXPECT_EQ(collector.totalDropped(), 0u)
         << "golden scenarios must fit the ring";
     expectGoldenMatch("trace_matrix.jsonl", trace::toJsonl(collector));
+}
+
+/**
+ * The adaptive-defense scenario (DESIGN.md §11): the trace-test victim
+ * with the online controller armed, under the same two-burst tone as
+ * the attack scenarios.  Hysteresis knobs are shortened so the full
+ * detect → escalate → de-escalate arc fits the 30 ms run.
+ */
+void
+runDefenseArcScenario()
+{
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    auto compiled =
+        compiler::compile(workloads::build("sensor_loop"), Scheme::kGecko);
+    sim::IoHub io;
+    workloads::setupIo("sensor_loop", io);
+
+    sim::SimConfig cfg;
+    cfg.jitRamWords = 4;
+    cfg.bootOverheadCycles = 1000;
+    cfg.cap.capacitanceF = 20e-6;
+    cfg.cap.initialV = 3.3;
+    cfg.defense.enabled = true;
+    cfg.defense.calmSamples = 4;
+    cfg.defense.decayPerSample = 0.2;
+
+    energy::ConstantHarvester harvester(3.3, 5.0);
+    sim::IntermittentSim simulation(compiled, dev, cfg, harvester, io);
+
+    attack::RemoteRig rig(dev, analog::MonitorKind::kAdc, 0.1);
+    attack::EmiSource source(rig, 27e6, 35.0);
+    attack::AttackSchedule schedule(
+        {{0.005, 0.012, 27e6, 35.0}, {0.018, 0.025, 27e6, 35.0}});
+    simulation.setEmiSource(&source);
+    simulation.setAttackSchedule(&schedule);
+    simulation.run(0.03);
+}
+
+TEST_F(TraceTest, GoldenDefenseArc)
+{
+    if (exp::globalSeed() != 0)
+        GTEST_SKIP() << "goldens are defined at the default seed";
+    trace::Collector collector;
+    {
+        trace::CaseScope scope(&collector, "defense_arc", 0);
+        runDefenseArcScenario();
+    }
+
+    trace::Buffer probe;
+    {
+        trace::BufferScope scope(&probe);
+        runDefenseArcScenario();
+    }
+    // The arc the controller must tell: an anomaly fires, the mode
+    // ladder climbs to at least kUnderAttack, work still commits after
+    // the first escalation, and the run ends back at kNominal.
+    bool sawAnomaly = false;
+    std::uint64_t maxMode = 0, lastMode = 0;
+    bool commitAfterEscalation = false, escalated = false;
+    for (const trace::Event& e : probe.events()) {
+        const auto kind = static_cast<trace::EventKind>(e.kind);
+        if (kind == trace::EventKind::kDefenseAnomaly)
+            sawAnomaly = true;
+        if (kind == trace::EventKind::kDefenseModeChange) {
+            maxMode = std::max(maxMode, e.a);
+            lastMode = e.a;
+            escalated = true;
+        }
+        if (kind == trace::EventKind::kRegionCommit && escalated)
+            commitAfterEscalation = true;
+    }
+    EXPECT_TRUE(sawAnomaly) << "no defense_anomaly event";
+    EXPECT_GE(maxMode, 2u) << "never reached under_attack";
+    EXPECT_EQ(lastMode, 0u) << "did not de-escalate back to nominal";
+    EXPECT_TRUE(commitAfterEscalation)
+        << "no forward progress after escalation";
+    EXPECT_TRUE(trace::checkInvariants(probe.events()).empty());
+
+    expectGoldenMatch("defense_arc.jsonl", trace::toJsonl(collector));
 }
 
 TEST_F(TraceTest, ExportersAgreeWithExtension)
