@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -20,9 +21,13 @@
  * `BENCH_sweeps.json` with wall times, simulated-cycle throughput, and
  * speedup vs a serial baseline.
  *
- * Usage:  bench_all [--baseline] [--threads=N] [--out=FILE] [figure...]
+ * Usage:  bench_all [--baseline] [--quick] [--threads=N] [--out=FILE]
+ *                   [figure...]
  *   --baseline   also run each figure with GECKO_THREADS=1 and record
  *                the serial wall time (the speedup denominator)
+ *   --quick      single-pass telemetry sweep: run every figure once,
+ *                skip the serial-baseline pass even if requested, and
+ *                warn if the pass exceeds the 30 s quick budget
  *   --threads=N  thread count for the parallel pass (default: the
  *                GECKO_THREADS env, else all host cores)
  *   --out=FILE   aggregate output path (default: BENCH_sweeps.json)
@@ -51,6 +56,9 @@ struct FigureResult {
     /// verdict from its JSON telemetry (benches without a verdict
     /// report "pass" when they exit 0).
     std::string status = "fail";
+    /// Execution tier the child reported ("step"/"fast"/"block";
+    /// "unknown" for records predating schema v4).
+    std::string execBackend = "unknown";
     double corruptedRestores = 0.0;
     double crcRejects = 0.0;
     double retriesExhausted = 0.0;
@@ -101,6 +109,7 @@ main(int argc, char** argv)
     using gecko::metrics::jsonNumber;
 
     bool baseline = false;
+    bool quick = false;
     std::string outPath = "BENCH_sweeps.json";
     int threads = gecko::exp::ThreadPool::defaultThreads();
     std::vector<std::string> figures;
@@ -109,6 +118,8 @@ main(int argc, char** argv)
         std::string arg = argv[i];
         if (arg == "--baseline") {
             baseline = true;
+        } else if (arg == "--quick") {
+            quick = true;
         } else if (arg.rfind("--threads=", 0) == 0) {
             threads = std::max(1, std::atoi(arg.c_str() + 10));
         } else if (arg.rfind("--out=", 0) == 0) {
@@ -122,6 +133,8 @@ main(int argc, char** argv)
     }
     if (figures.empty())
         figures = kFigures;
+    if (quick)
+        baseline = false;
 
     const std::string binDir = dirName(argv[0]);
     const std::string tmpDir = binDir + "/bench_json";
@@ -139,6 +152,9 @@ main(int argc, char** argv)
 
         FigureResult r;
         r.figure = fig;
+        // Drop any stale record so a child that writes no telemetry
+        // (or dies before writing) can't inherit a previous run's.
+        std::remove(jsonPath.c_str());
         std::cerr << "[bench_all] " << fig << " (threads=" << threads
                   << ") ... " << std::flush;
         double wall = runFigure(binary, jsonPath, threads);
@@ -155,6 +171,9 @@ main(int argc, char** argv)
         r.simCycles = jsonNumber(childJson, "sim_cycles").value_or(0.0);
         r.status = gecko::metrics::jsonString(childJson, "status")
                        .value_or(r.ok ? "pass" : "fail");
+        r.execBackend =
+            gecko::metrics::jsonString(childJson, "exec_backend")
+                .value_or("unknown");
         if (!r.ok)
             r.status = "fail";
         r.corruptedRestores =
@@ -182,10 +201,26 @@ main(int argc, char** argv)
         results.push_back(r);
     }
 
+    // One backend name for the whole suite when every child agrees
+    // (the usual case: children inherit GECKO_EXEC); "mixed" otherwise.
+    // Children without telemetry ("unknown" — static tables that never
+    // simulate) don't break uniformity.
+    std::string suiteBackend = "unknown";
+    for (const FigureResult& r : results) {
+        if (r.execBackend == "unknown")
+            continue;
+        if (suiteBackend == "unknown")
+            suiteBackend = r.execBackend;
+        else if (r.execBackend != suiteBackend)
+            suiteBackend = "mixed";
+    }
+
     unsigned hw = std::thread::hardware_concurrency();
     std::ostringstream os;
     os << "{\"schema_version\":" << gecko::metrics::kBenchSchemaVersion
-       << ",\"suite\":\"gecko-bench\",\"threads\":" << threads
+       << ",\"suite\":\"gecko-bench\",\"exec_backend\":\""
+       << gecko::metrics::jsonEscape(suiteBackend)
+       << "\",\"threads\":" << threads
        << ",\"host_cores\":" << (hw >= 1 ? hw : 1)
        << ",\"total_wall_s\":" << gecko::metrics::fmt(totalWall, 3);
     if (totalSerial > 0)
@@ -222,7 +257,12 @@ main(int argc, char** argv)
                       r.wallS > 0 ? r.serialWallS / r.wallS : 0.0, 3);
         os << ",\"sim_cycles\":"
            << static_cast<std::uint64_t>(r.simCycles)
-           << ",\"corrupted_restores\":"
+           << ",\"sim_cycles_per_s\":"
+           << gecko::metrics::fmt(
+                  r.wallS > 0 ? r.simCycles / r.wallS : 0.0, 0)
+           << ",\"exec_backend\":\""
+           << gecko::metrics::jsonEscape(r.execBackend)
+           << "\",\"corrupted_restores\":"
            << static_cast<std::uint64_t>(r.corruptedRestores)
            << ",\"crc_rejects\":"
            << static_cast<std::uint64_t>(r.crcRejects)
@@ -246,5 +286,9 @@ main(int argc, char** argv)
                   << gecko::metrics::fmt(totalSerial / totalWall, 2)
                   << "x speedup";
     std::cerr << " -> " << outPath << "\n";
+    if (quick && totalWall > 30.0)
+        std::cerr << "[bench_all] WARNING: --quick pass took "
+                  << gecko::metrics::fmt(totalWall, 1)
+                  << "s (budget 30s)\n";
     return failures == 0 ? 0 : 1;
 }

@@ -238,6 +238,8 @@ writeBenchReport(const std::string& figure, const std::string& status = "")
         telemetry().retriesExhausted.load(std::memory_order_relaxed);
     report.seed = exp::globalSeed();
     report.defenseMode = telemetry().defenseMode;
+    report.execBackend =
+        sim::execBackendName(sim::defaultExecBackend());
     report.threads = exp::ThreadPool::global().threadCount();
     unsigned hw = std::thread::hardware_concurrency();
     report.hostCores = hw >= 1 ? hw : 1;

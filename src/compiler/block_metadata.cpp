@@ -1,0 +1,50 @@
+#include "compiler/block_metadata.hpp"
+
+#include <algorithm>
+
+namespace gecko::compiler {
+
+std::vector<std::uint32_t>
+superblockLeaders(const CompiledProgram& compiled)
+{
+    const ir::Program& p = compiled.prog;
+    const std::size_t size = p.size();
+    std::vector<std::uint32_t> leaders;
+    if (size == 0)
+        return leaders;
+    leaders.reserve(size / 4 + 4);
+    leaders.push_back(0);
+
+    for (std::size_t i = 0; i < size; ++i) {
+        const ir::Instr& ins = p.at(i);
+        if (ir::isCondBranch(ins.op) || ins.op == ir::Opcode::kJmp ||
+            ins.op == ir::Opcode::kCall) {
+            leaders.push_back(
+                static_cast<std::uint32_t>(p.labelPos(ins.target)));
+        }
+        // Everything after a terminator starts fresh: fall-throughs of
+        // conditional branches, call-return sites (kRet lands at
+        // call+1), and the instruction after jmp/ret/halt (possibly
+        // unreachable — a harmless singleton block).
+        if (ir::isTerminator(ins.op) && i + 1 < size)
+            leaders.push_back(static_cast<std::uint32_t>(i + 1));
+    }
+
+    // Region metadata: entry sequences are their own blocks.
+    for (const RegionInfo& region : compiled.regions) {
+        if (region.entryIdx < size)
+            leaders.push_back(static_cast<std::uint32_t>(region.entryIdx));
+        if (region.boundaryIdx + 1 < size)
+            leaders.push_back(
+                static_cast<std::uint32_t>(region.boundaryIdx + 1));
+    }
+
+    std::sort(leaders.begin(), leaders.end());
+    leaders.erase(std::unique(leaders.begin(), leaders.end()),
+                  leaders.end());
+    // All entries are < size by construction (labelPos targets are
+    // always in range for a validated program).
+    return leaders;
+}
+
+}  // namespace gecko::compiler

@@ -1,0 +1,41 @@
+#ifndef GECKO_COMPILER_BLOCK_METADATA_HPP_
+#define GECKO_COMPILER_BLOCK_METADATA_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/pipeline.hpp"
+
+/**
+ * @file
+ * Region-aware basic-block boundaries for the superinstruction backend.
+ *
+ * The simulator's block compiler (sim/exec_block.cpp) fuses straight-line
+ * runs of the final program into superinstructions.  The boundaries it may
+ * fuse across are a *compiler* property, not a simulator one: besides the
+ * ordinary CFG leaders, every idempotent-region entry sequence
+ * (`kCkpt* kBoundary`, see pipeline.hpp) must start its own block so a
+ * fused superinstruction never spans a checkpoint commit point — the
+ * runtime rolls back to region entries, and keeping them block-aligned is
+ * what lets the backend re-enter compiled code immediately after a
+ * rollback instead of deoptimizing.
+ */
+
+namespace gecko::compiler {
+
+/**
+ * Instruction indices that must start a superblock in `compiled.prog`:
+ *
+ *  - instruction 0,
+ *  - every branch/jump/call target,
+ *  - the fall-through successor of every terminator,
+ *  - each region's entry index (first kCkpt of the entry sequence), and
+ *  - each region's first body instruction (the one after kBoundary).
+ *
+ * @return sorted, deduplicated, all strictly less than program size.
+ */
+std::vector<std::uint32_t> superblockLeaders(const CompiledProgram& compiled);
+
+}  // namespace gecko::compiler
+
+#endif  // GECKO_COMPILER_BLOCK_METADATA_HPP_

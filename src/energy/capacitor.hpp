@@ -1,6 +1,8 @@
 #ifndef GECKO_ENERGY_CAPACITOR_HPP_
 #define GECKO_ENERGY_CAPACITOR_HPP_
 
+#include <cstdint>
+
 /**
  * @file
  * Energy-buffer capacitor model.
@@ -46,6 +48,45 @@ class Capacitor
      *         buffer ran dry).
      */
     double discharge(double joules);
+
+    /**
+     * Batched-discharge support for the simulator's execution quanta:
+     * the number of whole cycles at `epcJ` joules/cycle the buffer can
+     * afford before the stored energy would fall to `floorEnergyJ`.
+     * This is the crossing-safe bound the block-compiled backend's
+     * entry guard relies on — a run budgeted by this value can never
+     * discharge across the floor threshold mid-block, so threshold
+     * crossings are only ever observed at batch-commit granularity
+     * (dischargeCycles), identically for every execution tier.
+     */
+    std::uint64_t affordableCycles(double epcJ, double floorEnergyJ) const
+    {
+        const double avail = energyJ_ - floorEnergyJ;
+        return avail > 0 ? static_cast<std::uint64_t>(avail / epcJ) : 0;
+    }
+
+    /**
+     * Commit one batch of computation: draw `cycles * epcJ` in a single
+     * RC update.  Threshold-crossing trace events fire here, once per
+     * batch — per-instruction discharge would emit the same crossings
+     * (energy is linear in cycles) but 10^3x more integration steps.
+     * @return joules actually drawn.
+     */
+    double dischargeCycles(std::uint64_t cycles, double epcJ)
+    {
+        return discharge(static_cast<double>(cycles) * epcJ);
+    }
+
+    /**
+     * True iff the stored energy is within `marginJ` above the energy
+     * level `thresholdEJ` (armed-threshold proximity guard: callers
+     * drop to fine-grained sampling before a crossing can slip between
+     * two coarse quanta).
+     */
+    bool nearThresholdE(double thresholdEJ, double marginJ) const
+    {
+        return energyJ_ - thresholdEJ < marginJ;
+    }
 
     /**
      * Charge from a Thevenin source (`vOc`, `rSeries`) for `dt` seconds,

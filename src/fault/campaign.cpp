@@ -191,7 +191,8 @@ hasJit(Scheme scheme)
 // (the crash_consistency_test harness plus a fault).
 // ---------------------------------------------------------------------
 CaseResult
-runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget)
+runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget,
+               sim::ExecBackend backend = sim::defaultExecBackend())
 {
     const Golden& gold = goldenFor(spec.workload, spec.scheme, false);
     CaseResult res;
@@ -235,6 +236,7 @@ runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget)
     IoHub io;
     workloads::setupIo(spec.workload, io);
     Machine machine(*gold.prog, nvm, io);
+    machine.setExecBackend(backend);
     machine.setStagedIo(spec.scheme != Scheme::kNvp);
     machine.setFaultTolerant(true);
     GeckoRuntime runtime(*gold.prog, machine, nvm);
@@ -393,7 +395,8 @@ runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget)
 // energy/sensing environment (monitor faults, brownout bursts).
 // ---------------------------------------------------------------------
 CaseResult
-runSimCase(const CaseSpec& spec, double simTimeBudgetS)
+runSimCase(const CaseSpec& spec, double simTimeBudgetS,
+           sim::ExecBackend backend = sim::defaultExecBackend())
 {
     const Golden& gold = goldenFor(spec.workload, spec.scheme, true);
     CaseResult res;
@@ -463,6 +466,7 @@ runSimCase(const CaseSpec& spec, double simTimeBudgetS)
     }
 
     sim::IntermittentSim simulation(*gold.prog, dev, cfg, *source, io);
+    simulation.machine().setExecBackend(backend);
 
     std::unique_ptr<attack::RemoteRig> rig;
     std::unique_ptr<attack::EmiSource> emiSource;
@@ -634,11 +638,12 @@ makeCampaignCases(const CampaignConfig& config)
 
 CaseResult
 runCase(const CaseSpec& spec, double simTimeBudgetS,
-        std::uint64_t watchdogBudget)
+        std::uint64_t watchdogBudget, sim::ExecBackend backend)
 {
     if (isSimLevel(spec.injector))
-        return runSimCase(spec, simTimeBudgetS);
-    return runMachineCase(spec, resolveWatchdogBudget(watchdogBudget));
+        return runSimCase(spec, simTimeBudgetS, backend);
+    return runMachineCase(spec, resolveWatchdogBudget(watchdogBudget),
+                          backend);
 }
 
 CampaignResult

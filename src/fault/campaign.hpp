@@ -7,6 +7,7 @@
 
 #include "exp/thread_pool.hpp"
 #include "fault/fault.hpp"
+#include "sim/machine.hpp"
 
 namespace gecko::trace {
 class Collector;
@@ -120,9 +121,14 @@ std::vector<CaseSpec> makeCampaignCases(const CampaignConfig& config);
  *
  * @param watchdogBudget machine-level livelock budget; 0 resolves from
  *        GECKO_WATCHDOG, falling back to 400000.
+ * @param backend execution tier of the victim machine.  The injection
+ *        schedule and the oracle are tier-independent, so any two
+ *        backends must produce identical CaseResults — the three-way
+ *        differential in fuzz_test holds the campaign to that.
  */
 CaseResult runCase(const CaseSpec& spec, double simTimeBudgetS = 1.5,
-                   std::uint64_t watchdogBudget = 0);
+                   std::uint64_t watchdogBudget = 0,
+                   sim::ExecBackend backend = sim::defaultExecBackend());
 
 /** Run the full campaign. */
 CampaignResult runCampaign(const CampaignConfig& config);

@@ -51,6 +51,7 @@ BenchReport::toJson() const
        << ",\"threads\":" << threads << ",\"host_cores\":" << hostCores
        << ",\"seed\":" << seed
        << ",\"defense_mode\":\"" << jsonEscape(defenseMode) << "\""
+       << ",\"exec_backend\":\"" << jsonEscape(execBackend) << "\""
        << ",\"wall_s\":" << num(wallS);
     if (serialWallS > 0)
         os << ",\"serial_wall_s\":" << num(serialWallS)

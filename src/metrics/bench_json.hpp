@@ -47,11 +47,14 @@ struct SweepRecord {
  *    `defense_mode` (the run's defense configuration: "static" for the
  *    paper's fixed detectors, "adaptive" when the online controller
  *    was armed).  `threads` was already the effective pool width.
+ *  - 4: added `exec_backend` (the sim::Machine execution tier the run
+ *    used: "step", "fast", or "block") so throughput numbers are
+ *    attributable to a dispatch strategy.
  * Readers must tolerate unknown keys so newer records keep
  * aggregating under older readers (the find-based extractors below
  * do this by construction).
  */
-inline constexpr int kBenchSchemaVersion = 3;
+inline constexpr int kBenchSchemaVersion = 4;
 
 /** Telemetry of one bench binary run. */
 struct BenchReport {
@@ -65,6 +68,9 @@ struct BenchReport {
     /// Defense configuration the victims ran with: "static" (paper
     /// default) or "adaptive" (online controller armed).
     std::string defenseMode = "static";
+    /// Execution tier the victims' machines dispatched with ("step",
+    /// "fast", or "block"; see sim::ExecBackend).
+    std::string execBackend = "block";
     /// Process wall time from bench::init to report write (s).
     double wallS = 0.0;
     /// Recorded serial (1-thread) wall time for the same figure; 0

@@ -416,7 +416,7 @@ IntermittentSim::stepRunning()
         double e_backup = 0.5 * cap_.capacitance() * vBackup_ * vBackup_;
         double quantum = monitor_->sampleIntervalS() * stride *
                          device_.power.clockHz * epc_;
-        if (cap_.energy() - e_backup < 4.0 * quantum)
+        if (cap_.nearThresholdE(e_backup, 4.0 * quantum))
             stride = 1;
     }
     double dt = monitor_->sampleIntervalS() * stride;
@@ -429,9 +429,10 @@ IntermittentSim::stepRunning()
     std::uint64_t budget =
         cycleCarry_ > 0 ? static_cast<std::uint64_t>(cycleCarry_) : 0;
 
-    double avail = cap_.energy() - energyAtVoff_;
-    std::uint64_t can_run =
-        avail > 0 ? static_cast<std::uint64_t>(avail / epc_) : 0;
+    // Crossing-safe energy bound: a budget capped here can never cross
+    // the V_off floor mid-run, which is what lets the machine's block
+    // backend execute whole superblocks between discharge batches.
+    std::uint64_t can_run = cap_.affordableCycles(epc_, energyAtVoff_);
     std::uint64_t n = std::min(budget, can_run);
 
     std::uint64_t consumed = 0;
@@ -439,7 +440,7 @@ IntermittentSim::stepRunning()
         machine_.run(n, &consumed);
         if (consumed > 0)
             runtime_.noteExecutionSinceCheckpoint();
-        cap_.discharge(static_cast<double>(consumed) * epc_);
+        cap_.dischargeCycles(consumed, epc_);
         runtime_.onProgress();
         cycleCarry_ -= static_cast<double>(consumed);
     }

@@ -1,5 +1,7 @@
 #include "sim/machine.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "trace/trace.hpp"
@@ -22,6 +24,36 @@ committedOutTotal(const Nvm& nvm)
 }
 
 }  // namespace
+
+const char*
+execBackendName(ExecBackend backend)
+{
+    switch (backend) {
+      case ExecBackend::kStep:
+        return "step";
+      case ExecBackend::kFast:
+        return "fast";
+      case ExecBackend::kBlock:
+        return "block";
+    }
+    return "unknown";
+}
+
+ExecBackend
+defaultExecBackend()
+{
+    static const ExecBackend backend = [] {
+        const char* env = std::getenv("GECKO_EXEC");
+        if (env == nullptr || *env == '\0')
+            return ExecBackend::kBlock;
+        if (std::strcmp(env, "step") == 0 || std::strcmp(env, "slow") == 0)
+            return ExecBackend::kStep;
+        if (std::strcmp(env, "fast") == 0)
+            return ExecBackend::kFast;
+        return ExecBackend::kBlock;
+    }();
+    return backend;
+}
 
 Machine::Machine(const compiler::CompiledProgram& prog, Nvm& nvm, IoHub& io)
     : prog_(&prog), nvm_(&nvm), io_(&io)
@@ -55,6 +87,8 @@ Machine::Machine(const compiler::CompiledProgram& prog, Nvm& nvm, IoHub& io)
         }
         d.cost = static_cast<std::uint16_t>(cost);
     }
+    const char* bt = std::getenv("GECKO_TRACE_BLOCKS");
+    blockTrace_ = bt != nullptr && *bt != '\0' && std::strcmp(bt, "0") != 0;
 }
 
 void
@@ -244,8 +278,15 @@ Machine::run(std::uint64_t cycleBudget, std::uint64_t* consumed)
             *consumed = cycleBudget;
         return faulted_ ? RunExit::kFaulted : RunExit::kHalted;
     }
-    return fastDispatch_ ? runFast(cycleBudget, consumed)
-                         : runSlow(cycleBudget, consumed);
+    switch (backend_) {
+      case ExecBackend::kStep:
+        return runSlow(cycleBudget, consumed);
+      case ExecBackend::kFast:
+        return runFast(cycleBudget, consumed);
+      case ExecBackend::kBlock:
+        break;
+    }
+    return runBlock(cycleBudget, consumed);
 }
 
 RunExit

@@ -7,6 +7,7 @@
 #include "compiler/pipeline.hpp"
 #include "sim/io_devices.hpp"
 #include "sim/nvm.hpp"
+#include "sim/superblock.hpp"
 
 /**
  * @file
@@ -25,6 +26,28 @@
  */
 
 namespace gecko::sim {
+
+/**
+ * Execution tier used by Machine::run.  All three are architecturally
+ * bit-identical — machine_test/fuzz_test assert equal ExecStats, NVM
+ * images, I/O and trace streams on every workload×scheme — and differ
+ * only in throughput.
+ */
+enum class ExecBackend {
+    kStep,   ///< re-reads the encoded program each step (reference tier)
+    kFast,   ///< predecoded switch dispatch (PR-1 tier)
+    kBlock,  ///< block-compiled superinstructions as threaded code
+};
+
+/** Stable lowercase backend name ("step", "fast", "block"). */
+const char* execBackendName(ExecBackend backend);
+
+/**
+ * Process-wide default tier for newly constructed machines: the
+ * GECKO_EXEC environment variable ("step"|"fast"|"block"), read once;
+ * kBlock when unset or unrecognized.
+ */
+ExecBackend defaultExecBackend();
 
 /** Why Machine::run returned. */
 enum class RunExit {
@@ -57,7 +80,14 @@ class Machine
     Machine(const compiler::CompiledProgram& prog, Nvm& nvm, IoHub& io);
 
     /** Enable boundary-committed I/O staging (rollback schemes). */
-    void setStagedIo(bool staged) { stagedIo_ = staged; }
+    void setStagedIo(bool staged)
+    {
+        // Block micro-ops specialize on the staging mode (see
+        // UopKind::kInStaged etc.), so flipping it invalidates them.
+        if (staged != stagedIo_)
+            invalidateBlockCache();
+        stagedIo_ = staged;
+    }
 
     /**
      * Keep running after kHalt by restarting the program (continuous
@@ -72,14 +102,32 @@ class Machine
     void setFaultTolerant(bool tolerant) { faultTolerant_ = tolerant; }
 
     /**
-     * Select the dispatch loop.  The default fast path interprets a
-     * predecoded instruction array (resolved branch targets, cycle
-     * costs folded with the scheme's pseudo-op surcharges, inlined ALU
-     * evaluation); the slow path re-reads the encoded program each
-     * step.  Both are architecturally bit-identical — machine_test
-     * asserts equal ExecStats and NVM images on every workload.
+     * Select the execution tier (default: defaultExecBackend(), i.e.
+     * GECKO_EXEC or the block compiler).  kFast interprets a predecoded
+     * instruction array (resolved branch targets, cycle costs folded
+     * with the scheme's pseudo-op surcharges, inlined ALU evaluation);
+     * kStep re-reads the encoded program each step; kBlock additionally
+     * compiles hot straight-line blocks into threaded superinstructions
+     * with precise deoptimization to the fast tier (see exec_block.cpp).
      */
-    void setFastDispatch(bool fast) { fastDispatch_ = fast; }
+    void setExecBackend(ExecBackend backend) { backend_ = backend; }
+    ExecBackend execBackend() const { return backend_; }
+
+    /** Legacy two-tier selector: true → kFast, false → kStep. */
+    void setFastDispatch(bool fast)
+    {
+        backend_ = fast ? ExecBackend::kFast : ExecBackend::kStep;
+    }
+
+    /**
+     * Drop all compiled superblocks and profile counts.  The program is
+     * immutable and a JIT-checkpoint image restore only rewrites *data*
+     * state (registers/PC/NVM), so nothing calls this automatically
+     * except setStagedIo(), whose mode is baked into the micro-ops.
+     * Public for tests and for embedders that reuse a Machine across
+     * semantically different configurations.
+     */
+    void invalidateBlockCache();
 
     /**
      * Execute until ~`cycleBudget` cycles are consumed (may overshoot by
@@ -153,6 +201,14 @@ class Machine
     bool step(std::uint64_t* cycles);
     RunExit runSlow(std::uint64_t cycleBudget, std::uint64_t* cycles);
     RunExit runFast(std::uint64_t cycleBudget, std::uint64_t* cycles);
+    RunExit runBlock(std::uint64_t cycleBudget, std::uint64_t* cycles);
+    void ensureBlocks();
+    void compileBlock(SuperBlock& block);
+    /// How one precisely-stepped instruction left the machine (the
+    /// block backend's deopt fallback; see exec_block.cpp).
+    enum class StepExit : std::uint8_t { kContinue, kHalted, kFaulted };
+    StepExit stepDecoded(std::uint32_t& pc, std::uint64_t& cycles,
+                         std::uint64_t& instrs);
     bool fault();
 
     const compiler::CompiledProgram* prog_;
@@ -162,6 +218,12 @@ class Machine
     std::vector<std::uint32_t> targets_;
     // Predecoded program for the fast dispatch path.
     std::vector<Decoded> decoded_;
+    // Superblock partition for the block backend (built lazily on the
+    // first runBlock; blocks compile individually once hot).
+    std::vector<SuperBlock> blocks_;
+    // Instruction index -> index into blocks_ (valid once built).
+    std::vector<std::uint32_t> blockAt_;
+    bool blocksBuilt_ = false;
 
     std::array<std::uint32_t, 16> regs_{};
     std::uint32_t pc_ = 0;
@@ -172,7 +234,10 @@ class Machine
     bool stagedIo_ = false;
     bool continuous_ = false;
     bool faultTolerant_ = false;
-    bool fastDispatch_ = true;
+    // Opt-in block-backend observability (GECKO_TRACE_BLOCKS=1); off by
+    // default so golden traces stay byte-identical across backends.
+    bool blockTrace_ = false;
+    ExecBackend backend_ = defaultExecBackend();
 };
 
 }  // namespace gecko::sim

@@ -1,9 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
 
+#include "attack/attack_schedule.hpp"
+#include "attack/emi_source.hpp"
+#include "attack/rigs.hpp"
 #include "compiler/pipeline.hpp"
+#include "device/device_db.hpp"
+#include "energy/harvester.hpp"
 #include "exp/rng.hpp"
+#include "fault/campaign.hpp"
+#include "workloads/workloads.hpp"
 #include "ir/builder.hpp"
 #include "runtime/gecko_runtime.hpp"
 #include "sim/intermittent_sim.hpp"
@@ -327,6 +335,188 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          [](const auto& info) {
                              return "seed" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------
+// Three-way execution-tier differential: the step, fast, and block
+// backends must be observationally indistinguishable under hostile
+// environments — random EMI attack schedules and every fault injector —
+// down to the trace stream.
+// ---------------------------------------------------------------------
+
+/** Everything observable about one intermittent run. */
+struct TierObservation {
+    sim::ExecStats stats;
+    std::array<std::uint32_t, 16> regs{};
+    std::vector<std::uint32_t> out;
+    std::vector<std::uint32_t> memory;
+    std::vector<trace::Event> events;
+};
+
+/**
+ * Run the attacked sensor loop once under `backend`.  Every attack
+ * parameter derives from the seed in a fixed order before anything is
+ * constructed, so each tier sees the identical environment.
+ */
+TierObservation
+runEmiTier(std::uint32_t seed, sim::ExecBackend backend)
+{
+    Rng rng(seed);
+    double freqHz = 1e6 * (1 + rng.pick(300));
+    double powerDbm = 25.0 + rng.pick(16);
+    std::vector<attack::AttackWindow> windows;
+    double t = 0.001 * (1 + rng.pick(4));
+    int nWindows = 2 + static_cast<int>(rng.pick(3));
+    for (int i = 0; i < nWindows; ++i) {
+        double on = 0.001 * (1 + rng.pick(5));
+        windows.push_back({t, t + on, freqHz, powerDbm});
+        t += on + 0.001 * (1 + rng.pick(4));
+    }
+
+    static const CompiledProgram compiled = compiler::compile(
+        workloads::build("sensor_loop"), Scheme::kGecko);
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    sim::SimConfig cfg;
+    cfg.continuous = true;
+    cfg.memWords = 4096;
+    cfg.jitRamWords = 4;
+    cfg.bootOverheadCycles = 1000;
+    cfg.monitorSeed = seed;
+    cfg.cap.capacitanceF = 20e-6;
+    cfg.cap.initialV = 3.3;
+
+    sim::IoHub io;
+    workloads::setupIo("sensor_loop", io);
+    energy::ConstantHarvester supply(3.3, 5.0);
+    sim::IntermittentSim simulation(compiled, dev, cfg, supply, io);
+    simulation.machine().setExecBackend(backend);
+    attack::RemoteRig rig(dev, cfg.monitorKind, 0.5);
+    attack::EmiSource source(rig, freqHz, powerDbm);
+    attack::AttackSchedule schedule(std::move(windows));
+    simulation.setEmiSource(&source);
+    simulation.setAttackSchedule(&schedule);
+
+    TierObservation obs;
+    {
+        trace::Buffer buffer;
+        trace::BufferScope scope(&buffer);
+        simulation.run(0.02);
+        obs.events = buffer.events();
+    }
+    obs.stats = simulation.machine().stats;
+    obs.regs = simulation.machine().regs();
+    obs.out = io.output(0).values();
+    obs.memory = simulation.nvm().data();
+    return obs;
+}
+
+class BackendFuzzTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BackendFuzzTest, RandomEmiSchedulesAgreeAcrossTiers)
+{
+    auto seed = static_cast<std::uint32_t>(
+        exp::applyGlobalSeed(GetParam()));
+    TierObservation ref = runEmiTier(seed, sim::ExecBackend::kStep);
+    ASSERT_GT(ref.stats.cycles, 0u);
+    for (sim::ExecBackend backend :
+         {sim::ExecBackend::kFast, sim::ExecBackend::kBlock}) {
+        TierObservation obs = runEmiTier(seed, backend);
+        const char* name = sim::execBackendName(backend);
+        EXPECT_TRUE(obs.stats == ref.stats)
+            << name << " diverged in ExecStats (seed " << seed << ")";
+        EXPECT_EQ(obs.regs, ref.regs) << name << " seed " << seed;
+        EXPECT_EQ(obs.out, ref.out) << name << " seed " << seed;
+        EXPECT_EQ(obs.memory, ref.memory) << name << " seed " << seed;
+        EXPECT_TRUE(obs.events == ref.events)
+            << name << " diverged in the trace stream (seed " << seed
+            << ": " << obs.events.size() << " vs " << ref.events.size()
+            << " events)";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendFuzzTest,
+                         ::testing::Range(1u, 9u),
+                         [](const auto& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+TEST(BackendFaultDifferentialTest, AllInjectorsAgreeAcrossTiers)
+{
+    // Every injector class, replayed bit-identically per tier: the
+    // CaseResult (outcome, injection coordinates, defence counters) and
+    // the victim's trace stream must not depend on the dispatch
+    // strategy.
+    using fault::CaseResult;
+    using fault::CaseSpec;
+    using fault::InjectorKind;
+    const InjectorKind kinds[] = {
+        InjectorKind::kBitFlip,      InjectorKind::kMultiBitFlip,
+        InjectorKind::kTornWrite,    InjectorKind::kAckCorrupt,
+        InjectorKind::kStaleImage,   InjectorKind::kMonitorStuck,
+        InjectorKind::kMonitorOffset, InjectorKind::kBrownoutBurst,
+        InjectorKind::kEmiBurst,
+    };
+    for (InjectorKind kind : kinds) {
+        for (Scheme scheme : {Scheme::kNvp, Scheme::kGecko}) {
+            CaseSpec spec;
+            spec.injector = kind;
+            spec.scheme = scheme;
+            spec.workload =
+                fault::isSimLevel(kind) ? "sensor_loop" : "crc16";
+            spec.seed = exp::applyGlobalSeed(
+                exp::mixSeed(0xd1ffu, static_cast<std::uint64_t>(kind)));
+
+            // Warm the golden-oracle cache outside any trace buffer so
+            // the first tier doesn't record the oracle's own events.
+            fault::runCase(spec, 0.5, 0, sim::ExecBackend::kFast);
+
+            CaseResult ref;
+            std::vector<trace::Event> refEvents;
+            bool first = true;
+            for (sim::ExecBackend backend :
+                 {sim::ExecBackend::kStep, sim::ExecBackend::kFast,
+                  sim::ExecBackend::kBlock}) {
+                trace::Buffer buffer;
+                CaseResult r;
+                {
+                    trace::BufferScope scope(&buffer);
+                    r = fault::runCase(spec, 0.5, 0, backend);
+                }
+                if (first) {
+                    ref = r;
+                    refEvents = buffer.events();
+                    first = false;
+                    continue;
+                }
+                const char* name = sim::execBackendName(backend);
+                const char* inj = fault::injectorName(kind);
+                EXPECT_EQ(r.outcome, ref.outcome) << inj << " " << name;
+                EXPECT_EQ(r.detail, ref.detail) << inj << " " << name;
+                EXPECT_EQ(r.injectAt, ref.injectAt) << inj << " " << name;
+                EXPECT_EQ(r.word, ref.word) << inj << " " << name;
+                EXPECT_EQ(r.corruptedRestores, ref.corruptedRestores)
+                    << inj << " " << name;
+                EXPECT_EQ(r.crcRejects, ref.crcRejects)
+                    << inj << " " << name;
+                EXPECT_EQ(r.slotRepairs, ref.slotRepairs)
+                    << inj << " " << name;
+                EXPECT_EQ(r.ckptSaveRetries, ref.ckptSaveRetries)
+                    << inj << " " << name;
+                EXPECT_EQ(r.retriesExhausted, ref.retriesExhausted)
+                    << inj << " " << name;
+                EXPECT_EQ(r.defenseEscalations, ref.defenseEscalations)
+                    << inj << " " << name;
+                EXPECT_EQ(r.defended, ref.defended) << inj << " " << name;
+                EXPECT_TRUE(buffer.events() == refEvents)
+                    << inj << " " << name
+                    << " diverged in the trace stream ("
+                    << buffer.events().size() << " vs "
+                    << refEvents.size() << " events)";
+            }
+        }
+    }
+}
 
 }  // namespace
 }  // namespace gecko

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "compiler/pipeline.hpp"
 #include "ir/assembler.hpp"
 #include "ir/builder.hpp"
@@ -284,6 +287,59 @@ TEST_P(WorkloadGoldenTest, FastAndSlowDispatchBitIdentical)
     }
 }
 
+TEST_P(WorkloadGoldenTest, ThreeTierDifferentialBitIdentical)
+{
+    // The full tier ladder: reference step(), predecoded fast dispatch,
+    // and the block-compiled superinstruction backend must be pairwise
+    // indistinguishable — counters, NVM, outputs, registers, resting
+    // PC — on every workload and scheme.  The odd budget slice stops
+    // runs at varied mid-block PCs, exercising the block backend's
+    // budget-tail deoptimization every slice.
+    Program p = workloads::build(GetParam());
+    for (Scheme scheme : {Scheme::kNvp, Scheme::kRatchet, Scheme::kGecko}) {
+        CompiledProgram c = compiler::compile(p, scheme);
+        Rig rigs[3];
+        std::vector<std::unique_ptr<Machine>> tiers;
+        const ExecBackend kinds[3] = {ExecBackend::kStep,
+                                      ExecBackend::kFast,
+                                      ExecBackend::kBlock};
+        for (int i = 0; i < 3; ++i) {
+            workloads::setupIo(GetParam(), rigs[i].io);
+            tiers.push_back(std::make_unique<Machine>(c, rigs[i].nvm,
+                                                      rigs[i].io));
+            tiers[i]->setExecBackend(kinds[i]);
+            tiers[i]->setStagedIo(scheme != Scheme::kNvp);
+        }
+        Machine& ref = *tiers[0];
+
+        while (!ref.halted() || !tiers[1]->halted() ||
+               !tiers[2]->halted()) {
+            std::uint64_t refConsumed = 0;
+            RunExit refExit = ref.run(777, &refConsumed);
+            for (int i = 1; i < 3; ++i) {
+                std::uint64_t consumed = 0;
+                RunExit exit = tiers[i]->run(777, &consumed);
+                ASSERT_EQ(exit, refExit)
+                    << GetParam() << " tier " << execBackendName(kinds[i]);
+                ASSERT_EQ(consumed, refConsumed)
+                    << GetParam() << " tier " << execBackendName(kinds[i]);
+                ASSERT_EQ(tiers[i]->pc(), ref.pc())
+                    << GetParam() << " tier " << execBackendName(kinds[i]);
+                ASSERT_TRUE(tiers[i]->stats == ref.stats)
+                    << GetParam() << " tier " << execBackendName(kinds[i]);
+            }
+            ASSERT_LT(ref.stats.cycles, 1ull << 32) << "non-terminating";
+        }
+        for (int i = 1; i < 3; ++i) {
+            EXPECT_EQ(tiers[i]->regs(), ref.regs());
+            EXPECT_EQ(rigs[i].nvm.data(), rigs[0].nvm.data());
+            EXPECT_EQ(rigs[i].io.output(0).values(),
+                      rigs[0].io.output(0).values());
+        }
+        EXPECT_FALSE(rigs[0].io.output(0).values().empty());
+    }
+}
+
 TEST(MachineTest, FastDispatchContinuousModeMatchesSlow)
 {
     // Continuous sensing mode restarts the program at kHalt; both
@@ -294,29 +350,44 @@ TEST(MachineTest, FastDispatchContinuousModeMatchesSlow)
     Rig fast_rig, slow_rig;
     workloads::setupIo("sensor_loop", fast_rig.io);
     workloads::setupIo("sensor_loop", slow_rig.io);
+    Rig block_rig;
+    workloads::setupIo("sensor_loop", block_rig.io);
     Machine fast(c, fast_rig.nvm, fast_rig.io);
     Machine slow(c, slow_rig.nvm, slow_rig.io);
-    fast.setFastDispatch(true);
-    slow.setFastDispatch(false);
-    for (Machine* m : {&fast, &slow}) {
+    Machine block(c, block_rig.nvm, block_rig.io);
+    fast.setExecBackend(ExecBackend::kFast);
+    slow.setExecBackend(ExecBackend::kStep);
+    block.setExecBackend(ExecBackend::kBlock);
+    for (Machine* m : {&fast, &slow, &block}) {
         m->setStagedIo(true);
         m->setContinuous(true);
     }
 
     for (int slice = 0; slice < 64; ++slice) {
-        std::uint64_t fast_consumed = 0, slow_consumed = 0;
+        std::uint64_t fast_consumed = 0, slow_consumed = 0,
+                      block_consumed = 0;
         RunExit fast_exit = fast.run(1231, &fast_consumed);
         RunExit slow_exit = slow.run(1231, &slow_consumed);
+        RunExit block_exit = block.run(1231, &block_consumed);
         ASSERT_EQ(fast_exit, slow_exit);
+        ASSERT_EQ(block_exit, slow_exit);
         ASSERT_EQ(fast_consumed, slow_consumed);
+        ASSERT_EQ(block_consumed, slow_consumed);
         ASSERT_EQ(fast.pc(), slow.pc());
+        ASSERT_EQ(block.pc(), slow.pc());
         ASSERT_TRUE(fast.stats == slow.stats);
+        ASSERT_TRUE(block.stats == slow.stats);
     }
     EXPECT_GT(fast.stats.completions, 0u);
     EXPECT_EQ(fast.pendingIn(), slow.pendingIn());
     EXPECT_EQ(fast.pendingOut(), slow.pendingOut());
+    EXPECT_EQ(block.pendingIn(), slow.pendingIn());
+    EXPECT_EQ(block.pendingOut(), slow.pendingOut());
     EXPECT_EQ(fast_rig.nvm.data(), slow_rig.nvm.data());
+    EXPECT_EQ(block_rig.nvm.data(), slow_rig.nvm.data());
     EXPECT_EQ(fast_rig.io.output(0).values(),
+              slow_rig.io.output(0).values());
+    EXPECT_EQ(block_rig.io.output(0).values(),
               slow_rig.io.output(0).values());
 }
 

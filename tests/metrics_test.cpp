@@ -16,12 +16,13 @@ TEST(BenchJsonTest, ReportLeadsWithSchemaVersion)
     std::string json = report.toJson();
     // schema_version is the first key so even a truncated record
     // identifies its format.
-    EXPECT_EQ(json.rfind("{\"schema_version\":3,", 0), 0u) << json;
+    EXPECT_EQ(json.rfind("{\"schema_version\":4,", 0), 0u) << json;
     EXPECT_EQ(jsonNumber(json, "schema_version"),
               static_cast<double>(kBenchSchemaVersion));
-    // Version-3 provenance keys are always present.
+    // Version-3/4 provenance keys are always present.
     EXPECT_EQ(jsonNumber(json, "seed"), 0.0);
     EXPECT_EQ(jsonString(json, "defense_mode"), "static");
+    EXPECT_EQ(jsonString(json, "exec_backend"), "block");
     // trace_out only appears when a trace was written.
     EXPECT_EQ(json.find("trace_out"), std::string::npos);
     report.traceOut = "out/trace.jsonl";
