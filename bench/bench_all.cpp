@@ -1,14 +1,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <pthread.h>
 
 #include "exp/thread_pool.hpp"
 #include "metrics/bench_json.hpp"
@@ -42,7 +46,8 @@ const std::vector<std::string> kFigures = {
     "fig12_pruning",    "fig13_detection",  "fig14_harvesting",
     "fig15_capacitor",  "table1_devices",   "table2_comparison",
     "table3_ckpt_counts", "ablation_detection", "ablation_pruning",
-    "ablation_wcet",    "extension_wearout", "fault_campaign"};
+    "ablation_wcet",    "extension_wearout", "fault_campaign",
+    "campaign_runner"};
 
 struct FigureResult {
     std::string figure;
@@ -89,16 +94,161 @@ readFile(const std::string& path)
  */
 double
 runFigure(const std::string& binary, const std::string& jsonPath,
-          int threads)
+          int threads, const std::string& extraArgs = "")
 {
     std::string cmd = "GECKO_THREADS=" + std::to_string(threads) +
                       " GECKO_BENCH_JSON='" + jsonPath + "' '" + binary +
-                      "' > /dev/null";
+                      "'" + extraArgs + " > /dev/null";
     auto t0 = std::chrono::steady_clock::now();
     int rc = std::system(cmd.c_str());
     auto t1 = std::chrono::steady_clock::now();
     double wall = std::chrono::duration<double>(t1 - t0).count();
     return rc == 0 ? wall : -wall;
+}
+
+/**
+ * Render the suite aggregate from the figures finished so far.
+ * `forceStatus` overrides the pass/fail verdict (the signal-flush
+ * path stamps "interrupted" so a partial aggregate is never mistaken
+ * for a completed run).
+ */
+std::string
+renderSuiteJson(const std::vector<FigureResult>& results, int threads,
+                const std::string& forceStatus)
+{
+    double totalWall = 0.0, totalSerial = 0.0, totalCycles = 0.0;
+    double totalCorrupted = 0.0, totalCrcRejects = 0.0,
+           totalRetriesExhausted = 0.0;
+    int failures = 0;
+    for (const FigureResult& r : results) {
+        if (r.status != "pass")
+            ++failures;
+        totalWall += r.wallS;
+        totalSerial += r.serialWallS;
+        totalCycles += r.simCycles;
+        totalCorrupted += r.corruptedRestores;
+        totalCrcRejects += r.crcRejects;
+        totalRetriesExhausted += r.retriesExhausted;
+    }
+
+    // One backend name for the whole suite when every child agrees
+    // (the usual case: children inherit GECKO_EXEC); "mixed" otherwise.
+    // Children without telemetry ("unknown" — static tables that never
+    // simulate) don't break uniformity.
+    std::string suiteBackend = "unknown";
+    for (const FigureResult& r : results) {
+        if (r.execBackend == "unknown")
+            continue;
+        if (suiteBackend == "unknown")
+            suiteBackend = r.execBackend;
+        else if (r.execBackend != suiteBackend)
+            suiteBackend = "mixed";
+    }
+
+    unsigned hw = std::thread::hardware_concurrency();
+    std::ostringstream os;
+    os << "{\"schema_version\":" << gecko::metrics::kBenchSchemaVersion
+       << ",\"suite\":\"gecko-bench\",\"exec_backend\":\""
+       << gecko::metrics::jsonEscape(suiteBackend)
+       << "\",\"threads\":" << threads
+       << ",\"host_cores\":" << (hw >= 1 ? hw : 1)
+       << ",\"total_wall_s\":" << gecko::metrics::fmt(totalWall, 3);
+    if (totalSerial > 0)
+        os << ",\"total_serial_wall_s\":"
+           << gecko::metrics::fmt(totalSerial, 3) << ",\"speedup\":"
+           << gecko::metrics::fmt(totalSerial / totalWall, 3);
+    os << ",\"total_sim_cycles\":"
+       << static_cast<std::uint64_t>(totalCycles)
+       << ",\"sim_cycles_per_s\":"
+       << gecko::metrics::fmt(
+              totalWall > 0 ? totalCycles / totalWall : 0.0, 0)
+       << ",\"failures\":" << failures << ",\"status\":\""
+       << (forceStatus.empty() ? (failures == 0 ? "pass" : "fail")
+                               : forceStatus.c_str())
+       << "\",\"corrupted_restores\":"
+       << static_cast<std::uint64_t>(totalCorrupted)
+       << ",\"crc_rejects\":"
+       << static_cast<std::uint64_t>(totalCrcRejects)
+       << ",\"retries_exhausted\":"
+       << static_cast<std::uint64_t>(totalRetriesExhausted)
+       << ",\"figures\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const FigureResult& r = results[i];
+        if (i)
+            os << ",";
+        os << "{\"figure\":\"" << gecko::metrics::jsonEscape(r.figure)
+           << "\",\"schema_version\":" << r.schemaVersion
+           << ",\"ok\":" << (r.ok ? "true" : "false") << ",\"status\":\""
+           << gecko::metrics::jsonEscape(r.status)
+           << "\",\"wall_s\":" << gecko::metrics::fmt(r.wallS, 3);
+        if (r.serialWallS > 0)
+            os << ",\"serial_wall_s\":"
+               << gecko::metrics::fmt(r.serialWallS, 3) << ",\"speedup\":"
+               << gecko::metrics::fmt(
+                      r.wallS > 0 ? r.serialWallS / r.wallS : 0.0, 3);
+        os << ",\"sim_cycles\":"
+           << static_cast<std::uint64_t>(r.simCycles)
+           << ",\"sim_cycles_per_s\":"
+           << gecko::metrics::fmt(
+                  r.wallS > 0 ? r.simCycles / r.wallS : 0.0, 0)
+           << ",\"exec_backend\":\""
+           << gecko::metrics::jsonEscape(r.execBackend)
+           << "\",\"corrupted_restores\":"
+           << static_cast<std::uint64_t>(r.corruptedRestores)
+           << ",\"crc_rejects\":"
+           << static_cast<std::uint64_t>(r.crcRejects)
+           << ",\"retries_exhausted\":"
+           << static_cast<std::uint64_t>(r.retriesExhausted) << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+/** Shared with the signal watcher (guarded by `mutex`). */
+struct SuiteState {
+    std::mutex mutex;
+    std::vector<FigureResult> results;
+    std::string outPath = "BENCH_sweeps.json";
+    int threads = 1;
+};
+
+SuiteState&
+suiteState()
+{
+    static SuiteState s;
+    return s;
+}
+
+/**
+ * SIGINT/SIGTERM → write the aggregate of whatever figures completed,
+ * stamped "interrupted", then die with the conventional 128+sig.
+ * Runs on a sigwait watcher thread (signals blocked everywhere else),
+ * so taking the mutex and doing file I/O here is safe.
+ */
+void
+installSuiteSignalFlush()
+{
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    std::thread([set] {
+        int sig = 0;
+        if (sigwait(&set, &sig) != 0)
+            return;
+        SuiteState& st = suiteState();
+        std::lock_guard<std::mutex> lock(st.mutex);
+        std::ofstream out(st.outPath);
+        if (out) {
+            out << renderSuiteJson(st.results, st.threads, "interrupted")
+                << "\n";
+            // _Exit skips destructors: flush the stream by hand or the
+            // partial aggregate dies in the ofstream buffer.
+            out.close();
+        }
+        std::_Exit(128 + sig);
+    }).detach();
 }
 
 }  // namespace
@@ -140,6 +290,10 @@ main(int argc, char** argv)
     const std::string tmpDir = binDir + "/bench_json";
     std::system(("mkdir -p '" + tmpDir + "'").c_str());
 
+    suiteState().outPath = outPath;
+    suiteState().threads = threads;
+    installSuiteSignalFlush();
+
     std::vector<FigureResult> results;
     double totalWall = 0.0, totalSerial = 0.0, totalCycles = 0.0;
     double totalCorrupted = 0.0, totalCrcRejects = 0.0,
@@ -157,7 +311,16 @@ main(int argc, char** argv)
         std::remove(jsonPath.c_str());
         std::cerr << "[bench_all] " << fig << " (threads=" << threads
                   << ") ... " << std::flush;
-        double wall = runFigure(binary, jsonPath, threads);
+        // The campaign driver writes a durable work directory; keep it
+        // inside the suite scratch area and start it clean (resume
+        // semantics are the kill-resume oracle's job, not the suite's).
+        std::string extraArgs;
+        if (fig == "campaign_runner") {
+            extraArgs = " --fresh --dir='" + tmpDir + "/campaign_out'";
+            if (quick)
+                extraArgs += " --quick";
+        }
+        double wall = runFigure(binary, jsonPath, threads, extraArgs);
         r.ok = wall >= 0;
         r.wallS = std::abs(wall);
         std::cerr << gecko::metrics::fmt(r.wallS, 2) << "s"
@@ -199,84 +362,25 @@ main(int argc, char** argv)
         totalCrcRejects += r.crcRejects;
         totalRetriesExhausted += r.retriesExhausted;
         results.push_back(r);
+        {
+            // Mirror progress into the watcher-visible state so an
+            // interrupt flushes every completed figure.
+            std::lock_guard<std::mutex> lock(suiteState().mutex);
+            suiteState().results = results;
+        }
     }
 
-    // One backend name for the whole suite when every child agrees
-    // (the usual case: children inherit GECKO_EXEC); "mixed" otherwise.
-    // Children without telemetry ("unknown" — static tables that never
-    // simulate) don't break uniformity.
-    std::string suiteBackend = "unknown";
-    for (const FigureResult& r : results) {
-        if (r.execBackend == "unknown")
-            continue;
-        if (suiteBackend == "unknown")
-            suiteBackend = r.execBackend;
-        else if (r.execBackend != suiteBackend)
-            suiteBackend = "mixed";
+    std::string suiteJson;
+    {
+        std::lock_guard<std::mutex> lock(suiteState().mutex);
+        suiteJson = renderSuiteJson(results, threads, "");
     }
-
-    unsigned hw = std::thread::hardware_concurrency();
-    std::ostringstream os;
-    os << "{\"schema_version\":" << gecko::metrics::kBenchSchemaVersion
-       << ",\"suite\":\"gecko-bench\",\"exec_backend\":\""
-       << gecko::metrics::jsonEscape(suiteBackend)
-       << "\",\"threads\":" << threads
-       << ",\"host_cores\":" << (hw >= 1 ? hw : 1)
-       << ",\"total_wall_s\":" << gecko::metrics::fmt(totalWall, 3);
-    if (totalSerial > 0)
-        os << ",\"total_serial_wall_s\":"
-           << gecko::metrics::fmt(totalSerial, 3) << ",\"speedup\":"
-           << gecko::metrics::fmt(totalSerial / totalWall, 3);
-    os << ",\"total_sim_cycles\":"
-       << static_cast<std::uint64_t>(totalCycles)
-       << ",\"sim_cycles_per_s\":"
-       << gecko::metrics::fmt(
-              totalWall > 0 ? totalCycles / totalWall : 0.0, 0)
-       << ",\"failures\":" << failures << ",\"status\":\""
-       << (failures == 0 ? "pass" : "fail")
-       << "\",\"corrupted_restores\":"
-       << static_cast<std::uint64_t>(totalCorrupted)
-       << ",\"crc_rejects\":"
-       << static_cast<std::uint64_t>(totalCrcRejects)
-       << ",\"retries_exhausted\":"
-       << static_cast<std::uint64_t>(totalRetriesExhausted)
-       << ",\"figures\":[";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const FigureResult& r = results[i];
-        if (i)
-            os << ",";
-        os << "{\"figure\":\"" << gecko::metrics::jsonEscape(r.figure)
-           << "\",\"schema_version\":" << r.schemaVersion
-           << ",\"ok\":" << (r.ok ? "true" : "false") << ",\"status\":\""
-           << gecko::metrics::jsonEscape(r.status)
-           << "\",\"wall_s\":" << gecko::metrics::fmt(r.wallS, 3);
-        if (r.serialWallS > 0)
-            os << ",\"serial_wall_s\":"
-               << gecko::metrics::fmt(r.serialWallS, 3) << ",\"speedup\":"
-               << gecko::metrics::fmt(
-                      r.wallS > 0 ? r.serialWallS / r.wallS : 0.0, 3);
-        os << ",\"sim_cycles\":"
-           << static_cast<std::uint64_t>(r.simCycles)
-           << ",\"sim_cycles_per_s\":"
-           << gecko::metrics::fmt(
-                  r.wallS > 0 ? r.simCycles / r.wallS : 0.0, 0)
-           << ",\"exec_backend\":\""
-           << gecko::metrics::jsonEscape(r.execBackend)
-           << "\",\"corrupted_restores\":"
-           << static_cast<std::uint64_t>(r.corruptedRestores)
-           << ",\"crc_rejects\":"
-           << static_cast<std::uint64_t>(r.crcRejects)
-           << ",\"retries_exhausted\":"
-           << static_cast<std::uint64_t>(r.retriesExhausted) << "}";
-    }
-    os << "]}";
-
     std::ofstream out(outPath);
     if (!out) {
         std::cerr << "[bench_all] cannot write " << outPath << "\n";
         return 1;
     }
-    out << os.str() << "\n";
+    out << suiteJson << "\n";
 
     std::cerr << "[bench_all] " << results.size() << " figures, "
               << gecko::metrics::fmt(totalWall, 1) << "s wall";

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -13,6 +14,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <pthread.h>
 
 #include "attack/attack_schedule.hpp"
 #include "attack/emi_source.hpp"
@@ -260,6 +263,81 @@ writeBenchReport(const std::string& figure, const std::string& status = "")
     }
     out << report.toJson() << "\n";
     return rc;
+}
+
+/**
+ * Latched id of the first SIGINT/SIGTERM delivered after
+ * installSignalStop() (0 = none).  Drivers poll this as their
+ * cooperative stop flag.
+ */
+inline std::atomic<int>&
+stopSignal()
+{
+    static std::atomic<int> sig{0};
+    return sig;
+}
+
+namespace detail {
+
+/**
+ * Block SIGINT/SIGTERM in the calling thread and every thread it
+ * spawns afterwards, then hand them to `onSignal` on a dedicated
+ * sigwait watcher.  Must run before the global pool's first use so
+ * workers inherit the mask; only the watcher ever sees the signals,
+ * which keeps the handler path free of async-signal-safety limits
+ * (it may take locks and do file I/O, unlike a real signal handler).
+ */
+inline void
+watchSignals(std::function<void(int)> onSignal)
+{
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    std::thread([set, onSignal = std::move(onSignal)] {
+        int sig = 0;
+        if (sigwait(&set, &sig) == 0)
+            onSignal(sig);
+    }).detach();
+}
+
+}  // namespace detail
+
+/**
+ * Graceful-stop wiring for long drivers (campaign_runner): the first
+ * SIGINT/SIGTERM latches stopSignal() so the driver drains and
+ * journals its progress; a second one force-exits for impatient ^C^C.
+ */
+inline void
+installSignalStop()
+{
+    detail::watchSignals([](int sig) {
+        stopSignal().store(sig);
+        sigset_t set;
+        sigemptyset(&set);
+        sigaddset(&set, SIGINT);
+        sigaddset(&set, SIGTERM);
+        int again = 0;
+        if (sigwait(&set, &again) == 0)
+            std::_Exit(128 + again);
+    });
+}
+
+/**
+ * Flush-and-exit wiring for the figure benches (fault_campaign):
+ * SIGINT/SIGTERM writes the partial JSON telemetry (status
+ * "interrupted") and the merged trace, then exits 128+sig.  Partial
+ * telemetry beats none: an interrupted multi-hour campaign still
+ * reports what it measured.
+ */
+inline void
+installSignalFlush(const std::string& figure)
+{
+    detail::watchSignals([figure](int sig) {
+        writeBenchReport(figure, "interrupted");
+        std::_Exit(128 + sig);
+    });
 }
 
 /**

@@ -1,0 +1,219 @@
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/manifest.hpp"
+
+/**
+ * @file
+ * Crash-tolerant campaign driver (DESIGN.md §13).
+ *
+ * Runs (or resumes) a campaign over workload × scheme × scenario ×
+ * seed in a durable directory.  Kill it — SIGINT, SIGTERM, even
+ * `kill -9` — and rerunning the same command continues exactly where
+ * it stopped; the final `aggregate.json` and the stdout aggregate line
+ * are byte-identical to an uninterrupted run (the kill-and-resume
+ * oracle in tests/campaign_kill_resume.sh enforces this).
+ *
+ * Usage: campaign_runner [--dir=PATH] [--fresh] [--quick] [--status]
+ *                        [--workloads=a,b] [--schemes=a,b] [--seeds=N]
+ *                        [--sim=S] [--slice=S] [--max-jobs=N]
+ *                        [--threads=N] [--seed=N]
+ *
+ * Exit status: 0 only when the campaign is complete (every job done or
+ * quarantined), so `until campaign_runner ...; do :; done` is a valid
+ * resume loop.
+ */
+
+namespace {
+
+using namespace gecko;
+
+std::vector<std::string>
+splitList(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+compiler::Scheme
+schemeByName(const std::string& name)
+{
+    for (compiler::Scheme s :
+         {compiler::Scheme::kNvp, compiler::Scheme::kRatchet,
+          compiler::Scheme::kGeckoNoPrune, compiler::Scheme::kGecko}) {
+        if (name == compiler::schemeName(s))
+            return s;
+    }
+    throw std::runtime_error("unknown scheme: " + name);
+}
+
+/** Sum every `"key":N` occurrence in `json` (per-group counters). */
+std::uint64_t
+sumAll(const std::string& json, const std::string& key)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::uint64_t total = 0;
+    std::size_t pos = 0;
+    while ((pos = json.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        total += std::strtoull(json.c_str() + pos, nullptr, 10);
+    }
+    return total;
+}
+
+void
+printStatus(const std::string& dir)
+{
+    campaign::ManifestRecovery rec =
+        campaign::readManifest(dir + "/manifest.jsonl");
+    if (!rec.hasHeader) {
+        std::cout << "no campaign in " << dir << "\n";
+        return;
+    }
+    std::uint64_t done = 0, failed = 0, running = 0, quarantined = 0;
+    for (const auto& [job, r] : rec.latest) {
+        switch (r.state) {
+            case campaign::JobState::kDone: ++done; break;
+            case campaign::JobState::kFailed: ++failed; break;
+            case campaign::JobState::kRunning: ++running; break;
+            case campaign::JobState::kQuarantined: ++quarantined; break;
+            case campaign::JobState::kPending: break;
+        }
+    }
+    std::cout << "campaign " << dir << ": jobs=" << rec.totalJobs
+              << " done=" << done << " running=" << running
+              << " failed=" << failed << " quarantined=" << quarantined
+              << " torn_lines=" << rec.tornLines << "\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::init(argc, argv);
+    // First ^C/SIGTERM latches the cooperative stop flag: shards
+    // snapshot their in-flight jobs and the journal is flushed before
+    // exit.  A second one force-quits.
+    bench::installSignalStop();
+
+    std::string dir = "campaign_out";
+    bool fresh = false;
+    bool quick = false;
+    bool statusOnly = false;
+
+    campaign::EngineConfig config;
+    campaign::CampaignSpace& space = config.space;
+    space.workloads = {"sensor_loop", "crc16"};
+    space.schemes = {compiler::Scheme::kNvp, compiler::Scheme::kGecko};
+    space.scenarios = {{campaign::ScenarioKind::kClean, 0.0, 0.0},
+                       {campaign::ScenarioKind::kTone, 27e6, 35.0},
+                       {campaign::ScenarioKind::kBurst, 27e6, 35.0}};
+    int seedCount = 4;
+    space.simSeconds = 0.02;
+    space.sliceSimSeconds = 0.005;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--dir=", 0) == 0) {
+            dir = arg.substr(6);
+        } else if (arg == "--fresh") {
+            fresh = true;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--status") {
+            statusOnly = true;
+        } else if (arg.rfind("--workloads=", 0) == 0) {
+            space.workloads = splitList(arg.substr(12));
+        } else if (arg.rfind("--schemes=", 0) == 0) {
+            space.schemes.clear();
+            for (const std::string& name : splitList(arg.substr(10)))
+                space.schemes.push_back(schemeByName(name));
+        } else if (arg.rfind("--seeds=", 0) == 0) {
+            seedCount = std::max(1, std::atoi(arg.c_str() + 8));
+        } else if (arg.rfind("--sim=", 0) == 0) {
+            space.simSeconds = std::atof(arg.c_str() + 6);
+        } else if (arg.rfind("--slice=", 0) == 0) {
+            space.sliceSimSeconds = std::atof(arg.c_str() + 8);
+        } else if (arg.rfind("--max-jobs=", 0) == 0) {
+            config.maxJobsThisRun = std::strtoull(
+                arg.c_str() + 11, nullptr, 10);
+        } else if (arg.rfind("--threads=", 0) == 0 ||
+                   arg.rfind("--seed=", 0) == 0 ||
+                   arg.rfind("--trace=", 0) == 0) {
+            // handled by bench::init
+        } else {
+            std::cerr << "unknown flag: " << arg << "\n";
+            return 2;
+        }
+    }
+    if (quick) {
+        space.workloads = {"sensor_loop"};
+        space.scenarios.resize(2);  // clean + tone
+        seedCount = 2;
+        space.simSeconds = 0.01;
+        space.sliceSimSeconds = 0.0025;
+    }
+    for (int s = 1; s <= seedCount; ++s)
+        space.seeds.push_back(static_cast<std::uint64_t>(s));
+
+    if (statusOnly) {
+        printStatus(dir);
+        return 0;
+    }
+
+    std::error_code ec;
+    if (fresh)
+        std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directories(dir, ec);
+
+    config.dir = dir;
+    config.seed = exp::globalSeed() != 0 ? exp::globalSeed() : 1;
+    config.stopRequested = [] { return bench::stopSignal().load() != 0; };
+
+    campaign::EngineReport report;
+    try {
+        report = campaign::runCampaign(config, exp::ThreadPool::global());
+    } catch (const std::exception& e) {
+        std::cerr << "campaign_runner: " << e.what() << "\n";
+        return 1;
+    }
+
+    // Run-dependent telemetry (varies across kill/resume) goes to
+    // stderr; stdout carries only the deterministic aggregate.
+    std::cerr << "[campaign] jobs=" << report.jobsTotal << " done="
+              << report.jobsDone << " quarantined="
+              << report.jobsQuarantined << " requeued="
+              << report.jobsRequeued << " resumed_snapshots="
+              << report.resumedFromSnapshot << " failed_attempts="
+              << report.attemptsFailed << " shard_deaths="
+              << report.shardDeaths << " torn_lines="
+              << report.tornManifestLines + report.tornResultLines
+              << (report.complete ? " COMPLETE" : " INCOMPLETE") << "\n";
+    if (report.complete)
+        std::cout << report.aggregateJson << "\n";
+
+    bench::telemetry().simCycles.fetch_add(
+        sumAll(report.aggregateJson, "cycles"));
+    const std::string status = report.complete
+                                   ? (report.jobsQuarantined == 0
+                                          ? "pass"
+                                          : "fail")
+                                   : "interrupted";
+    int jsonRc = bench::writeBenchReport("campaign_runner", status);
+    if (!report.complete)
+        return bench::stopSignal().load() != 0 ? 3 : 4;
+    return report.jobsQuarantined == 0 ? jsonRc : 1;
+}

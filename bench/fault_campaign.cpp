@@ -90,6 +90,9 @@ int
 main(int argc, char** argv)
 {
     bench::init(argc, argv);
+    // ^C / SIGTERM still lands the partial JSON telemetry on disk
+    // before the process dies (status "interrupted").
+    bench::installSignalFlush("fault_campaign");
 
     fault::CampaignConfig config;
     config.collector = bench::telemetry().collector.get();

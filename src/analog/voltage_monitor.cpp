@@ -1,5 +1,7 @@
 #include "analog/voltage_monitor.hpp"
 
+#include "campaign/archive.hpp"
+
 namespace gecko::analog {
 
 MonitorEvent
@@ -85,6 +87,28 @@ ComparatorMonitor::reset(double v)
     // Settle hysteresis state.
     backupComp_.evaluate(v);
     wakeComp_.evaluate(v);
+}
+
+void
+AdcMonitor::archiveState(campaign::Archive& ar)
+{
+    ar.section("adc_monitor");
+    ar.boolean(belowBackup_);
+    ar.boolean(aboveWake_);
+}
+
+void
+ComparatorMonitor::archiveState(campaign::Archive& ar)
+{
+    ar.section("comparator_monitor");
+    bool backupHigh = backupComp_.output();
+    bool wakeHigh = wakeComp_.output();
+    ar.boolean(backupHigh);
+    ar.boolean(wakeHigh);
+    if (!ar.saving()) {
+        backupComp_.reset(backupHigh);
+        wakeComp_.reset(wakeHigh);
+    }
 }
 
 }  // namespace gecko::analog

@@ -18,6 +18,10 @@
  *  - a *wake* event on an upward crossing of V_on (triggering restore).
  */
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::analog {
 
 /** Signals emitted by a monitor at one observation. */
@@ -68,6 +72,12 @@ class VoltageMonitor
 
     /** Re-initialise state as if the supply were at `v`. */
     virtual void reset(double v) = 0;
+
+    /**
+     * Serialize/restore the edge-detection latches (thresholds and
+     * rates are construction parameters, not archived).
+     */
+    virtual void archiveState(campaign::Archive& ar) = 0;
 };
 
 /**
@@ -91,6 +101,7 @@ class AdcMonitor : public VoltageMonitor
     MonitorEvent observe(double seenV) override;
     double sampleIntervalS() const override { return 1.0 / sampleHz_; }
     void reset(double v) override;
+    void archiveState(campaign::Archive& ar) override;
 
   private:
     Adc adc_;
@@ -123,6 +134,7 @@ class ComparatorMonitor : public VoltageMonitor
     double sampleIntervalS() const override { return 1.0 / checkHz_; }
     bool continuous() const override { return true; }
     void reset(double v) override;
+    void archiveState(campaign::Archive& ar) override;
 
   private:
     Comparator backupComp_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "campaign/archive.hpp"
 #include "trace/trace.hpp"
 
 namespace gecko::attack {
@@ -57,6 +58,18 @@ EmiSource::voltageAt(double t) const
         return 0.0;
     double f = freqHz_ * (1.0 + skewPpm_ * 1e-6);
     return amplitude_ * std::sin(2.0 * M_PI * f * t);
+}
+
+void
+EmiSource::archiveState(campaign::Archive& ar)
+{
+    ar.section("emi_source");
+    // Fields restored directly: setEnabled/setTone trace edges, and a
+    // restore is not an edge.
+    ar.f64(freqHz_);
+    ar.f64(powerDbm_);
+    ar.f64(amplitude_);
+    ar.boolean(enabled_);
 }
 
 }  // namespace gecko::attack

@@ -9,6 +9,10 @@
  * antenna, ≤ 35 dBm, single-tone sine).
  */
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::attack {
 
 /**
@@ -48,6 +52,14 @@ class EmiSource
 
     /** Induced voltage at simulation time `t` (s). */
     double voltageAt(double t) const;
+
+    /**
+     * Serialize/restore the tone state *directly* — setEnabled/setTone
+     * emit kEmiOn/kEmiOff edge events, and a restore must not (a
+     * resumed run would otherwise diverge from the uninterrupted
+     * trace).
+     */
+    void archiveState(campaign::Archive& ar);
 
   private:
     const InjectionRig& rig_;

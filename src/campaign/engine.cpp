@@ -1,0 +1,646 @@
+#include "campaign/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "attack/attack_schedule.hpp"
+#include "attack/emi_source.hpp"
+#include "attack/rigs.hpp"
+#include "campaign/archive.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/snapshot.hpp"
+#include "compiler/compile_cache.hpp"
+#include "device/device_db.hpp"
+#include "energy/harvester.hpp"
+#include "exp/rng.hpp"
+#include "sim/intermittent_sim.hpp"
+#include "sim/io_devices.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gecko::campaign {
+
+const char*
+scenarioName(ScenarioKind kind)
+{
+    switch (kind) {
+        case ScenarioKind::kClean: return "clean";
+        case ScenarioKind::kTone: return "tone";
+        case ScenarioKind::kBurst: return "burst";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+CampaignSpace::jobCount() const
+{
+    std::uint64_t n = 1;
+    n *= workloads.size();
+    n *= schemes.size();
+    n *= devices.size();
+    n *= scenarios.size();
+    n *= seeds.size();
+    return n;
+}
+
+namespace {
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string& s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+numText(double x)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+    return buf;
+}
+
+}  // namespace
+
+std::uint64_t
+CampaignSpace::configHash() const
+{
+    // Canonical textual description; any knob that changes job
+    // semantics must appear here so a stale journal can't silently
+    // resume a *different* campaign.
+    std::uint64_t h = 14695981039346656037ull;
+    for (const auto& w : workloads)
+        h = fnv1a(h, "w:" + w + ";");
+    for (auto s : schemes)
+        h = fnv1a(h, std::string("s:") + compiler::schemeName(s) + ";");
+    for (const auto& d : devices)
+        h = fnv1a(h, "d:" + d + ";");
+    for (const auto& sc : scenarios)
+        h = fnv1a(h, std::string("a:") + scenarioName(sc.kind) + "," +
+                         numText(sc.freqHz) + "," + numText(sc.powerDbm) +
+                         ";");
+    for (auto s : seeds)
+        h = fnv1a(h, "r:" + std::to_string(s) + ";");
+    h = fnv1a(h, "t:" + numText(simSeconds) + ";");
+    h = fnv1a(h, "q:" + numText(sliceSimSeconds) + ";");
+    return h;
+}
+
+std::string
+JobSpec::groupKey() const
+{
+    // Seeds are the replication axis: they aggregate *into* a group,
+    // never split one.
+    std::string key = workload;
+    key += '/';
+    key += compiler::schemeName(scheme);
+    key += '/';
+    key += scenarioName(scenario.kind);
+    return key;
+}
+
+JobSpec
+jobAt(const CampaignSpace& space, std::uint64_t id)
+{
+    JobSpec spec;
+    spec.job = id;
+    std::uint64_t i = id;
+    auto take = [&i](std::size_t radix) {
+        std::size_t v = static_cast<std::size_t>(i % radix);
+        i /= radix;
+        return v;
+    };
+    spec.seed = space.seeds[take(space.seeds.size())];
+    spec.scenario = space.scenarios[take(space.scenarios.size())];
+    spec.device = space.devices[take(space.devices.size())];
+    spec.scheme = space.schemes[take(space.schemes.size())];
+    spec.workload = space.workloads[take(space.workloads.size())];
+    return spec;
+}
+
+namespace {
+
+/** Slice plan: count and per-slice duration (deterministic). */
+struct SlicePlan {
+    std::uint64_t count = 1;
+    double sliceS = 0.0;  // all slices but the last
+    double lastS = 0.0;
+};
+
+SlicePlan
+planSlices(const CampaignSpace& space)
+{
+    SlicePlan plan;
+    if (space.sliceSimSeconds <= 0.0 ||
+        space.sliceSimSeconds >= space.simSeconds) {
+        plan.count = 1;
+        plan.sliceS = plan.lastS = space.simSeconds;
+        return plan;
+    }
+    plan.sliceS = space.sliceSimSeconds;
+    plan.count = static_cast<std::uint64_t>(
+        std::ceil(space.simSeconds / space.sliceSimSeconds - 1e-9));
+    if (plan.count < 1)
+        plan.count = 1;
+    plan.lastS = space.simSeconds -
+                 static_cast<double>(plan.count - 1) * plan.sliceS;
+    return plan;
+}
+
+std::string
+snapshotPath(const std::string& dir, std::uint64_t job)
+{
+    return dir + "/snap_" + std::to_string(job) + ".bin";
+}
+
+/** Outcome of one job attempt (exceptions signal failure). */
+struct AttemptOutcome {
+    bool interrupted = false;   ///< stop flag observed mid-job
+    std::uint64_t slicesDone = 0;
+    bool resumedFromSnapshot = false;
+    JobResult result;           ///< valid when !interrupted
+};
+
+/**
+ * Execute one job attempt, resuming from its snapshot if one exists.
+ * Jobs always run slice-by-slice with the identical slice plan whether
+ * or not anything interrupts them, so the quantum boundaries — and
+ * therefore every counter — match an uninterrupted execution exactly.
+ */
+AttemptOutcome
+runJobOnce(const EngineConfig& config, const JobSpec& spec,
+           const SlicePlan& plan)
+{
+    AttemptOutcome out;
+
+    auto compiled = compiler::CompileCache::global().getOrCompile(
+        compiler::CompileCache::makeKey(spec.workload, spec.scheme,
+                                        spec.device),
+        [&] {
+            return compiler::compile(workloads::build(spec.workload),
+                                     spec.scheme);
+        });
+    const device::DeviceProfile& dev = device::DeviceDb::byName(spec.device);
+
+    sim::SimConfig simCfg;
+    simCfg.continuous = true;
+    simCfg.memWords = 4096;
+    simCfg.jitRamWords = 64;
+    simCfg.bootOverheadCycles = 1000;
+    simCfg.cap.capacitanceF = 20e-6;
+    simCfg.cap.initialV = 3.3;
+    simCfg.monitorSeed = exp::mixSeed(config.seed, spec.seed);
+
+    sim::IoHub io;
+    workloads::setupIo(spec.workload, io);
+    energy::ConstantHarvester supply(3.3, 5.0);
+    sim::IntermittentSim simulation(*compiled, dev, simCfg, supply, io);
+
+    // Attack rig lifetime must span the whole run.
+    attack::RemoteRig rig(dev, simCfg.monitorKind, 0.5);
+    attack::EmiSource source(rig, spec.scenario.freqHz,
+                             spec.scenario.powerDbm);
+    attack::AttackSchedule schedule{std::vector<attack::AttackWindow>{}};
+    if (spec.scenario.kind != ScenarioKind::kClean)
+        simulation.setEmiSource(&source);
+    if (spec.scenario.kind == ScenarioKind::kBurst) {
+        // Seed-derived tone windows (same flavour as the fuzz tier).
+        exp::Rng rng(exp::mixSeed(spec.seed, 0xb0057ull));
+        double t = 0.0005 * (1 + rng.pick(4));
+        int nWindows = 2 + static_cast<int>(rng.pick(3));
+        for (int w = 0; w < nWindows; ++w) {
+            double on = 0.001 * (1 + rng.pick(5));
+            schedule.add({t, t + on, spec.scenario.freqHz,
+                          spec.scenario.powerDbm});
+            t += on + 0.001 * (1 + rng.pick(4));
+        }
+        simulation.setAttackSchedule(&schedule);
+    }
+
+    const std::string snapPath = snapshotPath(config.dir, spec.job);
+    std::vector<std::uint8_t> blob = readSnapshotFile(snapPath);
+    std::uint64_t firstSlice = 0;
+    if (!blob.empty()) {
+        try {
+            Archive ar =
+                Archive::loader(openContainer(blob, kSnapshotVersion));
+            ar.check(spec.job, "snapshot job id");
+            ar.u64(firstSlice);
+            simulation.archiveState(ar);
+            io.archiveState(ar);
+            ar.finishLoad();
+            if (firstSlice > plan.count)
+                throw SnapshotError("snapshot slice count out of range");
+            out.resumedFromSnapshot = true;
+        } catch (const SnapshotError&) {
+            // Corrupt/foreign snapshot: drop it and start clean — the
+            // job is deterministic, so restarting is always safe.
+            std::remove(snapPath.c_str());
+            firstSlice = 0;
+            out.resumedFromSnapshot = false;
+            // Rebuild pristine state by re-running the constructor
+            // path: the cheapest correct way is to signal the caller
+            // to retry this attempt from scratch.
+            throw;
+        }
+    }
+
+    for (std::uint64_t k = firstSlice; k < plan.count; ++k) {
+        if (config.stopRequested && config.stopRequested() &&
+            plan.count > 1) {
+            Archive ar = Archive::saver();
+            ar.check(spec.job, "snapshot job id");
+            ar.u64(k);
+            simulation.archiveState(ar);
+            io.archiveState(ar);
+            writeSnapshotFile(
+                snapPath, sealContainer(kSnapshotVersion, ar.takePayload()));
+            out.interrupted = true;
+            out.slicesDone = k;
+            return out;
+        }
+        simulation.run(k + 1 == plan.count ? plan.lastS : plan.sliceS);
+    }
+
+    JobResult& r = out.result;
+    r.job = spec.job;
+    r.group = spec.groupKey();
+    r.slices = plan.count;
+    const sim::ExecStats& ms = simulation.machine().stats;
+    r.instrs = ms.instrs;
+    r.cycles = ms.cycles;
+    r.completions = ms.completions;
+    const sim::SimStats& ss = simulation.stats;
+    r.reboots = ss.reboots;
+    r.hardDeaths = ss.hardDeaths;
+    r.backupSignals = ss.backupSignals;
+    r.ckptAttempts = ss.jitCheckpointAttempts;
+    r.ckptComplete = ss.jitCheckpointsComplete;
+    r.ckptTorn = ss.jitCheckpointsTorn;
+    r.missedCkpts = ss.missedCheckpoints;
+    const runtime::RuntimeStats& rs = simulation.geckoRuntime().stats;
+    r.rollbacks = rs.rollbacks;
+    r.corruptedRestores = rs.corruptedRestores;
+    r.crcRejects = rs.crcRejects;
+    r.retriesExhausted = rs.retriesExhausted;
+    if (const defense::DefenseController* dc =
+            simulation.defenseController()) {
+        r.escalations = dc->stats().escalations;
+        r.deEscalations = dc->stats().deEscalations;
+    }
+    out.slicesDone = plan.count;
+    if (!config.keepSnapshots)
+        std::remove(snapPath.c_str());
+    return out;
+}
+
+/** Everything the shards share. */
+struct Shared {
+    const EngineConfig* config = nullptr;
+    SlicePlan plan;
+    std::uint64_t jobsTotal = 0;
+    std::uint64_t queueTotal = 0;
+    std::uint64_t frontier = 0;
+    std::vector<std::uint64_t> requeued;              // const after build
+    std::unordered_map<std::uint64_t, std::uint32_t> attemptBase;  // const
+
+    std::atomic<std::uint64_t> cursor{0};
+    std::atomic<std::uint64_t> started{0};
+    std::atomic<bool> capReached{false};
+
+    // Work a dead shard spilled; drained before fresh chunks.
+    std::mutex overflowMutex;
+    std::vector<std::uint64_t> overflow;
+
+    // The journal lock serializes manifest/results/aggregate updates.
+    std::mutex journalMutex;
+    ManifestWriter* manifest = nullptr;
+    metrics::JsonlWriter* results = nullptr;
+    Aggregator* agg = nullptr;
+    std::uint64_t resultsSinceCompact = 0;
+    std::uint64_t quarantinedTotal = 0;
+
+    std::atomic<std::uint64_t> attemptsFailed{0};
+    std::atomic<std::uint64_t> quarantinedThisRun{0};
+    std::atomic<std::uint64_t> resumedFromSnapshot{0};
+    std::atomic<std::uint64_t> shardDeaths{0};
+
+    bool stop() const
+    {
+        return config->stopRequested && config->stopRequested();
+    }
+
+    std::uint64_t jobIdAt(std::uint64_t i) const
+    {
+        if (i < requeued.size())
+            return requeued[i];
+        return frontier + (i - requeued.size());
+    }
+
+    void compactLocked()
+    {
+        resultsSinceCompact = 0;
+        const std::string json = agg->toJson(
+            jobsTotal, config->space.configHash(), config->seed);
+        std::vector<std::uint8_t> bytes(json.begin(), json.end());
+        writeSnapshotFile(config->dir + "/aggregate.json", bytes);
+    }
+};
+
+/** @return false when the worker should stop claiming work. */
+bool
+processJob(Shared& sh, std::uint64_t id)
+{
+    const EngineConfig& config = *sh.config;
+    if (config.maxJobsThisRun != 0) {
+        if (sh.started.fetch_add(1) >= config.maxJobsThisRun) {
+            sh.capReached.store(true);
+            return false;
+        }
+    }
+    // Deliberately OUTSIDE per-attempt containment: a throw here is a
+    // shard-infrastructure failure, not a job failure (see
+    // EngineConfig::beforeJob).
+    if (config.beforeJob)
+        config.beforeJob(id);
+
+    const JobSpec spec = jobAt(config.space, id);
+    std::uint32_t attempt = 0;
+    if (auto it = sh.attemptBase.find(id); it != sh.attemptBase.end())
+        attempt = it->second;
+
+    while (true) {
+        {
+            std::lock_guard<std::mutex> lock(sh.journalMutex);
+            sh.manifest->append({id, JobState::kRunning, attempt, 0, ""});
+        }
+        try {
+            AttemptOutcome out = runJobOnce(config, spec, sh.plan);
+            if (out.resumedFromSnapshot)
+                ++sh.resumedFromSnapshot;
+            if (out.interrupted) {
+                std::lock_guard<std::mutex> lock(sh.journalMutex);
+                sh.manifest->append({id, JobState::kRunning, attempt,
+                                     out.slicesDone, "interrupted"});
+                sh.manifest->sync();
+                return false;
+            }
+            std::lock_guard<std::mutex> lock(sh.journalMutex);
+            // Result line FIRST, manifest `done` second: recovery
+            // treats the result record as the done-definition, so this
+            // order can at worst repeat a job (deduplicated), never
+            // lose one.
+            sh.results->append(out.result.toJsonl());
+            sh.agg->add(out.result);
+            sh.manifest->append(
+                {id, JobState::kDone, attempt, out.slicesDone, ""});
+            if (++sh.resultsSinceCompact >= config.compactEvery) {
+                sh.results->sync();
+                sh.manifest->sync();
+                sh.compactLocked();
+            }
+            return true;
+        } catch (const std::exception& e) {
+            ++sh.attemptsFailed;
+            std::string note = e.what();
+            if (note.size() > 120)
+                note.resize(120);
+            const bool exhausted =
+                attempt + 1 >= static_cast<std::uint32_t>(
+                                   std::max(1, config.maxAttempts));
+            {
+                std::lock_guard<std::mutex> lock(sh.journalMutex);
+                sh.manifest->append(
+                    {id, JobState::kFailed, attempt, 0, note});
+                if (exhausted) {
+                    sh.manifest->append({id, JobState::kQuarantined,
+                                         attempt, 0, "attempts exhausted"});
+                    ++sh.quarantinedTotal;
+                }
+            }
+            if (exhausted) {
+                ++sh.quarantinedThisRun;
+                std::remove(snapshotPath(config.dir, id).c_str());
+                return true;
+            }
+            ++attempt;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                config.retryBackoffMs * static_cast<int>(attempt)));
+        }
+    }
+}
+
+void
+shardWorker(Shared& sh)
+{
+    const std::uint64_t shardSize = std::max<std::uint64_t>(
+        1, sh.config->shardSize);
+    // Claimed-but-unprocessed job ids; lives outside the try so the
+    // handler can spill it when this shard dies.
+    std::vector<std::uint64_t> claimed;
+    try {
+        while (true) {
+            if (sh.stop() || sh.capReached.load())
+                return;
+            claimed.clear();
+            // Drain spilled work from dead shards first.
+            {
+                std::lock_guard<std::mutex> lock(sh.overflowMutex);
+                if (!sh.overflow.empty()) {
+                    claimed.push_back(sh.overflow.back());
+                    sh.overflow.pop_back();
+                }
+            }
+            if (claimed.empty()) {
+                std::uint64_t c = sh.cursor.fetch_add(shardSize);
+                if (c >= sh.queueTotal)
+                    return;
+                std::uint64_t end = std::min(c + shardSize, sh.queueTotal);
+                for (std::uint64_t i = c; i < end; ++i)
+                    claimed.push_back(sh.jobIdAt(i));
+            }
+            while (!claimed.empty()) {
+                if (sh.stop() || sh.capReached.load())
+                    return;
+                // The in-flight job stays in `claimed` until it either
+                // finishes or is contained, so a shard-killing throw
+                // spills it along with the rest.
+                bool keepGoing = processJob(sh, claimed.front());
+                claimed.erase(claimed.begin());
+                if (!keepGoing)
+                    return;
+            }
+        }
+    } catch (...) {
+        // Shard death: spill the claimed-but-unprocessed remainder so
+        // surviving shards pick it up (graceful degradation).  The
+        // killer job is spilled too — if it reliably kills shards it
+        // will take them all down, and the run ends incomplete rather
+        // than wrong.
+        ++sh.shardDeaths;
+        std::lock_guard<std::mutex> lock(sh.overflowMutex);
+        for (std::uint64_t id : claimed)
+            sh.overflow.push_back(id);
+    }
+}
+
+}  // namespace
+
+EngineReport
+runCampaign(const EngineConfig& config, exp::ThreadPool& pool)
+{
+    const CampaignSpace& space = config.space;
+    const std::uint64_t total = space.jobCount();
+    if (total == 0)
+        throw std::runtime_error("campaign: empty job space");
+
+    const std::string manifestPath = config.dir + "/manifest.jsonl";
+    const std::string resultsPath = config.dir + "/results.jsonl";
+
+    // ---- Recovery: replay the journal and the result stream. ----
+    ManifestRecovery rec = readManifest(manifestPath);
+    if (rec.hasHeader) {
+        if (rec.totalJobs != total ||
+            rec.configHash != space.configHash() || rec.seed != config.seed)
+            throw std::runtime_error(
+                "campaign: manifest in " + config.dir +
+                " belongs to a different campaign (config/seed/job-count "
+                "mismatch); refusing to resume");
+    }
+
+    Aggregator agg(total);
+    std::uint64_t maxResultJob = 0;
+    bool sawResult = false;
+    std::uint64_t tornResults = 0;
+    {
+        std::ifstream in(resultsPath, std::ios::binary);
+        if (in) {
+            std::ostringstream all;
+            all << in.rdbuf();
+            const std::string text = all.str();
+            std::size_t pos = 0;
+            while (pos < text.size()) {
+                std::size_t nl = text.find('\n', pos);
+                if (nl == std::string::npos) {
+                    ++tornResults;  // crash-torn tail
+                    break;
+                }
+                std::string line = text.substr(pos, nl - pos);
+                pos = nl + 1;
+                if (line.empty())
+                    continue;
+                auto r = JobResult::fromJsonl(line);
+                if (!r) {
+                    ++tornResults;
+                    continue;
+                }
+                agg.add(*r);
+                maxResultJob = std::max(maxResultJob, r->job);
+                sawResult = true;
+            }
+        }
+    }
+
+    // Fresh-work frontier: nothing above it was ever touched.
+    std::uint64_t frontier = 0;
+    if (rec.sawAnyJob)
+        frontier = std::max(frontier, rec.maxJob + 1);
+    if (sawResult)
+        frontier = std::max(frontier, maxResultJob + 1);
+    frontier = std::min(frontier, total);
+
+    Shared sh;
+    sh.config = &config;
+    sh.plan = planSlices(space);
+    sh.jobsTotal = total;
+    sh.frontier = frontier;
+    for (std::uint64_t id = 0; id < frontier; ++id) {
+        if (agg.seen(id))
+            continue;
+        if (rec.stateOf(id) == JobState::kQuarantined) {
+            ++sh.quarantinedTotal;
+            continue;
+        }
+        sh.requeued.push_back(id);
+        if (auto it = rec.latest.find(id); it != rec.latest.end()) {
+            std::uint32_t base = it->second.attempt;
+            if (it->second.state == JobState::kFailed)
+                ++base;
+            if (base > 0)
+                sh.attemptBase[id] = base;
+        }
+    }
+    sh.queueTotal =
+        static_cast<std::uint64_t>(sh.requeued.size()) + (total - frontier);
+
+    ManifestWriter manifest(manifestPath, config.manifestSyncEvery);
+    metrics::JsonlWriter results(resultsPath, /*append=*/true,
+                                 config.manifestSyncEvery);
+    if (!manifest.ok() || !results.ok())
+        throw std::runtime_error("campaign: cannot open journal files in " +
+                                 config.dir);
+    if (!rec.hasHeader)
+        manifest.header(total, space.configHash(), config.seed);
+    sh.manifest = &manifest;
+    sh.results = &results;
+    sh.agg = &agg;
+
+    // ---- Shards: pool workers + the calling thread. ----
+    const int extraShards = std::max(0, pool.threadCount() - 1);
+    std::atomic<int> liveShards{extraShards};
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    for (int i = 0; i < extraShards; ++i) {
+        pool.submit([&sh, &liveShards, &doneMutex, &doneCv] {
+            shardWorker(sh);
+            // Notify under the mutex: the waiter owns the condvar's
+            // storage and destroys it right after its predicate turns
+            // true, so the broadcast must complete before the waiter
+            // can reacquire the lock and return from wait().
+            std::lock_guard<std::mutex> lock(doneMutex);
+            --liveShards;
+            doneCv.notify_all();
+        });
+    }
+    shardWorker(sh);
+    {
+        std::unique_lock<std::mutex> lock(doneMutex);
+        doneCv.wait(lock, [&] { return liveShards.load() <= 0; });
+    }
+
+    // ---- Final compaction + report. ----
+    EngineReport report;
+    {
+        std::lock_guard<std::mutex> lock(sh.journalMutex);
+        results.sync();
+        manifest.sync();
+        sh.compactLocked();
+        report.aggregateJson =
+            agg.toJson(total, space.configHash(), config.seed);
+    }
+    report.jobsTotal = total;
+    report.jobsDone = agg.jobCount();
+    report.attemptsFailed = sh.attemptsFailed.load();
+    report.jobsQuarantined = sh.quarantinedTotal;
+    report.jobsRequeued = static_cast<std::uint64_t>(sh.requeued.size());
+    report.resumedFromSnapshot = sh.resumedFromSnapshot.load();
+    report.shardDeaths = sh.shardDeaths.load();
+    report.tornManifestLines = rec.tornLines;
+    report.tornResultLines = tornResults;
+    report.complete = report.jobsDone + report.jobsQuarantined >= total;
+    return report;
+}
+
+}  // namespace gecko::campaign

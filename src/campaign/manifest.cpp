@@ -1,0 +1,146 @@
+#include "campaign/manifest.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gecko::campaign {
+
+const char*
+jobStateName(JobState s)
+{
+    switch (s) {
+        case JobState::kPending: return "pending";
+        case JobState::kRunning: return "running";
+        case JobState::kDone: return "done";
+        case JobState::kFailed: return "failed";
+        case JobState::kQuarantined: return "quarantined";
+    }
+    return "unknown";
+}
+
+std::string
+ManifestRecord::toJsonl() const
+{
+    std::ostringstream os;
+    os << "{\"job\":" << job << ",\"state\":\"" << jobStateName(state)
+       << "\",\"attempt\":" << attempt << ",\"slices\":" << slices;
+    if (!note.empty())
+        os << ",\"note\":\"" << metrics::jsonEscape(note) << "\"";
+    os << "}";
+    return os.str();
+}
+
+ManifestWriter::ManifestWriter(const std::string& path,
+                               std::size_t syncEvery)
+    : out_(path, /*append=*/true, syncEvery)
+{
+}
+
+bool
+ManifestWriter::header(std::uint64_t totalJobs, std::uint64_t configHash,
+                       std::uint64_t seed)
+{
+    std::ostringstream os;
+    // config/seed are full u64s; quoted so the double-based jsonNumber
+    // extractor's 2^53 precision limit can't corrupt the comparison.
+    os << "{\"manifest\":\"gecko-campaign\",\"version\":1,\"jobs\":"
+       << totalJobs << ",\"config\":\"" << configHash << "\",\"seed\":\""
+       << seed << "\"}";
+    // The header is the journal's identity: land it durably before any
+    // job record can reference it.
+    return out_.append(os.str()) && out_.sync();
+}
+
+bool
+ManifestWriter::append(const ManifestRecord& rec)
+{
+    return out_.append(rec.toJsonl());
+}
+
+namespace {
+
+JobState
+parseState(const std::string& name, bool* ok)
+{
+    *ok = true;
+    for (JobState s : {JobState::kPending, JobState::kRunning,
+                       JobState::kDone, JobState::kFailed,
+                       JobState::kQuarantined}) {
+        if (name == jobStateName(s))
+            return s;
+    }
+    *ok = false;
+    return JobState::kPending;
+}
+
+}  // namespace
+
+ManifestRecovery
+readManifest(const std::string& path)
+{
+    ManifestRecovery rec;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return rec;
+
+    // Read raw so a torn tail is detectable: only lines terminated by
+    // '\n' are candidates; a trailing fragment is crash damage.
+    std::ostringstream all;
+    all << in.rdbuf();
+    const std::string text = all.str();
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            // Unterminated tail: the record the crash interrupted.
+            ++rec.tornLines;
+            break;
+        }
+        const std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+
+        if (metrics::jsonString(line, "manifest").has_value()) {
+            auto jobs = metrics::jsonNumber(line, "jobs");
+            auto config = metrics::jsonString(line, "config");
+            auto seed = metrics::jsonString(line, "seed");
+            if (!jobs || !config || !seed) {
+                ++rec.tornLines;
+                continue;
+            }
+            rec.hasHeader = true;
+            rec.totalJobs = static_cast<std::uint64_t>(*jobs);
+            rec.configHash =
+                std::strtoull(config->c_str(), nullptr, 10);
+            rec.seed = std::strtoull(seed->c_str(), nullptr, 10);
+            continue;
+        }
+
+        auto job = metrics::jsonNumber(line, "job");
+        auto state = metrics::jsonString(line, "state");
+        auto attempt = metrics::jsonNumber(line, "attempt");
+        auto slices = metrics::jsonNumber(line, "slices");
+        bool stateOk = false;
+        JobState parsed =
+            state ? parseState(*state, &stateOk) : JobState::kPending;
+        if (!job || !state || !attempt || !slices || !stateOk) {
+            ++rec.tornLines;
+            continue;
+        }
+        ManifestRecord r;
+        r.job = static_cast<std::uint64_t>(*job);
+        r.state = parsed;
+        r.attempt = static_cast<std::uint32_t>(*attempt);
+        r.slices = static_cast<std::uint64_t>(*slices);
+        rec.latest[r.job] = r;
+        rec.maxJob = std::max(rec.maxJob, r.job);
+        rec.sawAnyJob = true;
+    }
+    return rec;
+}
+
+}  // namespace gecko::campaign

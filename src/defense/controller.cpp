@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "campaign/archive.hpp"
 #include "trace/trace.hpp"
 
 namespace gecko::defense {
@@ -280,6 +281,41 @@ DefenseController::backoffCycles(int attempt) const
         static_cast<long long>(config_.backoffBaseCycles) << shift;
     return static_cast<int>(
         std::min<long long>(exp, config_.backoffCapCycles));
+}
+
+void
+DefenseController::archiveState(campaign::Archive& ar)
+{
+    ar.section("defense_controller");
+    std::uint8_t mode = static_cast<std::uint8_t>(mode_);
+    ar.u8(mode);
+    if (!ar.saving()) {
+        if (mode > static_cast<std::uint8_t>(Mode::kDegraded))
+            throw campaign::SnapshotError("defense: bad mode encoding");
+        mode_ = static_cast<Mode>(mode);
+    }
+    ar.f64(score_);
+    ar.boolean(aboveSuspicion_);
+    ar.i32(calmRun_);
+    ar.f64(lastSampleT_);
+    ar.f64(lastSampleV_);
+    ar.u32(lastRollbackRegion_);
+    ar.u64(consecutiveRollbacks_);
+    ar.u64(lastCommitCount_);
+    ar.u64(commitCountAtRollback_);
+    ar.boolean(committedSinceDegrade_);
+    ar.f64(wakeNotBefore_);
+    ar.u64(stats_.samples);
+    ar.u64(stats_.anomalies);
+    ar.u64(stats_.disagreements);
+    ar.u64(stats_.physicsViolations);
+    ar.u64(stats_.escalations);
+    ar.u64(stats_.deEscalations);
+    ar.u64(stats_.ratchetTrips);
+    ar.u64(stats_.wakesDeferred);
+    ar.f64(stats_.firstEscalationT);
+    ar.f64(stats_.energyDebtJ);
+    ar.f64(stats_.peakEnergyDebtJ);
 }
 
 }  // namespace gecko::defense

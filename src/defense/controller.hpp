@@ -20,6 +20,10 @@
  * thread-count-invariant.
  */
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::defense {
 
 /** Evidence bits carried in kDefenseAnomaly's payload `b`. */
@@ -97,6 +101,14 @@ class DefenseController
 
     const DefenseStats& stats() const { return stats_; }
     const DefenseConfig& config() const { return config_; }
+
+    /**
+     * Serialize/restore the controller's pure state: mode ladder,
+     * anomaly score, ratchet, recharge dwell, and counters.  The
+     * config and plant-derived constants are ctor inputs, not
+     * archived.
+     */
+    void archiveState(campaign::Archive& ar);
 
   private:
     void addEvidence(double t, double weight, std::uint64_t evidence);

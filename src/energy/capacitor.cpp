@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "campaign/archive.hpp"
 #include "trace/trace.hpp"
 
 namespace gecko::energy {
@@ -153,6 +154,14 @@ double
 bufferedEnergy(double c, double vHi, double vLo)
 {
     return 0.5 * c * (vHi * vHi - vLo * vLo);
+}
+
+void
+Capacitor::archiveState(campaign::Archive& ar)
+{
+    ar.section("capacitor");
+    ar.f64(energyJ_);
+    ar.boolean(outage_);
 }
 
 }  // namespace gecko::energy

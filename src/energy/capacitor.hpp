@@ -14,6 +14,10 @@
  * Fig. 15 effect), and a parallel leakage conductance drains it.
  */
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::energy {
 
 /** Capacitor parameters. */
@@ -116,6 +120,13 @@ class Capacitor
      * observational — never changes the energy state.
      */
     void watchThresholds(double vOff, double vBackup, double vOn);
+
+    /**
+     * Serialize/restore the energy state plus the outage trace latch.
+     * Configuration and the watch thresholds are reconstructed by the
+     * owning simulator, not archived.
+     */
+    void archiveState(campaign::Archive& ar);
 
   private:
     // Crossing detection runs in the energy domain (E = ½CV² is strictly

@@ -1,7 +1,13 @@
 #include "metrics/bench_json.hpp"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace gecko::metrics {
 
@@ -106,6 +112,77 @@ jsonString(const std::string& text, const std::string& key)
     if (end == std::string::npos)
         return std::nullopt;
     return text.substr(start, end - start);
+}
+
+JsonlWriter::JsonlWriter(const std::string& path, bool append,
+                         std::size_t syncEvery)
+    : syncEvery_(syncEvery)
+{
+    int flags = O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+    fd_ = ::open(path.c_str(), flags, 0644);
+}
+
+JsonlWriter::~JsonlWriter()
+{
+    if (fd_ >= 0) {
+        ::fsync(fd_);
+        ::close(fd_);
+    }
+}
+
+bool
+JsonlWriter::append(const std::string& line)
+{
+    if (!ok())
+        return false;
+    // Stage the full record — payload plus terminator — in one buffer
+    // so no code path can write a line without its '\n'.
+    std::string record = line;
+    record.push_back('\n');
+
+    const char* p = record.data();
+    std::size_t left = record.size();
+    int attempt = 0;
+    constexpr int kMaxAttempts = 8;
+    while (left > 0) {
+        ssize_t n = ::write(fd_, p, left);
+        if (n == static_cast<ssize_t>(left))
+            break;
+        if (n < 0 && errno != EINTR && errno != EAGAIN) {
+            failed_ = true;
+            return false;
+        }
+        if (n > 0) {
+            p += n;
+            left -= static_cast<std::size_t>(n);
+            ++shortWrites_;
+        }
+        if (++attempt > kMaxAttempts) {
+            failed_ = true;
+            return false;
+        }
+        // Linear backoff: transient pressure (EINTR storms, a full
+        // pipe) gets room to clear before the budget runs out.
+        std::this_thread::sleep_for(std::chrono::milliseconds(attempt));
+    }
+    ++records_;
+    if (syncEvery_ > 0 && ++sinceSync_ >= syncEvery_)
+        return sync();
+    return true;
+}
+
+bool
+JsonlWriter::sync()
+{
+    if (!ok())
+        return false;
+    sinceSync_ = 0;
+    if (::fsync(fd_) != 0) {
+        failed_ = true;
+        return false;
+    }
+    ++syncs_;
+    return true;
 }
 
 }  // namespace gecko::metrics

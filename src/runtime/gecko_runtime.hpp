@@ -17,6 +17,10 @@
  * uniformly.
  */
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::defense {
 class DefenseController;
 }
@@ -158,6 +162,14 @@ class GeckoRuntime
     /** Simulator clock, fed before boot/notification calls so defense
      *  events carry sim time (runtime itself has no clock). */
     void setNow(double t) { now_ = t; }
+
+    /**
+     * Serialize/restore the runtime's mutable state: counters, the
+     * image-freshness and integrity latches, and the re-enable probe.
+     * Configuration (detector switches, RAM words, the WCET bound) is
+     * reconstructed by the owner.
+     */
+    void archiveState(campaign::Archive& ar);
 
     RuntimeStats stats;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "campaign/archive.hpp"
 #include "exp/rng.hpp"
 #include "trace/trace.hpp"
 
@@ -605,6 +606,66 @@ runToCompletion(const compiler::CompiledProgram& compiled, Nvm& nvm,
             throw std::runtime_error("golden run did not terminate");
     }
     return total;
+}
+
+void
+IntermittentSim::archiveState(campaign::Archive& ar)
+{
+    ar.section("intermittent_sim");
+    // Configuration fingerprint: the snapshot only makes sense inside
+    // an identically reconstructed simulator.  These are guards, not
+    // restored values.
+    ar.check(config_.memWords, "mem words");
+    ar.check(static_cast<std::uint64_t>(
+                 machine_.program().scheme),
+             "scheme");
+    ar.check(static_cast<std::uint64_t>(config_.monitorKind),
+             "monitor kind");
+    ar.check(config_.continuous ? 1 : 0, "continuous flag");
+    ar.check(static_cast<std::uint64_t>(config_.jitRamWords),
+             "jit ram words");
+    ar.check(config_.defense.enabled ? 1 : 0, "defense enabled");
+    ar.check(emi_ != nullptr ? 1 : 0, "emi source attached");
+    ar.check(schedule_ != nullptr ? 1 : 0, "attack schedule attached");
+    ar.check(shadowMonitor_ != nullptr ? 1 : 0, "shadow monitor");
+
+    std::uint8_t state = static_cast<std::uint8_t>(state_);
+    ar.u8(state);
+    if (!ar.saving()) {
+        if (state > static_cast<std::uint8_t>(State::kSleeping))
+            throw campaign::SnapshotError("sim: bad state encoding");
+        state_ = static_cast<State>(state);
+    }
+    ar.boolean(monitorFaultTraced_);
+    ar.f64(now_);
+    ar.f64(cycleCarry_);
+    ar.u64(cyclesAtBoot_);
+    ar.u32(sampleSeq_);
+
+    ar.f64(stats.simTimeS);
+    ar.u64(stats.reboots);
+    ar.u64(stats.hardDeaths);
+    ar.u64(stats.backupSignals);
+    ar.u64(stats.wakeSignals);
+    ar.u64(stats.ignoredBackups);
+    ar.u64(stats.jitCheckpointAttempts);
+    ar.u64(stats.jitCheckpointsComplete);
+    ar.u64(stats.jitCheckpointsTorn);
+    ar.u64(stats.jitCheckpointsAborted);
+    ar.u64(stats.missedCheckpoints);
+    ar.u64(stats.bootCycles);
+
+    nvm_.archiveState(ar);
+    machine_.archiveState(ar);
+    runtime_.archiveState(ar);
+    cap_.archiveState(ar);
+    monitor_->archiveState(ar);
+    if (shadowMonitor_)
+        shadowMonitor_->archiveState(ar);
+    if (defense_)
+        defense_->archiveState(ar);
+    if (emi_)
+        emi_->archiveState(ar);
 }
 
 }  // namespace gecko::sim

@@ -31,6 +31,10 @@
  * capacitor recharges until a wake event boots the scheme's runtime.
  */
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::sim {
 
 /** Simulation parameters beyond the device profile. */
@@ -184,6 +188,20 @@ class IntermittentSim
 
     /** Checkpoint failure rate F = N_fail / N_checkpoints (§IV-B2). */
     double checkpointFailureRate() const;
+
+    /**
+     * Serialize/restore the full simulation state: a configuration
+     * fingerprint (guard — restoring into a differently configured
+     * instance throws campaign::SnapshotError), the simulator's own
+     * clock/latches/stats, and every owned component (NVM, machine,
+     * runtime, capacitor, monitors, defense controller) plus the
+     * attached EMI source.  The caller archives the IoHub separately
+     * (the simulator does not own it); the fault hooks and schedule
+     * are reconstructed from the job spec, never serialized.  Only
+     * call at a `run()` boundary — mid-quantum state lives on the
+     * stack.
+     */
+    void archiveState(campaign::Archive& ar);
 
     SimStats stats;
 

@@ -22,6 +22,10 @@
  * attack) shows up as conflicting writes to the same output index.
  */
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::sim {
 
 /** A deterministic input stream (sensor). */
@@ -109,6 +113,9 @@ class OutputSink
         conflicts_ = 0;
     }
 
+    /** Serialize/restore the keyed values and the conflict counter. */
+    void archiveState(campaign::Archive& ar);
+
   private:
     std::map<std::uint64_t, std::uint32_t> values_;
     std::uint64_t conflicts_ = 0;
@@ -135,6 +142,13 @@ class IoHub
 
     /** Clear all output sinks. */
     void clearOutputs();
+
+    /**
+     * Serialize/restore every output sink.  Inputs are pure functions
+     * of the replay index and are reconstructed by workload setup, not
+     * archived.
+     */
+    void archiveState(campaign::Archive& ar);
 
   private:
     std::array<std::shared_ptr<InputDevice>, kIoPorts> inputs_;

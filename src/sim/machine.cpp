@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "campaign/archive.hpp"
 #include "trace/trace.hpp"
 
 namespace gecko::sim {
@@ -568,6 +569,29 @@ Machine::execRecoveryInstr(const Instr& ins,
         }
         break;
     }
+}
+
+void
+Machine::archiveState(campaign::Archive& ar)
+{
+    ar.section("machine");
+    ar.check(prog_->prog.size(), "program size");
+    ar.u32Array(regs_);
+    ar.u32(pc_);
+    ar.u32Array(pendingIn_);
+    ar.u32Array(pendingOut_);
+    ar.boolean(halted_);
+    ar.boolean(faulted_);
+    ar.u64(stats.instrs);
+    ar.u64(stats.cycles);
+    ar.u64(stats.ckptStores);
+    ar.u64(stats.boundaryCommits);
+    ar.u64(stats.completions);
+    ar.u64(stats.faults);
+    // The block cache is profile-only derived state: dropping it on
+    // restore re-warms it without changing architectural behaviour.
+    if (!ar.saving())
+        invalidateBlockCache();
 }
 
 }  // namespace gecko::sim

@@ -25,6 +25,10 @@
  * peripheral checkpointing.
  */
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::sim {
 
 /**
@@ -136,6 +140,16 @@ class Machine
      * @param consumed out: cycles actually consumed.
      */
     RunExit run(std::uint64_t cycleBudget, std::uint64_t* consumed);
+
+    /**
+     * Serialize/restore the core's volatile data state (registers, PC,
+     * staging, halt/fault latches, ExecStats).  Configuration flags and
+     * the predecode/block caches are *not* archived: the program is
+     * immutable, so restore just invalidates the block cache and lets
+     * it re-warm — all tiers are architecturally bit-identical, so a
+     * cold cache cannot change observable state.
+     */
+    void archiveState(campaign::Archive& ar);
 
     /** Cold boot: zero registers/PC, clear staging, clear fault/halt. */
     void powerCycle();

@@ -1,5 +1,7 @@
 #include "sim/nvm.hpp"
 
+#include "campaign/archive.hpp"
+
 namespace gecko::sim {
 
 namespace {
@@ -37,6 +39,33 @@ crc32Words(const std::uint32_t* words, std::size_t n, std::uint32_t crc)
         }
     }
     return crc;
+}
+
+void
+Nvm::archiveState(campaign::Archive& ar)
+{
+    ar.section("nvm");
+    ar.u32FixedVector(data_, "nvm data");
+    ar.u32Array(jit);
+    ar.u32(jitEpoch);
+    ar.u64(jitAreaWrites);
+    ar.u64(slotWrites);
+    for (auto& row : slots)
+        ar.u32Array(row);
+    for (auto& row : slotCrc)
+        ar.u32Array(row);
+    for (auto& row : slotShadow)
+        ar.u32Array(row);
+    for (auto& row : slotShadowCrc)
+        ar.u32Array(row);
+    ar.u32(committedRegion);
+    ar.u32(commitCount);
+    ar.u32(bootCount);
+    ar.u32(lastBootAck);
+    ar.u32(commitsAtLastBoot);
+    ar.u32(jitDisabledFlag);
+    ar.u32Array(inCount);
+    ar.u32Array(outCount);
 }
 
 }  // namespace gecko::sim

@@ -34,6 +34,10 @@
  * model).
  */
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::sim {
 
 /** Number of architectural I/O ports. */
@@ -96,6 +100,14 @@ class Nvm
 
     /** True if `addr` is a valid data address. */
     bool inRange(std::uint32_t addr) const { return addr < data_.size(); }
+
+    /**
+     * Serialize/restore the whole persistent image: data words, the JIT
+     * area, checkpoint slots (+CRC/shadow copies), protocol counters,
+     * and the endurance accounting.  The data size is a configuration
+     * guard — a snapshot of a differently-sized NVM is rejected.
+     */
+    void archiveState(campaign::Archive& ar);
 
     /** Raw data access for workload setup / golden comparisons. */
     const std::vector<std::uint32_t>& data() const { return data_; }

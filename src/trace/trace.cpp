@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "campaign/archive.hpp"
+
 namespace gecko::trace {
 
 const char*
@@ -168,6 +170,42 @@ Collector::totalDropped() const
     for (const auto& b : buffers_)
         n += b->dropped();
     return n;
+}
+
+void
+Buffer::archiveState(campaign::Archive& ar)
+{
+    ar.section("trace_buffer");
+    ar.check(ring_.size(), "trace ring capacity");
+    ar.u32(seq_);
+    ar.u64(dropped_);
+    ar.f64(now_);
+    std::vector<Event> live = ar.saving() ? events() : std::vector<Event>();
+    std::uint64_t n = live.size();
+    ar.u64(n);
+    if (!ar.saving()) {
+        if (n > ring_.size())
+            throw campaign::SnapshotError(
+                "trace: live events exceed ring capacity");
+        live.resize(static_cast<std::size_t>(n));
+    }
+    for (Event& ev : live) {
+        ar.f64(ev.t);
+        ar.u32(ev.seq);
+        ar.u16(ev.kind);
+        ar.u16(ev.flags);
+        ar.u64(ev.a);
+        ar.u64(ev.b);
+    }
+    if (!ar.saving()) {
+        // Lay the unrolled stream back from slot 0: the physical head
+        // position is not observable through events(), so normalizing
+        // it keeps future emissions logically identical.
+        std::fill(ring_.begin(), ring_.end(), Event{});
+        std::copy(live.begin(), live.end(), ring_.begin());
+        size_ = live.size();
+        head_ = ring_.empty() ? 0 : live.size() % ring_.size();
+    }
 }
 
 }  // namespace gecko::trace

@@ -34,6 +34,10 @@
 #define GECKO_TRACE 1
 #endif
 
+namespace gecko::campaign {
+class Archive;
+}
+
 namespace gecko::trace {
 
 /**
@@ -175,6 +179,16 @@ class Buffer
 
     /** Events in emission order (unrolls the ring). */
     std::vector<Event> events() const;
+
+    /**
+     * Serialize/restore the ring's logical state: clock, sequence and
+     * drop cursors, plus the live events in emission order.  The
+     * physical head position is normalized on restore (the unrolled
+     * stream — the only observable — is preserved exactly); capacity
+     * and label/index identity are construction-time and only
+     * validated.
+     */
+    void archiveState(campaign::Archive& ar);
 
     static constexpr std::size_t kDefaultCapacity = 1u << 16;
 

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <memory>
 #include <sstream>
 
 #include "attack/attack_schedule.hpp"
+#include "campaign/snapshot.hpp"
 #include "attack/emi_source.hpp"
 #include "attack/rigs.hpp"
 #include "compiler/pipeline.hpp"
@@ -436,6 +438,144 @@ TEST_P(BackendFuzzTest, RandomEmiSchedulesAgreeAcrossTiers)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BackendFuzzTest,
+                         ::testing::Range(1u, 9u),
+                         [](const auto& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Snapshot-mid-run differential: serializing the full simulator state
+// between quanta, tearing the world down, and restoring into a freshly
+// built environment must be observationally invisible — same stats,
+// registers, outputs, NVM image, and trace stream as the uninterrupted
+// sliced run, for random EMI schedules under every backend.
+// ---------------------------------------------------------------------
+
+/** One fully-owned attacked-run environment (rebuilt for restores). */
+struct EmiEnv {
+    sim::IoHub io;
+    std::unique_ptr<energy::ConstantHarvester> supply;
+    std::unique_ptr<sim::IntermittentSim> simulation;
+    std::unique_ptr<attack::RemoteRig> rig;
+    std::unique_ptr<attack::EmiSource> source;
+    std::unique_ptr<attack::AttackSchedule> schedule;
+};
+
+/** Deterministic (seed-derived) rebuild; identical every call. */
+void
+buildEmiEnv(EmiEnv& env, std::uint32_t seed, sim::ExecBackend backend)
+{
+    Rng rng(seed);
+    double freqHz = 1e6 * (1 + rng.pick(300));
+    double powerDbm = 25.0 + rng.pick(16);
+    std::vector<attack::AttackWindow> windows;
+    double t = 0.001 * (1 + rng.pick(4));
+    int nWindows = 2 + static_cast<int>(rng.pick(3));
+    for (int i = 0; i < nWindows; ++i) {
+        double on = 0.001 * (1 + rng.pick(5));
+        windows.push_back({t, t + on, freqHz, powerDbm});
+        t += on + 0.001 * (1 + rng.pick(4));
+    }
+
+    static const CompiledProgram compiled = compiler::compile(
+        workloads::build("sensor_loop"), Scheme::kGecko);
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    sim::SimConfig cfg;
+    cfg.continuous = true;
+    cfg.memWords = 4096;
+    cfg.jitRamWords = 4;
+    cfg.bootOverheadCycles = 1000;
+    cfg.monitorSeed = seed;
+    cfg.cap.capacitanceF = 20e-6;
+    cfg.cap.initialV = 3.3;
+
+    workloads::setupIo("sensor_loop", env.io);
+    env.supply = std::make_unique<energy::ConstantHarvester>(3.3, 5.0);
+    env.simulation = std::make_unique<sim::IntermittentSim>(
+        compiled, dev, cfg, *env.supply, env.io);
+    env.simulation->machine().setExecBackend(backend);
+    env.rig = std::make_unique<attack::RemoteRig>(dev, cfg.monitorKind, 0.5);
+    env.source =
+        std::make_unique<attack::EmiSource>(*env.rig, freqHz, powerDbm);
+    env.schedule =
+        std::make_unique<attack::AttackSchedule>(std::move(windows));
+    env.simulation->setEmiSource(env.source.get());
+    env.simulation->setAttackSchedule(env.schedule.get());
+}
+
+/**
+ * Run the attacked workload as 4 x 5ms slices; at `snapshotAt` (1-3, or
+ * -1 for never) serialize, destroy everything, rebuild, restore, and
+ * finish.  Slicing is identical in both modes so the quantum plan —
+ * and therefore the trajectory — matches exactly.
+ */
+TierObservation
+runEmiSliced(std::uint32_t seed, sim::ExecBackend backend, int snapshotAt)
+{
+    auto env = std::make_unique<EmiEnv>();
+    buildEmiEnv(*env, seed, backend);
+    auto buffer = std::make_unique<trace::Buffer>();
+    auto scope = std::make_unique<trace::BufferScope>(buffer.get());
+    for (int k = 0; k < 4; ++k) {
+        env->simulation->run(0.005);
+        if (k + 1 == snapshotAt) {
+            std::vector<std::uint8_t> blob = campaign::saveSimSnapshot(
+                *env->simulation, env->io, buffer.get());
+            scope.reset();
+            buffer.reset();
+            env = std::make_unique<EmiEnv>();
+            buildEmiEnv(*env, seed, backend);
+            buffer = std::make_unique<trace::Buffer>();
+            campaign::restoreSimSnapshot(*env->simulation, env->io, blob,
+                                         buffer.get());
+            scope = std::make_unique<trace::BufferScope>(buffer.get());
+        }
+    }
+    TierObservation obs;
+    obs.events = buffer->events();
+    scope.reset();
+    obs.stats = env->simulation->machine().stats;
+    obs.regs = env->simulation->machine().regs();
+    obs.out = env->io.output(0).values();
+    obs.memory = env->simulation->nvm().data();
+    return obs;
+}
+
+class SnapshotFuzzTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SnapshotFuzzTest, MidRunSnapshotRestoreIsInvisible)
+{
+    auto seed = static_cast<std::uint32_t>(
+        exp::applyGlobalSeed(GetParam()));
+    for (sim::ExecBackend backend :
+         {sim::ExecBackend::kStep, sim::ExecBackend::kFast,
+          sim::ExecBackend::kBlock}) {
+        const char* name = sim::execBackendName(backend);
+        TierObservation ref = runEmiSliced(seed, backend, -1);
+        ASSERT_GT(ref.stats.cycles, 0u) << name << " seed " << seed;
+        for (int at : {1, 2, 3}) {
+            TierObservation obs = runEmiSliced(seed, backend, at);
+            EXPECT_TRUE(obs.stats == ref.stats)
+                << name << " snapshot@" << at
+                << " diverged in ExecStats (seed " << seed << ")";
+            EXPECT_EQ(obs.regs, ref.regs)
+                << name << "@" << at << " seed " << seed;
+            EXPECT_EQ(obs.out, ref.out)
+                << name << "@" << at << " seed " << seed;
+            EXPECT_EQ(obs.memory, ref.memory)
+                << name << "@" << at << " seed " << seed;
+            EXPECT_TRUE(obs.events == ref.events)
+                << name << " snapshot@" << at
+                << " diverged in the trace stream (seed " << seed << ": "
+                << obs.events.size() << " vs " << ref.events.size()
+                << " events)";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzzTest,
                          ::testing::Range(1u, 9u),
                          [](const auto& info) {
                              return "seed" + std::to_string(info.param);
