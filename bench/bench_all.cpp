@@ -67,6 +67,9 @@ struct FigureResult {
     double corruptedRestores = 0.0;
     double crcRejects = 0.0;
     double retriesExhausted = 0.0;
+    /// Quantum-loop telemetry (schema v5; 0 for older records).
+    double quanta = 0.0;
+    double coalescedQuanta = 0.0;
     bool ok = false;
 };
 
@@ -119,6 +122,7 @@ renderSuiteJson(const std::vector<FigureResult>& results, int threads,
     double totalWall = 0.0, totalSerial = 0.0, totalCycles = 0.0;
     double totalCorrupted = 0.0, totalCrcRejects = 0.0,
            totalRetriesExhausted = 0.0;
+    double totalQuanta = 0.0, totalCoalesced = 0.0;
     int failures = 0;
     for (const FigureResult& r : results) {
         if (r.status != "pass")
@@ -129,6 +133,8 @@ renderSuiteJson(const std::vector<FigureResult>& results, int threads,
         totalCorrupted += r.corruptedRestores;
         totalCrcRejects += r.crcRejects;
         totalRetriesExhausted += r.retriesExhausted;
+        totalQuanta += r.quanta;
+        totalCoalesced += r.coalescedQuanta;
     }
 
     // One backend name for the whole suite when every child agrees
@@ -162,6 +168,12 @@ renderSuiteJson(const std::vector<FigureResult>& results, int threads,
        << ",\"sim_cycles_per_s\":"
        << gecko::metrics::fmt(
               totalWall > 0 ? totalCycles / totalWall : 0.0, 0)
+       << ",\"total_quanta\":" << static_cast<std::uint64_t>(totalQuanta)
+       << ",\"total_coalesced_quanta\":"
+       << static_cast<std::uint64_t>(totalCoalesced)
+       << ",\"quanta_per_s\":"
+       << gecko::metrics::fmt(
+              totalWall > 0 ? totalQuanta / totalWall : 0.0, 0)
        << ",\"failures\":" << failures << ",\"status\":\""
        << (forceStatus.empty() ? (failures == 0 ? "pass" : "fail")
                                : forceStatus.c_str())
@@ -191,6 +203,9 @@ renderSuiteJson(const std::vector<FigureResult>& results, int threads,
            << ",\"sim_cycles_per_s\":"
            << gecko::metrics::fmt(
                   r.wallS > 0 ? r.simCycles / r.wallS : 0.0, 0)
+           << ",\"quanta\":" << static_cast<std::uint64_t>(r.quanta)
+           << ",\"coalesced_quanta\":"
+           << static_cast<std::uint64_t>(r.coalescedQuanta)
            << ",\"exec_backend\":\""
            << gecko::metrics::jsonEscape(r.execBackend)
            << "\",\"corrupted_restores\":"
@@ -344,6 +359,9 @@ main(int argc, char** argv)
         r.crcRejects = jsonNumber(childJson, "crc_rejects").value_or(0.0);
         r.retriesExhausted =
             jsonNumber(childJson, "retries_exhausted").value_or(0.0);
+        r.quanta = jsonNumber(childJson, "quanta").value_or(0.0);
+        r.coalescedQuanta =
+            jsonNumber(childJson, "coalesced_quanta").value_or(0.0);
 
         if (baseline && r.ok) {
             std::cerr << "[bench_all] " << fig << " (serial) ... "

@@ -91,6 +91,10 @@ struct Telemetry {
     std::mutex mutex;
     std::vector<metrics::SweepRecord> sweeps;
     std::atomic<std::uint64_t> simCycles{0};
+    /// Quantum-loop telemetry (schema v5): monitor-sample quanta
+    /// simulated, and the subset the coalescing fast path absorbed.
+    std::atomic<std::uint64_t> quanta{0};
+    std::atomic<std::uint64_t> coalescedQuanta{0};
     /// Checkpoint-integrity defence counters (runtime::RuntimeStats)
     /// accumulated across every victim run of the process.
     std::atomic<std::uint64_t> corruptedRestores{0};
@@ -252,6 +256,9 @@ writeBenchReport(const std::string& figure, const std::string& status = "")
                        .count();
     report.simCycles =
         telemetry().simCycles.load(std::memory_order_relaxed);
+    report.quanta = telemetry().quanta.load(std::memory_order_relaxed);
+    report.coalescedQuanta =
+        telemetry().coalescedQuanta.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(telemetry().mutex);
         report.sweeps = telemetry().sweeps;
@@ -389,6 +396,10 @@ runVictim(const VictimConfig& vc, const attack::InjectionRig* rig,
     out.backupSignals = simulation.stats.backupSignals;
     telemetry().simCycles.fetch_add(out.cycles,
                                     std::memory_order_relaxed);
+    telemetry().quanta.fetch_add(simulation.stats.quanta,
+                                 std::memory_order_relaxed);
+    telemetry().coalescedQuanta.fetch_add(
+        simulation.stats.coalescedQuanta, std::memory_order_relaxed);
     noteRuntimeStats(simulation.geckoRuntime().stats);
     return out;
 }
@@ -398,6 +409,23 @@ inline void
 noteSimCycles(std::uint64_t cycles)
 {
     telemetry().simCycles.fetch_add(cycles, std::memory_order_relaxed);
+}
+
+/**
+ * Record cycles plus the quantum-loop telemetry (schema v5) of one
+ * directly-driven simulation.  Preferred over noteSimCycles for
+ * benches holding an IntermittentSim: the coalesced-quantum counters
+ * feed the recorded `coalesced_quanta` effectiveness metric.
+ */
+inline void
+noteSimRun(sim::IntermittentSim& simulation)
+{
+    telemetry().simCycles.fetch_add(simulation.machine().stats.cycles,
+                                    std::memory_order_relaxed);
+    telemetry().quanta.fetch_add(simulation.stats.quanta,
+                                 std::memory_order_relaxed);
+    telemetry().coalescedQuanta.fetch_add(
+        simulation.stats.coalescedQuanta, std::memory_order_relaxed);
 }
 
 /**

@@ -52,7 +52,7 @@ main(int argc, char** argv)
         if (p.attacked)
             simulation.setEmiSource(&source);
         simulation.run(kSeconds);
-        noteSimCycles(simulation.machine().stats.cycles);
+        noteSimRun(simulation);
         return Rates{simulation.nvm().jitAreaWrites / kSeconds,
                      simulation.nvm().slotWrites / kSeconds};
     });

@@ -48,7 +48,7 @@ main(int argc, char** argv)
         config.cap.capacitanceF = 1e-3;
         sim::IntermittentSim simulation(compiled, dev, config, trace, io);
         simulation.run(kSimSeconds);
-        noteSimCycles(simulation.machine().stats.cycles);
+        noteSimRun(simulation);
         return simulation.machine().stats.completions;
     });
 

@@ -60,7 +60,7 @@ main(int argc, char** argv)
         config.vBackupOverride = v_backup;
         sim::IntermittentSim simulation(compiled, dev, config, weak, io);
         simulation.runUntilCompletions(kTargetCompletions, 300.0);
-        noteSimCycles(simulation.machine().stats.cycles);
+        noteSimRun(simulation);
         return simulation.now();
     });
 

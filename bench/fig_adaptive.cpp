@@ -110,7 +110,7 @@ main(int argc, char** argv)
             cell.finalMode = dc->mode();
             cell.hadController = true;
         }
-        noteSimCycles(simulation.machine().stats.cycles);
+        noteSimRun(simulation);
         return cell;
     });
 

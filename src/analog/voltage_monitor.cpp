@@ -48,6 +48,23 @@ AdcMonitor::observe(double seenV)
     return ev;
 }
 
+bool
+AdcMonitor::quietRange(double lo, double hi) const
+{
+    if (lo > hi)
+        return false;
+    // The ADC transfer curve is monotone, so checking the range
+    // endpoints bounds every code the monitor could see.  Each latch
+    // must keep its value for all of them; with both latches stable no
+    // edge can fire and `observe` is a pure no-op.
+    const bool belowStable = belowBackup_
+                                 ? adc_.sample(hi) < backupCode_
+                                 : adc_.sample(lo) >= backupCode_;
+    const bool aboveStable = aboveWake_ ? adc_.sample(lo) >= wakeCode_
+                                        : adc_.sample(hi) < wakeCode_;
+    return belowStable && aboveStable;
+}
+
 void
 AdcMonitor::reset(double v)
 {
@@ -77,6 +94,21 @@ ComparatorMonitor::observe(double seenV)
     if (!wake_was && wake_now)
         ev.wake = true;
     return ev;
+}
+
+bool
+ComparatorMonitor::quietRange(double lo, double hi) const
+{
+    if (lo > hi)
+        return false;
+    // A comparator's output only changes by crossing ref ± halfBand in
+    // the direction opposite its current state; bound the input range
+    // away from the active flank of each comparator.
+    const auto stable = [lo, hi](const Comparator& c) {
+        return c.output() ? lo >= c.reference() - c.halfBand()
+                          : hi <= c.reference() + c.halfBand();
+    };
+    return stable(backupComp_) && stable(wakeComp_);
 }
 
 void

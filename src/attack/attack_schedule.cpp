@@ -1,5 +1,6 @@
 #include "attack/attack_schedule.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gecko::attack {
@@ -7,10 +8,47 @@ namespace gecko::attack {
 std::optional<AttackWindow>
 AttackSchedule::activeAt(double t) const
 {
+    // Insertion-order scan on purpose: with overlapping windows the
+    // first-added one wins, and callers (updateAttack) depend on that
+    // tie-break.  The list is a handful of entries; the per-quantum
+    // cost lives in overlapsRange, not here.
     for (const AttackWindow& w : windows_)
         if (t >= w.startS && t < w.endS)
             return w;
     return std::nullopt;
+}
+
+void
+AttackSchedule::rebuildIndex()
+{
+    byStart_.resize(windows_.size());
+    for (std::uint32_t i = 0; i < windows_.size(); ++i)
+        byStart_[i] = i;
+    std::stable_sort(byStart_.begin(), byStart_.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return windows_[a].startS < windows_[b].startS;
+                     });
+    prefixMaxEndS_.resize(windows_.size());
+    double maxEnd = -1e300;
+    for (std::size_t i = 0; i < byStart_.size(); ++i) {
+        maxEnd = std::max(maxEnd, windows_[byStart_[i]].endS);
+        prefixMaxEndS_[i] = maxEnd;
+    }
+}
+
+bool
+AttackSchedule::overlapsRange(double t0, double t1) const
+{
+    // A window w overlaps [t0, t1) iff w.startS < t1 && w.endS > t0.
+    // Candidates are exactly the sorted prefix with startS < t1; the
+    // running max-end decides whether any of them reaches past t0.
+    auto it = std::lower_bound(byStart_.begin(), byStart_.end(), t1,
+                               [this](std::uint32_t idx, double t) {
+                                   return windows_[idx].startS < t;
+                               });
+    const std::size_t k =
+        static_cast<std::size_t>(it - byStart_.begin());
+    return k > 0 && prefixMaxEndS_[k - 1] > t0;
 }
 
 namespace {

@@ -1,6 +1,7 @@
 #ifndef GECKO_ATTACK_ATTACK_SCHEDULE_HPP_
 #define GECKO_ATTACK_ATTACK_SCHEDULE_HPP_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,14 +27,29 @@ class AttackSchedule
   public:
     AttackSchedule() = default;
     explicit AttackSchedule(std::vector<AttackWindow> windows)
-        : windows_(std::move(windows)) {}
+        : windows_(std::move(windows))
+    {
+        rebuildIndex();
+    }
 
-    void add(const AttackWindow& w) { windows_.push_back(w); }
+    void add(const AttackWindow& w)
+    {
+        windows_.push_back(w);
+        rebuildIndex();
+    }
 
     /** The window active at time `t`, if any. */
     std::optional<AttackWindow> activeAt(double t) const;
 
-    const std::vector<AttackWindow>& windows() const { return windows_; }
+    /**
+     * True iff any window intersects the half-open span [t0, t1) — the
+     * simulator's horizon query.  The sleeping-state analytic wake jump
+     * and the running-state quantum-coalescing guard both ask this once
+     * per horizon instead of scanning the window list per quantum;
+     * answered in O(log n) from a start-sorted index with a running
+     * max-end, so overlapping or out-of-order window sets stay exact.
+     */
+    bool overlapsRange(double t0, double t1) const;
 
     /**
      * Fig. 13 scenarios (a)–(f).  The paper schedules attacks at minute
@@ -53,8 +69,19 @@ class AttackSchedule
     /** Human-readable description of scenario `s` ("attacks at 20, 40 min"). */
     static std::string scenarioDescription(char scenario);
 
+    const std::vector<AttackWindow>& windows() const { return windows_; }
+
   private:
+    void rebuildIndex();
+
     std::vector<AttackWindow> windows_;
+    /// Window indices ordered by startS, and the running maximum of
+    /// endS over that order (prefixMaxEndS_[i] = max endS among the
+    /// first i+1 sorted windows).  Rebuilt on mutation: schedules are
+    /// tiny and frozen before the simulation starts, while the overlap
+    /// query runs on the per-horizon hot path.
+    std::vector<std::uint32_t> byStart_;
+    std::vector<double> prefixMaxEndS_;
 };
 
 }  // namespace gecko::attack

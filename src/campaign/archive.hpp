@@ -73,6 +73,13 @@ class Archive
         v = static_cast<std::int32_t>(u);
     }
 
+    void i64(std::int64_t& v)
+    {
+        std::uint64_t u = static_cast<std::uint64_t>(v);
+        fixed(u);
+        v = static_cast<std::int64_t>(u);
+    }
+
     /**
      * Doubles travel as their IEEE-754 bit pattern, so a restored value
      * is the *identical* double (including -0.0 and NaN payloads) — a

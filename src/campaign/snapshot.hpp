@@ -33,7 +33,7 @@
 namespace gecko::campaign {
 
 /** Snapshot wire-format version (bump on any layout change). */
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /**
  * Serialize `sim` + `io` (+ the trace ring, when given) into a sealed

@@ -1,6 +1,8 @@
 #ifndef GECKO_ENERGY_CAPACITOR_HPP_
 #define GECKO_ENERGY_CAPACITOR_HPP_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 /**
@@ -39,19 +41,36 @@ class Capacitor
     explicit Capacitor(const CapacitorConfig& config);
 
     /** Current terminal voltage (V). */
-    double voltage() const;
+    double voltage() const
+    {
+        return std::sqrt(2.0 * energyJ_ / config_.capacitanceF);
+    }
 
     /** Stored energy (J). */
     double energy() const { return energyJ_; }
 
     double capacitance() const { return config_.capacitanceF; }
 
+    double maxVoltage() const { return config_.maxV; }
+
     /**
-     * Draw `joules` from the buffer.
+     * Draw `joules` from the buffer.  Inline: this is the simulator's
+     * per-quantum hot path (millions of calls per figure), and the
+     * common case — thresholds unwatched, or no trace buffer installed
+     * — must not pay an out-of-line call just to discover there is
+     * nothing to trace.
      * @return the energy actually drawn (less than requested iff the
      *         buffer ran dry).
      */
-    double discharge(double joules);
+    double discharge(double joules)
+    {
+        const double prevE = energyJ_;
+        double drawn = std::min(joules, energyJ_);
+        energyJ_ -= drawn;
+        if (watching_ && prevE != energyJ_)
+            traceCrossings(prevE, energyJ_);
+        return drawn;
+    }
 
     /**
      * Batched-discharge support for the simulator's execution quanta:
@@ -103,6 +122,81 @@ class Capacitor
     void leak(double dt);
 
     /**
+     * Precomputed coefficients of one `chargeFrom(vOc, rSeries, dt)`
+     * step.  When the simulator's quantum-coalescing fast path has
+     * proven the source steady over a whole burst (constant vOc and
+     * rSeries, fixed dt), the Thevenin divide/exp work is hoisted out
+     * of the per-quantum loop; `quietStep` then replays the exact
+     * floating-point sequence of `discharge` + `chargeFrom` with these
+     * constants, bit-for-bit.
+     */
+    struct ChargePlan {
+        double vOc = 0.0;
+        double vInf = 0.0;      ///< b/a — steady-state voltage
+        double rcDecay = 1.0;   ///< e^{-a dt}
+        double leakDecay = 1.0; ///< e^{-G dt / C}
+    };
+
+    /** Build the coefficients `chargeFrom` would derive per call. */
+    ChargePlan planCharge(double vOc, double rSeries, double dt) const
+    {
+        ChargePlan p;
+        p.vOc = vOc;
+        const double c = config_.capacitanceF;
+        const double a = 1.0 / (rSeries * c) + config_.leakageS / c;
+        const double b = vOc / (rSeries * c);
+        p.vInf = b / a;
+        p.rcDecay = std::exp(-a * dt);
+        p.leakDecay = std::exp(-config_.leakageS * dt / c);
+        return p;
+    }
+
+    /**
+     * One coalesced simulation quantum: `dischargeCycles(cycles, epcJ)`
+     * followed by `chargeFrom` under a precomputed plan.  Caller
+     * contract (the coalescing guard): no trace buffer is installed and
+     * the outage latch has already been settled via `noteSource`, so
+     * the tracing hooks the slow path would run are provably inert and
+     * are skipped here.  Every energy-state operation matches the slow
+     * path's floating-point arithmetic exactly.
+     */
+    void quietStep(std::uint64_t cycles, double epcJ, const ChargePlan& p)
+    {
+        energyJ_ = quietStepEnergy(energyJ_, cycles, epcJ, p,
+                                   config_.capacitanceF, config_.maxV);
+    }
+
+    /**
+     * Pure form of quietStep's energy update: the stored energy after
+     * one quiet quantum of `cycles` at `epcJ` under plan `p`.  Static
+     * so the coalescing proof can march the *exact* burst trajectory on
+     * local copies — the same floating-point operations in the same
+     * order as the commit — before mutating anything.
+     */
+    static double quietStepEnergy(double energyJ, std::uint64_t cycles,
+                                  double epcJ, const ChargePlan& p,
+                                  double capacitanceF, double maxV)
+    {
+        const double joules = static_cast<double>(cycles) * epcJ;
+        energyJ -= std::min(joules, energyJ);
+        double v = std::sqrt(2.0 * energyJ / capacitanceF);
+        if (p.vOc <= v)
+            v = v * p.leakDecay;
+        else
+            v = p.vInf + (v - p.vInf) * p.rcDecay;
+        v = std::clamp(v, 0.0, maxV);
+        return 0.5 * capacitanceF * v * v;
+    }
+
+    /**
+     * Settle the harvester-outage trace latch for source voltage `vOc`
+     * without charging.  The coalescing fast path calls this once per
+     * burst; with a steady source it is equivalent to the per-quantum
+     * `traceOutage` the slow path performs inside `chargeFrom`.
+     */
+    void noteSource(double vOc) { traceOutage(vOc); }
+
+    /**
      * Time needed for `chargeFrom(vOc, rSeries, ·)` to lift the voltage
      * to `targetV`.
      * @return seconds, or a negative value if `targetV` is unreachable
@@ -111,7 +205,11 @@ class Capacitor
     double timeToReach(double targetV, double vOc, double rSeries) const;
 
     /** Force the voltage (used by tests and scenario setup). */
-    void setVoltage(double v);
+    void setVoltage(double v)
+    {
+        v = std::clamp(v, 0.0, config_.maxV);
+        energyJ_ = 0.5 * config_.capacitanceF * v * v;
+    }
 
     /**
      * Arm trace emission of threshold crossings (V_off, V_backup, V_on)
@@ -137,6 +235,19 @@ class Capacitor
 
     CapacitorConfig config_;
     double energyJ_;
+    // Memoized chargeFrom/leak coefficients (derived state, never
+    // archived): harvesters are piecewise-constant and the simulation
+    // quantum is fixed over long spans, so consecutive RC steps repeat
+    // the same (vOc, Rs, dt) inputs and can skip the divides and exp().
+    // A miss recomputes exactly the cached expressions, so results are
+    // bit-identical whether or not the cache hits — including across a
+    // snapshot restore, which simply starts cold.
+    double planVoc_ = -1.0;
+    double planRs_ = -1.0;
+    double planDt_ = -1.0;
+    ChargePlan plan_{};
+    double leakDt_ = -1.0;
+    double leakDecay_ = 1.0;
     // Trace-only state (inert unless watchThresholds was called).
     bool watching_ = false;
     bool outage_ = false;

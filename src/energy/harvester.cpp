@@ -60,6 +60,32 @@ TraceHarvester::steadyOver(double t, double dt) const
     return indexAt(t) == indexAt(t + dt);
 }
 
+bool
+TraceHarvester::constantOver(double t, double dt) const
+{
+    // Endpoint index equality (steadyOver) is not sound: a span longer
+    // than the looped trace wraps back to the same slot, and a span of
+    // several slots can start and end on equal samples with different
+    // ones between.  Walk every covered slot instead; runs of equal
+    // samples (the common case in outage-style traces) still coalesce.
+    if (dt < 0)
+        return false;
+    auto i0 = static_cast<long long>(t / interval_);
+    auto i1 = static_cast<long long>((t + dt) / interval_);
+    auto n = static_cast<long long>(samples_.size());
+    if (i1 - i0 >= n)
+        return false;  // covers the whole looped trace
+    const double v = samples_[indexAt(t)];
+    for (long long i = i0 + 1; i <= i1; ++i) {
+        long long wrapped = i % n;
+        if (wrapped < 0)
+            wrapped += n;
+        if (samples_[static_cast<std::size_t>(wrapped)] != v)
+            return false;
+    }
+    return true;
+}
+
 TraceHarvester
 makeRfTrace(double vOc, double rSeries, double outageRateHz,
             double onFraction, double durationS, unsigned seed)

@@ -34,6 +34,22 @@ class Harvester
      * simulator take closed-form charging steps.
      */
     virtual bool steadyOver(double t, double dt) const = 0;
+
+    /**
+     * Sound steadiness: true only if `openCircuitVoltage` and
+     * `seriesResistance` provably return the *same values* for every
+     * instant in [t, t+dt].  Unlike `steadyOver` (a heuristic some
+     * models answer by endpoint comparison), a `true` here is a hard
+     * guarantee — the quantum-coalescing fast path replays per-quantum
+     * charging with one sampled (vOc, Rs) pair and must match the
+     * uncoalesced simulation bit-for-bit.  Default: unknown ⇒ false.
+     */
+    virtual bool constantOver(double t, double dt) const
+    {
+        (void)t;
+        (void)dt;
+        return false;
+    }
 };
 
 /** Constant source (bench power supply / strong RF field). */
@@ -46,6 +62,7 @@ class ConstantHarvester : public Harvester
     double openCircuitVoltage(double) const override { return vOc_; }
     double seriesResistance(double) const override { return rSeries_; }
     bool steadyOver(double, double) const override { return true; }
+    bool constantOver(double, double) const override { return true; }
 
   private:
     double vOc_;
@@ -70,6 +87,12 @@ class SquareWaveHarvester : public Harvester
     }
     double seriesResistance(double) const override { return rSeries_; }
     bool steadyOver(double t, double dt) const override;
+    /// steadyOver already proves "no on/off edge inside the span",
+    /// which for a square wave is exact constancy.
+    bool constantOver(double t, double dt) const override
+    {
+        return steadyOver(t, dt);
+    }
 
   private:
     bool isOn(double t) const;
@@ -93,6 +116,7 @@ class TraceHarvester : public Harvester
     double openCircuitVoltage(double t) const override;
     double seriesResistance(double) const override { return rSeries_; }
     bool steadyOver(double t, double dt) const override;
+    bool constantOver(double t, double dt) const override;
 
   private:
     std::size_t indexAt(double t) const;

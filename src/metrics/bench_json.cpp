@@ -63,7 +63,11 @@ BenchReport::toJson() const
         os << ",\"serial_wall_s\":" << num(serialWallS)
            << ",\"speedup\":" << num(speedup());
     os << ",\"sim_cycles\":" << simCycles << ",\"sim_cycles_per_s\":"
-       << num(wallS > 0 ? static_cast<double>(simCycles) / wallS : 0.0);
+       << num(wallS > 0 ? static_cast<double>(simCycles) / wallS : 0.0)
+       << ",\"quanta\":" << quanta
+       << ",\"coalesced_quanta\":" << coalescedQuanta
+       << ",\"quanta_per_s\":"
+       << num(wallS > 0 ? static_cast<double>(quanta) / wallS : 0.0);
     if (!status.empty())
         os << ",\"status\":\"" << jsonEscape(status) << "\"";
     os << ",\"corrupted_restores\":" << corruptedRestores

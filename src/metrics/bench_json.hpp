@@ -50,11 +50,16 @@ struct SweepRecord {
  *  - 4: added `exec_backend` (the sim::Machine execution tier the run
  *    used: "step", "fast", or "block") so throughput numbers are
  *    attributable to a dispatch strategy.
+ *  - 5: added the quantum-loop telemetry `quanta`, `coalesced_quanta`
+ *    and `quanta_per_s` (monitor-sample quanta simulated, the subset
+ *    absorbed by the coalescing fast path — DESIGN.md §14 — and the
+ *    quantum throughput) so coalescing effectiveness is recorded next
+ *    to the cycle rate it improves.
  * Readers must tolerate unknown keys so newer records keep
  * aggregating under older readers (the find-based extractors below
  * do this by construction).
  */
-inline constexpr int kBenchSchemaVersion = 4;
+inline constexpr int kBenchSchemaVersion = 5;
 
 /** Telemetry of one bench binary run. */
 struct BenchReport {
@@ -78,6 +83,10 @@ struct BenchReport {
     double serialWallS = 0.0;
     /// Simulated machine cycles executed across every victim run.
     std::uint64_t simCycles = 0;
+    /// Monitor-sample quanta simulated across every victim run, and the
+    /// subset absorbed by the quantum-coalescing fast path (schema v5).
+    std::uint64_t quanta = 0;
+    std::uint64_t coalescedQuanta = 0;
     /// Bench verdict: "pass", "fail", or "" (bench has no pass/fail
     /// semantics — treated as pass by aggregation).
     std::string status;

@@ -115,6 +115,14 @@ class GeckoRuntime
     void noteJitCheckpointComplete() { jitImageFresh_ = true; }
     void noteExecutionSinceCheckpoint() { jitImageFresh_ = false; }
 
+    /**
+     * Whether the attack-end probe is waiting on a commit.  While it is
+     * disarmed and no defense controller is attached, `onProgress` is
+     * provably a no-op — one leg of the simulator's quantum-coalescing
+     * guard.
+     */
+    bool probeArmed() const { return probeArmed_; }
+
     /** Extra CTPL SRAM-snapshot words included in JIT restore cost. */
     void setJitRamWords(int words) { jitRamWords_ = words; }
 

@@ -143,9 +143,11 @@ Machine::invalidateBlockCache()
         b.compiled = false;
         b.threaded = false;
         b.execCount = 0;
-        b.uops.clear();
-        b.uops.shrink_to_fit();
+        b.uopStart = 0;
+        b.uopCount = 0;
     }
+    uopPool_.clear();
+    uopPool_.shrink_to_fit();
 }
 
 void
@@ -153,8 +155,9 @@ Machine::compileBlock(SuperBlock& b)
 {
     const Decoded* code = decoded_.data();
     const bool staged = stagedIo_;
-    b.uops.clear();
-    b.uops.reserve(b.len + 1);
+    std::vector<Uop>& uops = uopScratch_;
+    uops.clear();
+    uops.reserve(b.len + 1);
     std::uint32_t prefix = 0;
     std::uint32_t i = 0;
     while (i < b.len) {
@@ -242,7 +245,7 @@ Machine::compileBlock(SuperBlock& b)
                     u.rs2 = t.rs2;
                     u.aux = t.target;
                     u.costPrefix = prefix;
-                    b.uops.push_back(u);
+                    uops.push_back(u);
                     i += 2;
                     continue;
                 }
@@ -258,7 +261,7 @@ Machine::compileBlock(SuperBlock& b)
                     u.rd = n.rd;
                     u.aux = n.imm;
                     u.costPrefix = prefix;
-                    b.uops.push_back(u);
+                    uops.push_back(u);
                     i += 2;
                     continue;
                 }
@@ -271,30 +274,30 @@ Machine::compileBlock(SuperBlock& b)
                 u.imm = d.imm & 31u;
             break;
         }
-        b.uops.push_back(u);
+        uops.push_back(u);
         ++i;
     }
     // A block that ends at a leader (not at a terminator) falls through.
-    if (b.uops.empty() || !isTerminatorKind(b.uops.back().kind)) {
+    if (uops.empty() || !isTerminatorKind(uops.back().kind)) {
         Uop u;
         u.kind = UopKind::kFallThrough;
         u.aux = b.start + b.len;
         u.costPrefix = prefix;
-        b.uops.push_back(u);
+        uops.push_back(u);
     }
     // Corpus-selected superinstruction fusion (see superblock.hpp): one
     // greedy peephole pass merging chained ALU pairs and ALU+latch
     // triples.  A fused uop takes the second op's cost prefix, and
     // fusion never renumbers instructions, so the fault path's exact
     // per-instruction reconstruction is unchanged for every later uop.
-    if (b.uops.size() >= 2) {
+    if (uops.size() >= 2) {
         std::vector<Uop> fused;
-        fused.reserve(b.uops.size());
+        fused.reserve(uops.size());
         std::size_t k = 0;
-        while (k < b.uops.size()) {
-            const Uop& a = b.uops[k];
-            if (k + 1 < b.uops.size()) {
-                const Uop& n = b.uops[k + 1];
+        while (k < uops.size()) {
+            const Uop& a = uops[k];
+            if (k + 1 < uops.size()) {
+                const Uop& n = uops[k + 1];
                 UopKind fk = UopKind::kNumUopKinds_;
                 bool srcSwap = false;
                 const bool leadsRI = a.kind == UopKind::kMulRI ||
@@ -382,7 +385,52 @@ Machine::compileBlock(SuperBlock& b)
             fused.push_back(a);
             ++k;
         }
-        b.uops.swap(fused);
+        uops.swap(fused);
+    }
+    // Second combine pass over the fused stream: the base-plus-index
+    // address pairs formed above feed the window-array loads/stores of
+    // the pointer-chasing workloads, and checkpoint stores cluster at
+    // region entries (every live register in one run) — both fold into
+    // one more dispatch saving.  `rx != rd` keeps the index source
+    // readable after the address register is written.
+    if (uops.size() >= 2) {
+        std::vector<Uop> fused;
+        fused.reserve(uops.size());
+        std::size_t k = 0;
+        while (k < uops.size()) {
+            const Uop& a = uops[k];
+            if (k + 1 < uops.size()) {
+                const Uop& n = uops[k + 1];
+                UopKind fk = UopKind::kNumUopKinds_;
+                if (a.kind == UopKind::kMoviAddRR && a.rd == a.rd2 &&
+                    a.rx != a.rd && n.rs1 == a.rd &&
+                    (n.kind == UopKind::kLoad || n.kind == UopKind::kStore))
+                    fk = n.kind == UopKind::kLoad ? UopKind::kMoviAddLoad
+                                                  : UopKind::kMoviAddStore;
+                else if (a.kind == UopKind::kCkpt &&
+                         n.kind == UopKind::kCkpt)
+                    fk = UopKind::kCkptCkpt;
+                if (fk != UopKind::kNumUopKinds_) {
+                    Uop f = a;
+                    f.kind = fk;
+                    if (fk == UopKind::kMoviAddLoad)
+                        f.rd2 = n.rd;
+                    else if (fk == UopKind::kMoviAddStore)
+                        f.rs2 = n.rs2;
+                    else
+                        f.rd2 = n.rs1;
+                    f.imm2 = n.imm;
+                    f.aux = n.aux;
+                    f.costPrefix = n.costPrefix;
+                    fused.push_back(f);
+                    k += 2;
+                    continue;
+                }
+            }
+            fused.push_back(a);
+            ++k;
+        }
+        uops.swap(fused);
     }
     // Loop superinstructions (DESIGN.md §12): a hot self-loop whose body
     // is pure ALU and whose exit is counted collapses into one micro-op
@@ -399,12 +447,12 @@ Machine::compileBlock(SuperBlock& b)
         }
         return true;
     };
-    if (b.uops.size() == 3 && b.uops[0].kind == UopKind::kMulRIAddRI &&
-        b.uops[1].kind == UopKind::kShrRIXorRR &&
-        b.uops[2].kind == UopKind::kAddRRAddiBlt) {
-        const Uop& m = b.uops[0];
-        const Uop& x = b.uops[1];
-        const Uop& l = b.uops[2];
+    if (uops.size() == 3 && uops[0].kind == UopKind::kMulRIAddRI &&
+        uops[1].kind == UopKind::kShrRIXorRR &&
+        uops[2].kind == UopKind::kAddRRAddiBlt) {
+        const Uop& m = uops[0];
+        const Uop& x = uops[1];
+        const Uop& l = uops[2];
         const std::uint8_t s = m.rd;
         if (m.rs1 == s && m.rd2 == s && x.rs1 == s && x.rd2 == s &&
             x.rx == s && l.rs2 == s && l.rd == l.rs1 && l.imm2 == 1 &&
@@ -421,7 +469,7 @@ Machine::compileBlock(SuperBlock& b)
             f.imm2 = m.imm2;  // increment
             f.aux = x.imm;    // shift amount
             f.costPrefix = b.cost;
-            b.uops.assign(1, f);
+            uops.assign(1, f);
         }
     }
     if (b.len == 3 && b.start + 6 <= static_cast<std::uint32_t>(decoded_.size())) {
@@ -452,21 +500,62 @@ Machine::compileBlock(SuperBlock& b)
             f.imm2 = cTak;     // taken-path cycles per iteration
             f.aux = cTak + d[3].cost;  // not-taken-path cycles
             f.costPrefix = b.cost;
-            b.uops.assign(1, f);
+            uops.assign(1, f);
             // Worst-case single iteration: the block-entry budget guard
             // must cover a whole not-taken pass.
             b.cost = f.aux;
         }
     }
+    if (uops.size() == 6 && uops[0].kind == UopKind::kSubRR &&
+        uops[1].kind == UopKind::kAndRI &&
+        uops[2].kind == UopKind::kMoviAddLoad &&
+        uops[3].kind == UopKind::kMoviAddLoad &&
+        uops[4].kind == UopKind::kMulRR &&
+        uops[5].kind == UopKind::kAddRRAddiBlt) {
+        const Uop& su = uops[0];  // sub rI,rS,rT
+        const Uop& an = uops[1];  // and rI,rI,#m
+        const Uop& l0 = uops[2];  // rA = ring + rI ; load rX,[rA+0]
+        const Uop& l1 = uops[3];  // rA = taps + rT ; load rY,[rA+0]
+        const Uop& mu = uops[4];  // mul rX,rX,rY
+        const Uop& lt = uops[5];  // add rAcc,rAcc,rX ; rT+=1 ; blt
+        if (an.rs1 == su.rd && an.rd == su.rd && (an.imm >> 8) == 0 &&
+            l0.rx == su.rd && l0.imm2 == 0 && l1.rd == l0.rd &&
+            l1.rx == su.rs2 && l1.imm2 == 0 && mu.rd == l0.rd2 &&
+            mu.rs1 == l0.rd2 && mu.rs2 == l1.rd2 && lt.rd == lt.rs1 &&
+            lt.rs2 == mu.rd && lt.rd2 == su.rs2 && lt.imm2 == 1 &&
+            lt.aux == b.start &&
+            distinct({su.rd, l0.rd, l0.rd2, l1.rd2, lt.rd, lt.rd2}) &&
+            distinct({su.rs1, lt.rx, su.rd, l0.rd, l0.rd2, l1.rd2, lt.rd,
+                      lt.rd2})) {
+            Uop f;
+            f.kind = UopKind::kFirMacLoop;
+            f.rd = lt.rd;          // accumulator
+            f.rs1 = su.rs1;        // sample index (read-only)
+            f.rs2 = su.rd;         // masked ring index
+            f.rd2 = lt.rd2;        // loop counter
+            f.rx = lt.rx;          // loop bound (read-only)
+            f.imm = l0.imm;        // ring base
+            f.aux = l1.imm;        // taps base
+            f.imm2 = static_cast<std::uint32_t>(l0.rd) |
+                     (static_cast<std::uint32_t>(l0.rd2) << 8) |
+                     (static_cast<std::uint32_t>(l1.rd2) << 16) |
+                     (an.imm << 24);
+            f.costPrefix = b.cost;
+            uops.assign(1, f);
+        }
+    }
     if (std::getenv("GECKO_DUMP_BLOCKS")) {
         std::fprintf(stderr, "block@%u len=%u cost=%u uops=%zu:", b.start,
-                     b.len, b.cost, b.uops.size());
-        for (const Uop& du : b.uops)
+                     b.len, b.cost, uops.size());
+        for (const Uop& du : uops)
             std::fprintf(stderr, " %d(rd%u rs%u,%u rx%u rd2:%u i%u i2:%u a%u)",
                          static_cast<int>(du.kind), du.rd, du.rs1, du.rs2,
                          du.rx, du.rd2, du.imm, du.imm2, du.aux);
         std::fprintf(stderr, "\n");
     }
+    b.uopStart = static_cast<std::uint32_t>(uopPool_.size());
+    b.uopCount = static_cast<std::uint32_t>(uops.size());
+    uopPool_.insert(uopPool_.end(), uops.begin(), uops.end());
     b.compiled = true;
     b.threaded = false;
 }
@@ -666,6 +755,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
         &&u_andi_addi,
         &&u_mulri_addri, &&u_shrri_xorrr, &&u_andri_shrri, &&u_andri_addrr,
         &&u_mulri_addrr, &&u_andri_xorrr, &&u_movi_addrr, &&u_addrr_load,
+        &&u_movi_add_load, &&u_movi_add_store, &&u_ckpt_ckpt,
         &&u_beq, &&u_bne, &&u_blt, &&u_bge, &&u_bltu, &&u_bgeu,
         &&u_jmp, &&u_call, &&u_ret, &&u_halt, &&u_fall,
         &&u_addi_beq, &&u_addi_bne, &&u_addi_blt, &&u_addi_bge,
@@ -674,7 +764,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
         &&u_subi_bltu, &&u_subi_bgeu,
         &&u_addrr_addi_blt, &&u_shrri_addi_blt,
         &&u_movi_fall, &&u_addri_jmp,
-        &&u_lcg_loop, &&u_crc_loop,
+        &&u_lcg_loop, &&u_crc_loop, &&u_fir_loop,
         // clang-format on
     };
     static_assert(sizeof(kKindTable) / sizeof(kKindTable[0]) ==
@@ -683,6 +773,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
     ensureBlocks();
 
     SuperBlock* const blocks = blocks_.data();
+    Uop* pool = uopPool_.data();
     const std::uint32_t* const blockAt = blockAt_.data();
     const std::uint32_t size = static_cast<std::uint32_t>(decoded_.size());
     Nvm& nvm = *nvm_;
@@ -721,7 +812,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
         instrs += b->len;                                                   \
         const std::uint32_t nx = (cond) ? u->aux : b->start + b->len;       \
         if (nx == b->start && cycles + b->cost <= cycleBudget) {            \
-            u = b->uops.data();                                             \
+            u = pool + b->uopStart;                                             \
             goto* u->handler;                                               \
         }                                                                   \
         pc = nx;                                                            \
@@ -737,7 +828,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
         instrs += b->len;                                                   \
         const std::uint32_t nx = (cond) ? u->aux : b->start + b->len;       \
         if (nx == b->start && cycles + b->cost <= cycleBudget) {            \
-            u = b->uops.data();                                             \
+            u = pool + b->uopStart;                                             \
             goto* u->handler;                                               \
         }                                                                   \
         pc = nx;                                                            \
@@ -764,13 +855,16 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
                 goto deopt;
             }
             compileBlock(*b);
+            pool = uopPool_.data();
             if (btrace)
                 GECKO_TRACE_EVENT(trace::EventKind::kBlockCompile, 0,
                                   b->start, b->len);
         }
         if (!b->threaded) {
-            for (Uop& op : b->uops)
+            for (std::uint32_t oi = 0; oi < b->uopCount; ++oi) {
+                Uop& op = pool[b->uopStart + oi];
                 op.handler = kKindTable[static_cast<int>(op.kind)];
+            }
             b->threaded = true;
         }
         if (cycles + b->cost > cycleBudget) {
@@ -782,7 +876,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
         if (btrace)
             GECKO_TRACE_EVENT(trace::EventKind::kBlockEnter, 0, b->start,
                               cycles);
-        u = b->uops.data();
+        u = pool + b->uopStart;
         goto* u->handler;
 
         // Fast block-to-block dispatch: terminators land here with the
@@ -796,7 +890,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
             if (nb->threaded && pc == nb->start &&
                 cycles + nb->cost <= cycleBudget) {
                 b = nb;
-                u = nb->uops.data();
+                u = pool + nb->uopStart;
                 goto* u->handler;
             }
         }
@@ -951,6 +1045,31 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
         regs[u->rd2] = nvm.load(addr);
         GECKO_NEXT;
       }
+      u_movi_add_load: {
+        const std::uint32_t t = u->imm + regs[u->rx];
+        regs[u->rd] = t;
+        const std::uint32_t addr = t + u->imm2;
+        if (!nvm.inRange(addr))
+            goto uop_fault;
+        regs[u->rd2] = nvm.load(addr);
+        GECKO_NEXT;
+      }
+      u_movi_add_store: {
+        const std::uint32_t t = u->imm + regs[u->rx];
+        regs[u->rd] = t;
+        const std::uint32_t addr = t + u->imm2;
+        if (!nvm.inRange(addr))
+            goto uop_fault;
+        nvm.store(addr, regs[u->rs2]);
+        GECKO_NEXT;
+      }
+      u_ckpt_ckpt:
+        nvm.writeSlot(u->rs1, static_cast<std::int32_t>(u->imm),
+                      regs[u->rs1]);
+        nvm.writeSlot(u->rd2, static_cast<std::int32_t>(u->imm2),
+                      regs[u->rd2]);
+        stats.ckptStores += 2;
+        GECKO_NEXT;
       u_in_staged: {
         const auto pi = static_cast<std::size_t>(u->imm);
         const std::uint64_t index = nvm.inCount[pi] + pendingIn_[pi];
@@ -1016,7 +1135,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
         instrs += b->len;
         const std::uint32_t nx = u->aux;
         if (nx == b->start && cycles + b->cost <= cycleBudget) {
-            u = b->uops.data();
+            u = pool + b->uopStart;
             goto* u->handler;
         }
         pc = nx;
@@ -1101,7 +1220,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
                                      ? u->aux
                                      : b->start + b->len;
         if (nx == b->start && cycles + b->cost <= cycleBudget) {
-            u = b->uops.data();
+            u = pool + b->uopStart;
             goto* u->handler;
         }
         pc = nx;
@@ -1118,7 +1237,7 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
                                      ? u->aux
                                      : b->start + b->len;
         if (nx == b->start && cycles + b->cost <= cycleBudget) {
-            u = b->uops.data();
+            u = pool + b->uopStart;
             goto* u->handler;
         }
         pc = nx;
@@ -1174,6 +1293,71 @@ Machine::runBlock(std::uint64_t cycleBudget, std::uint64_t* consumed)
         cycles += k * b->cost;
         instrs += k * b->len;
         pc = k == kexit ? b->start + b->len : b->start;
+        goto chain;
+      }
+
+      u_fir_loop: {
+        // Native FIR multiply-accumulate loop (see compileBlock's
+        // matcher).  Fixed per-iteration cost, counted exit; the two
+        // loads are bounds-checked every iteration, and a failing check
+        // commits only the completed iterations and replays the
+        // faulting one through the per-instruction fallback — the
+        // fault fires at the exact instruction with exact state.
+        const std::uint64_t kmax = (cycleBudget - cycles) / b->cost;
+        const std::int64_t cnt0 =
+            static_cast<std::int32_t>(regs[u->rd2]);
+        const std::int64_t bnd = static_cast<std::int32_t>(regs[u->rx]);
+        const std::uint64_t kexit =
+            bnd > cnt0 ? static_cast<std::uint64_t>(bnd - cnt0) : 1;
+        const std::uint64_t kIter = kmax < kexit ? kmax : kexit;
+        const std::uint8_t rA = u->imm2 & 0xffu;
+        const std::uint8_t rX = (u->imm2 >> 8) & 0xffu;
+        const std::uint8_t rY = (u->imm2 >> 16) & 0xffu;
+        const std::uint32_t mask = u->imm2 >> 24;
+        const std::uint32_t ringBase = u->imm;
+        const std::uint32_t tapsBase = u->aux;
+        const std::uint32_t src = regs[u->rs1];
+        std::uint32_t t = regs[u->rd2];
+        std::uint32_t acc = regs[u->rd];
+        std::uint32_t vI = regs[u->rs2];
+        std::uint32_t vA = regs[rA];
+        std::uint32_t vX = regs[rX];
+        std::uint32_t vY = regs[rY];
+        std::uint64_t j = 0;
+        for (; j < kIter; ++j) {
+            const std::uint32_t idx = (src - t) & mask;
+            const std::uint32_t a0 = ringBase + idx;
+            if (!nvm.inRange(a0))
+                break;
+            const std::uint32_t x = nvm.load(a0);
+            const std::uint32_t a1 = tapsBase + t;
+            if (!nvm.inRange(a1))
+                break;
+            const std::uint32_t y = nvm.load(a1);
+            const std::uint32_t p = x * y;
+            acc += p;
+            t += 1;
+            vI = idx;
+            vA = a1;
+            vX = p;
+            vY = y;
+        }
+        regs[u->rs2] = vI;
+        regs[rA] = vA;
+        regs[rX] = vX;
+        regs[rY] = vY;
+        regs[u->rd] = acc;
+        regs[u->rd2] = t;
+        cycles += j * b->cost;
+        instrs += j * b->len;
+        if (j < kIter) {
+            // Bounds failure: rewind to the iteration start and let the
+            // per-instruction fallback reach the faulting load.
+            pc = b->start;
+            deoptReason = trace::kFlagDeoptUnaligned;
+            goto deopt;
+        }
+        pc = j == kexit ? b->start + b->len : b->start;
         goto chain;
       }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "campaign/archive.hpp"
 #include "exp/rng.hpp"
@@ -13,11 +14,34 @@ using compiler::Scheme;
 
 namespace {
 
+constexpr std::uint64_t kNoCompletionTarget = ~std::uint64_t{0};
+/// Cadence at which a bounded run polls its completion target — the
+/// stop granularity of the historical sliced driver, kept so bounded
+/// runs settle identically.
+constexpr double kCompletionPollS = 0.01;
+
 /** Voltage in integer millivolt for trace payloads (clamped at 0). */
 [[maybe_unused]] std::uint64_t
 traceMv(double v)
 {
     return v > 0 ? static_cast<std::uint64_t>(std::llround(v * 1000.0)) : 0;
+}
+
+/**
+ * Resolve the coalescing burst limit: explicit config wins, then
+ * GECKO_COALESCE (0 or 1 = off), default 64 quanta — one coarse
+ * quiet-stride burst.
+ */
+int
+resolveCoalesceLimit(int configured)
+{
+    int limit = configured;
+    if (limit < 0) {
+        limit = 64;
+        if (const char* env = std::getenv("GECKO_COALESCE"))
+            limit = std::atoi(env);
+    }
+    return std::clamp(limit, 0, 1 << 16);
 }
 
 }  // namespace
@@ -52,6 +76,8 @@ IntermittentSim::IntermittentSim(const compiler::CompiledProgram& compiled,
         }
     }
     monitor_->reset(cap_.voltage());
+
+    coalesceLimit_ = resolveCoalesceLimit(config.coalesceQuanta);
 
     bool staged = compiled.scheme != Scheme::kNvp;
     machine_.setStagedIo(staged);
@@ -407,7 +433,7 @@ IntermittentSim::boot()
 }
 
 void
-IntermittentSim::stepRunning()
+IntermittentSim::stepRunning(double end, bool allowCoalesce)
 {
     bool attacked = attackActive();
     int stride = attacked ? 1 : config_.quietStride;
@@ -422,40 +448,77 @@ IntermittentSim::stepRunning()
     }
     double dt = monitor_->sampleIntervalS() * stride;
 
-    // Cycles this quantum affords (clock-rated, then energy-limited).
-    // The interpreter may overshoot the budget by one instruction (an
-    // I/O transaction is hundreds of cycles); the debt is carried so
-    // the long-run rate matches the clock exactly.
+    // Quantum-coalescing fast path (DESIGN.md §14).  Cheap side
+    // conditions here; coalescedRun performs the physics proof.  Every
+    // skipped per-quantum hook is provably inert under these guards:
+    // updateAttack (source disabled, no window in the horizon),
+    // onProgress (no defense, probe disarmed), trace macros (no buffer
+    // installed), monitor observation (quietRange latch stability).
+    if (allowCoalesce && coalesceLimit_ >= 2 && !attacked &&
+        !monitorFault_ && defense_ == nullptr && !runtime_.probeArmed() &&
+        (emi_ == nullptr || !emi_->enabled()) &&
+        trace::current() == nullptr && coalescedRun(stride, dt, end))
+        return;
+
+    ++stats.quanta;
+
+    // Cycles this quantum affords at the clock rate.  The capacitor is
+    // debited this *planned* budget (not the machine's consumption) so
+    // the energy trajectory is independent of instruction boundaries;
+    // the interpreter's one-instruction budget overshoot (an I/O
+    // transaction is hundreds of cycles) rides in the debt ledger and
+    // is netted off the next quantum's machine budget, so the long-run
+    // rate matches the clock exactly.
     cycleCarry_ += dt * device_.power.clockHz;
-    std::uint64_t budget =
+    std::uint64_t planned =
         cycleCarry_ > 0 ? static_cast<std::uint64_t>(cycleCarry_) : 0;
+    cycleCarry_ -= static_cast<double>(planned);
 
-    // Crossing-safe energy bound: a budget capped here can never cross
-    // the V_off floor mid-run, which is what lets the machine's block
-    // backend execute whole superblocks between discharge batches.
+    // Crossing-safe energy bound: a discharge capped here can never
+    // cross the V_off floor mid-quantum, which is what lets the
+    // machine's block backend execute whole superblocks between
+    // discharge batches.
     std::uint64_t can_run = cap_.affordableCycles(epc_, energyAtVoff_);
-    std::uint64_t n = std::min(budget, can_run);
 
-    std::uint64_t consumed = 0;
-    if (n > 0) {
-        machine_.run(n, &consumed);
-        if (consumed > 0)
-            runtime_.noteExecutionSinceCheckpoint();
-        cap_.dischargeCycles(consumed, epc_);
-        runtime_.onProgress();
-        cycleCarry_ -= static_cast<double>(consumed);
-    }
-    cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
-                    harvester_.seriesResistance(now_), dt);
-    now_ += dt;
-
-    if (n < budget) {
-        // The buffer could not afford the whole quantum: V_CC crossed
+    if (planned > can_run) {
+        // The buffer cannot pay for the whole quantum: V_CC crosses
         // V_off mid-step and the brown-out detector resets the MCU (it
-        // cannot throttle through an undervoltage).
+        // cannot throttle through an undervoltage).  Let the core run
+        // what the remaining energy covers, settle the cycle ledger,
+        // and die.
+        std::int64_t b = static_cast<std::int64_t>(can_run) - debt_;
+        std::uint64_t consumed = 0;
+        if (b > 0) {
+            machine_.run(static_cast<std::uint64_t>(b), &consumed);
+            if (consumed > 0)
+                runtime_.noteExecutionSinceCheckpoint();
+            runtime_.onProgress();
+        }
+        std::int64_t owed = debt_ + static_cast<std::int64_t>(consumed);
+        cap_.dischargeCycles(
+            owed > 0 ? static_cast<std::uint64_t>(owed) : 0, epc_);
+        debt_ = 0;
+        cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
+                        harvester_.seriesResistance(now_), dt);
+        now_ += dt;
         hardDeath();
         return;
     }
+
+    std::int64_t b = static_cast<std::int64_t>(planned) - debt_;
+    std::uint64_t consumed = 0;
+    if (b > 0) {
+        machine_.run(static_cast<std::uint64_t>(b), &consumed);
+        if (consumed > 0)
+            runtime_.noteExecutionSinceCheckpoint();
+        runtime_.onProgress();
+    }
+    debt_ += static_cast<std::int64_t>(consumed) -
+             static_cast<std::int64_t>(planned);
+    cap_.dischargeCycles(planned, epc_);
+    cap_.chargeFrom(harvester_.openCircuitVoltage(now_),
+                    harvester_.seriesResistance(now_), dt);
+    now_ += dt;
 
     analog::MonitorEvent ev = observeMonitor();
     if (ev.backup) {
@@ -476,6 +539,154 @@ IntermittentSim::stepRunning()
     }
 }
 
+
+bool
+IntermittentSim::coalescedRun(int stride, double dt, double end)
+{
+    // ------------------------------------------------------------------
+    // Burst-length selection.  Start from the configured limit and
+    // halve until the harvester is *provably* constant over the horizon
+    // and no attack window can switch the tone on inside it.  The +1
+    // quantum of margin keeps the checks conservative against the
+    // burst's own floating-point time accumulation.
+    // ------------------------------------------------------------------
+    const double voc = harvester_.openCircuitVoltage(now_);
+    const double rs = harvester_.seriesResistance(now_);
+    int m = coalesceLimit_;
+    for (; m >= 2; m >>= 1) {
+        const double horizon = now_ + dt * static_cast<double>(m + 1);
+        if (!harvester_.constantOver(now_, dt * static_cast<double>(m + 1)))
+            continue;
+        if (schedule_ && emi_ && schedule_->overlapsRange(now_, horizon))
+            continue;
+        break;
+    }
+    if (m < 2)
+        return false;
+
+    // ------------------------------------------------------------------
+    // Trajectory proof.  With the source proven constant, the burst's
+    // evolution is fully determined; replay the exact per-quantum
+    // arithmetic (cycle carry → planned budget, quietStepEnergy) on
+    // local copies and check, quantum by quantum, that the slow path
+    // would (a) make the same stride choice — a coarse burst must stay
+    // outside the V_backup proximity margin, a fine burst must stay
+    // inside it, and (b) afford the whole clock budget — no brown-out.
+    // Exactness matters: a pessimistic march that ignores recharge
+    // rejects the charge/run duty cycles that dominate the figures.
+    // The end-of-quantum voltages feed the monitor proof; when that
+    // fails (a declining tail approaching the V_backup crossing), halve
+    // the burst — the shorter prefix spans a tighter voltage band.
+    // ------------------------------------------------------------------
+    const auto plan = cap_.planCharge(voc, rs, dt);
+    const double cf = cap_.capacitance();
+    const double maxV = cap_.maxVoltage();
+    const double eBackup = 0.5 * cf * vBackup_ * vBackup_;
+    // The proximity margin of the slow path's stride decision, always
+    // in coarse-quantum units (stepRunning's exact expression).
+    const double quantumE = monitor_->sampleIntervalS() *
+                            config_.quietStride * device_.power.clockHz *
+                            epc_;
+    const bool fineBurst = stride == 1;
+    int k = 0;
+    double vLo = 0.0;
+    double vHi = 0.0;
+    for (int mTry = m;;) {
+        k = 0;
+        double e = cap_.energy();
+        double carry = cycleCarry_;
+        while (k < mTry) {
+            // Stride re-check at the top of every quantum after the
+            // first (stepRunning decided it for the current one).
+            if (k > 0 && config_.quietStride > 1 &&
+                (e - eBackup < 4.0 * quantumE) != fineBurst)
+                break;
+            carry += dt * device_.power.clockHz;
+            const std::uint64_t planned =
+                carry > 0 ? static_cast<std::uint64_t>(carry) : 0;
+            carry -= static_cast<double>(planned);
+            const double avail = e - energyAtVoff_;
+            const std::uint64_t can =
+                avail > 0 ? static_cast<std::uint64_t>(avail / epc_) : 0;
+            if (planned > can)
+                break;  // this quantum browns out: the slow path must die
+            e = energy::Capacitor::quietStepEnergy(e, planned, epc_, plan,
+                                                   cf, maxV);
+            const double v = std::sqrt(2.0 * e / cf);
+            vLo = k == 0 ? v : std::min(vLo, v);
+            vHi = k == 0 ? v : std::max(vHi, v);
+            ++k;
+        }
+        if (k < 2)
+            return false;
+        // Monitor proof.  Every skipped observation samples an
+        // end-of-quantum voltage, all confined to [vLo, vHi] by the
+        // exact march above (EMI contributes exactly 0.0 with the
+        // source disabled).  quietRange certifies that no backup/wake
+        // edge can fire and no latch can move anywhere in that band —
+        // the skipped observations are pure no-ops.
+        if (monitor_->quietRange(vLo, vHi))
+            break;
+        if (mTry == 2)
+            return false;
+        mTry = std::max(2, k >> 1);
+    }
+    m = k;
+
+    // ------------------------------------------------------------------
+    // Commit: per-quantum energy/clock bookkeeping (bit-identical to
+    // the slow path under the proven-constant source), one fused
+    // machine run.  noteSource settles the outage latch exactly as the
+    // m skipped chargeFrom calls would.
+    // ------------------------------------------------------------------
+    cap_.noteSource(voc);
+    std::uint64_t fusedPlanned = 0;
+    int q = 0;
+    for (; q < m; ++q) {
+        if (q > 0 && now_ >= end)
+            break;
+        cycleCarry_ += dt * device_.power.clockHz;
+        std::uint64_t planned =
+            cycleCarry_ > 0 ? static_cast<std::uint64_t>(cycleCarry_) : 0;
+        cycleCarry_ -= static_cast<double>(planned);
+        fusedPlanned += planned;
+        cap_.quietStep(planned, epc_, plan);
+        now_ += dt;
+    }
+    if (emi_) {
+        // The skipped point observations would each have drawn one DCO
+        // jitter sample; keep the sequence aligned.
+        sampleSeq_ += static_cast<std::uint32_t>(q);
+    }
+    stats.quanta += static_cast<std::uint64_t>(q);
+    stats.coalescedQuanta += static_cast<std::uint64_t>(q);
+    ++stats.coalescedBursts;
+
+    // One fused run.  Sequential quanta stop the machine at cumulative
+    // instruction boundaries ≥ Σplanned − debt₀, which is exactly where
+    // a single budget of that size stops it; a halt or latched fault
+    // that exits early is topped up with burn-budget runs, as the
+    // skipped quanta would have done one by one.
+    std::int64_t b = static_cast<std::int64_t>(fusedPlanned) - debt_;
+    std::uint64_t consumedTotal = 0;
+    if (b > 0) {
+        const std::uint64_t target = static_cast<std::uint64_t>(b);
+        for (int i = 0; i < 4 && consumedTotal < target; ++i) {
+            std::uint64_t c = 0;
+            machine_.run(target - consumedTotal, &c);
+            consumedTotal += c;
+            if (c == 0)
+                break;
+        }
+        if (consumedTotal > 0)
+            runtime_.noteExecutionSinceCheckpoint();
+        runtime_.onProgress();
+    }
+    debt_ += static_cast<std::int64_t>(consumedTotal) -
+             static_cast<std::int64_t>(fusedPlanned);
+    return true;
+}
+
 void
 IntermittentSim::stepSleeping()
 {
@@ -489,9 +700,7 @@ IntermittentSim::stepSleeping()
         bool tone_later = false;
         if (schedule_ && emi_) {
             double horizon = t_wake >= 0 ? now_ + t_wake : now_ + 1.0;
-            for (const auto& w : schedule_->windows())
-                if (w.startS < horizon && w.endS > now_)
-                    tone_later = true;
+            tone_later = schedule_->overlapsRange(now_, horizon);
         }
         if (!tone_later && t_wake >= 0 &&
             harvester_.steadyOver(now_, t_wake) &&
@@ -543,9 +752,11 @@ IntermittentSim::stepSleeping()
 }
 
 void
-IntermittentSim::run(double simSeconds)
+IntermittentSim::runLoop(double end, std::uint64_t targetCompletions)
 {
-    double end = now_ + simSeconds;
+    const bool bounded = targetCompletions != kNoCompletionTarget;
+    if (bounded && machine_.stats.completions >= targetCompletions)
+        return;
     GECKO_TRACE_TIME(now_);
     // Initial power-up.
     if (nvm_.bootCount == 0 && cap_.voltage() >= vOn_ &&
@@ -555,24 +766,41 @@ IntermittentSim::run(double simSeconds)
                           stats.wakeSignals, 0);
         boot();
     }
+    // A finite completion target is polled on the historical 0.01 s
+    // cadence — inside this one loop, without the old driver's per-slice
+    // run() re-entry — so a bounded run settles up to one poll slice
+    // past the landing quantum, exactly as it always has (the fault
+    // campaign's post-completion evidence depends on that tail).
+    // Coalesced bursts are capped at the poll horizon, so the poll sees
+    // every completion a burst could have produced.
+    double pollEnd = bounded ? std::min(now_ + kCompletionPollS, end) : end;
     while (now_ < end) {
+        if (bounded && now_ >= pollEnd) {
+            if (machine_.stats.completions >= targetCompletions)
+                break;
+            pollEnd = std::min(now_ + kCompletionPollS, end);
+        }
         GECKO_TRACE_TIME(now_);
         updateAttack();
         if (state_ == State::kRunning)
-            stepRunning();
+            stepRunning(pollEnd, true);
         else
             stepSleeping();
     }
     stats.simTimeS = now_;
 }
 
+void
+IntermittentSim::run(double simSeconds)
+{
+    runLoop(now_ + simSeconds, kNoCompletionTarget);
+}
+
 bool
 IntermittentSim::runUntilCompletions(std::uint64_t target,
                                      double maxSimSeconds)
 {
-    double end = now_ + maxSimSeconds;
-    while (machine_.stats.completions < target && now_ < end)
-        run(std::min(0.01, end - now_));
+    runLoop(now_ + maxSimSeconds, target);
     return machine_.stats.completions >= target;
 }
 
@@ -639,6 +867,7 @@ IntermittentSim::archiveState(campaign::Archive& ar)
     ar.boolean(monitorFaultTraced_);
     ar.f64(now_);
     ar.f64(cycleCarry_);
+    ar.i64(debt_);
     ar.u64(cyclesAtBoot_);
     ar.u32(sampleSeq_);
 

@@ -76,6 +76,11 @@ struct SimConfig {
     /// the global GECKO_SEED (exp::applyGlobalSeed).  The default 0 with
     /// no global seed preserves the historical jitter sequence.
     std::uint64_t monitorSeed = 0;
+    /// Quantum-coalescing fast path (DESIGN.md §14): maximum number of
+    /// monitor-sample quanta fused into one machine run when the guard
+    /// proves the burst indistinguishable from per-quantum stepping.
+    /// -1 = resolve from GECKO_COALESCE (default 64); 0 or 1 = off.
+    int coalesceQuanta = -1;
     /// Bounded retry on a transiently failing checkpoint save (injected
     /// write fault): how many re-attempts before giving up.
     int jitSaveRetryLimit = 2;
@@ -107,6 +112,18 @@ struct SimStats {
     /// in that power cycle (EMI masked the backup window).
     std::uint64_t missedCheckpoints = 0;
     std::uint64_t bootCycles = 0;
+    // ------------------------------------------------------------------
+    // Pure diagnostics (never archived): quantum-loop telemetry for the
+    // bench drivers and the perf regression guard.  Excluded from
+    // snapshots on purpose so campaign aggregates stay bit-identical
+    // whether or not the coalescing fast path engaged.
+    // ------------------------------------------------------------------
+    /// Monitor-sample quanta simulated while running (slow + coalesced).
+    std::uint64_t quanta = 0;
+    /// Quanta absorbed by the coalescing fast path.
+    std::uint64_t coalescedQuanta = 0;
+    /// Number of coalesced bursts (each fuses ≥ 2 quanta).
+    std::uint64_t coalescedBursts = 0;
 };
 
 /** Harvester + capacitor + monitor + MCU + (optional) attacker. */
@@ -210,7 +227,20 @@ class IntermittentSim
     void updateAttack();
     double emiAt(double t);
     analog::MonitorEvent observeMonitor();
-    void stepRunning();
+    /// Shared driver behind run()/runUntilCompletions(): advance until
+    /// `end` or until the program completed `targetCompletions` times
+    /// (kNoCompletionTarget = unbounded).  The target is polled on the
+    /// historical 0.01 s cadence inside this one loop — no per-slice
+    /// run() re-entry — so bounded runs keep their settle tail.
+    void runLoop(double end, std::uint64_t targetCompletions);
+    void stepRunning(double end, bool allowCoalesce);
+    /// Quantum-coalescing fast path (DESIGN.md §14).  Called with the
+    /// cheap preconditions already established; proves a burst of up to
+    /// coalesceLimit_ quanta inert (steady source, no attack window, no
+    /// monitor edge reachable, no brown-out or V_backup approach) and
+    /// replays it with per-quantum energy bookkeeping but one fused
+    /// machine run.  @return true if it advanced the simulation.
+    bool coalescedRun(int stride, double dt, double end);
     void stepSleeping();
     void doJitCheckpoint();
     void hardDeath();
@@ -244,6 +274,13 @@ class IntermittentSim
     bool monitorFaultTraced_ = false;
     double now_ = 0.0;
     double cycleCarry_ = 0.0;
+    /// Cycle ledger: machine cycles executed minus cycles paid for
+    /// (discharged).  The capacitor is debited the *planned* clock
+    /// budget every quantum — making its trajectory independent of
+    /// where instruction boundaries land — while the machine's one-
+    /// instruction budget overshoot is carried here and netted off the
+    /// next quantum's budget.  Settled (paid down) on brown-out.
+    std::int64_t debt_ = 0;
     std::uint64_t cyclesAtBoot_ = 0;
     std::uint32_t sampleSeq_ = 0;
     double vOn_;
@@ -252,6 +289,9 @@ class IntermittentSim
     double energyAtVoff_;
     double epc_;  // energy per cycle
     double spc_;  // seconds per cycle
+    /// Resolved coalescing burst limit (config/GECKO_COALESCE); < 2
+    /// disables the fast path.
+    int coalesceLimit_ = 0;
 };
 
 /**

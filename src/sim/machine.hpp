@@ -237,6 +237,13 @@ class Machine
     std::vector<SuperBlock> blocks_;
     // Instruction index -> index into blocks_ (valid once built).
     std::vector<std::uint32_t> blockAt_;
+    // Flattened micro-op arena: every compiled block's stream lives in
+    // this one contiguous pool (SuperBlock::uopStart/uopCount slices).
+    // compileBlock stages into the scratch vector — the pool may
+    // reallocate on append, so slices are index-based and the executor
+    // reloads its base pointer after every compile.
+    std::vector<Uop> uopPool_;
+    std::vector<Uop> uopScratch_;
     bool blocksBuilt_ = false;
 
     std::array<std::uint32_t, 16> regs_{};

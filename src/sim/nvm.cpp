@@ -4,42 +4,6 @@
 
 namespace gecko::sim {
 
-namespace {
-
-/** Table for the reflected CRC-32 polynomial 0xEDB88320. */
-struct Crc32Table {
-    std::uint32_t entries[256];
-
-    constexpr Crc32Table() : entries{}
-    {
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            entries[i] = c;
-        }
-    }
-};
-
-constexpr Crc32Table kCrcTable;
-
-}  // namespace
-
-std::uint32_t
-crc32Words(const std::uint32_t* words, std::size_t n, std::uint32_t crc)
-{
-    // Zero init / no final xor: all-zero input hashes to 0, so a virgin
-    // NVM area validates against its zeroed check word (see header).
-    for (std::size_t i = 0; i < n; ++i) {
-        std::uint32_t w = words[i];
-        for (int b = 0; b < 4; ++b) {
-            crc = kCrcTable.entries[(crc ^ (w & 0xffu)) & 0xffu] ^
-                  (crc >> 8);
-            w >>= 8;
-        }
-    }
-    return crc;
-}
 
 void
 Nvm::archiveState(campaign::Archive& ar)

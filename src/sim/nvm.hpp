@@ -43,13 +43,47 @@ namespace gecko::sim {
 /** Number of architectural I/O ports. */
 inline constexpr int kIoPorts = 4;
 
+namespace detail {
+
+/** Table for the reflected CRC-32 polynomial 0xEDB88320. */
+struct Crc32Table {
+    std::uint32_t entries[256];
+
+    constexpr Crc32Table() : entries{}
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            entries[i] = c;
+        }
+    }
+};
+
+inline constexpr Crc32Table kCrcTable;
+
+}  // namespace detail
+
 /**
  * CRC-32 (reflected 0xEDB88320 polynomial) over a span of words, with
  * zero init and no final xor so that all-zero data yields 0 — a virgin
  * (zeroed) NVM image therefore validates against its zeroed CRC word.
+ * Inline: every compiler-checkpoint slot store (a hot micro-op in the
+ * region-dense workloads) computes a guarded-pair check word.
  */
-std::uint32_t crc32Words(const std::uint32_t* words, std::size_t n,
-                         std::uint32_t crc = 0);
+inline std::uint32_t
+crc32Words(const std::uint32_t* words, std::size_t n, std::uint32_t crc = 0)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t w = words[i];
+        for (int b = 0; b < 4; ++b) {
+            crc = detail::kCrcTable.entries[(crc ^ (w & 0xffu)) & 0xffu] ^
+                  (crc >> 8);
+            w >>= 8;
+        }
+    }
+    return crc;
+}
 
 /** CRC-32 of a single word (guarded-slot check word). */
 inline std::uint32_t

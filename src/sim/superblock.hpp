@@ -2,7 +2,6 @@
 #define GECKO_SIM_SUPERBLOCK_HPP_
 
 #include <cstdint>
-#include <vector>
 
 /**
  * @file
@@ -96,6 +95,24 @@ enum class UopKind : std::uint8_t {
      * per-instruction architectural state.
      */
     kAddRRLoad,
+    /**
+     * Second-level address-materialization fusions: the kMoviAddRR pair
+     * (one register carrying both the movi and the add, the common
+     * base-plus-index idiom) feeding an offset-0-style access.  Fields:
+     * rd = address register, rx = index source, imm = base, imm2 =
+     * access offset; kMoviAddLoad: rd2 = load dest; kMoviAddStore:
+     * rs2 = stored register.  Faultable like kAddRRLoad: aux and
+     * costPrefix are the access's, and the address register is written
+     * before the bounds check.
+     */
+    kMoviAddLoad,
+    kMoviAddStore,
+    /**
+     * Two adjacent checkpoint slot stores (region entries checkpoint
+     * every live register in one run): rs1/imm = first reg/slot,
+     * rd2/imm2 = second reg/slot.  Never faults.
+     */
+    kCkptCkpt,
     // ---- Terminators: always the last uop of a compiled block. ----
     // Conditional branches (order = ir::Opcode kBeq..kBgeu);
     // aux = taken-target pc, fall-through = block start + len.
@@ -157,6 +174,21 @@ enum class UopKind : std::uint8_t {
      */
     kLcgAccLoop,
     kCrcBitLoop,
+    /**
+     * kFirMacLoop: the FIR multiply-accumulate inner loop
+     * `i = (s - t) & m ; x = ring[i] ; y = taps[t] ; acc += x*y` under
+     * an addi/blt counted latch — the hot body of the I/O benchmark.
+     * Unlike the pure-ALU loop superinstructions it contains two loads,
+     * so each iteration bounds-checks both addresses; a failing check
+     * commits only the completed iterations and re-runs the faulting
+     * one through the per-instruction fallback, which faults at the
+     * exact instruction with exact architectural state.  Fields:
+     * rd = acc, rs1 = s (read-only sample index), rs2 = i, rd2 = t
+     * (loop counter), rx = bound (read-only), imm = ring base,
+     * aux = taps base, imm2 = addr-reg | x-reg<<8 | y-reg<<16 |
+     * mask<<24 (mask must fit 8 bits).
+     */
+    kFirMacLoop,
     kNumUopKinds_,
 };
 
@@ -184,15 +216,22 @@ struct Uop {
     std::uint8_t rx = 0;
 };
 
-/** One straight-line superblock of the predecoded program. */
+/**
+ * One straight-line superblock of the predecoded program.  Compiled
+ * micro-ops live in the machine's flattened arena (one contiguous pool
+ * for every block), addressed by the [uopStart, uopStart + uopCount)
+ * slice — block-to-block chaining walks a single allocation instead of
+ * hopping between per-block heap vectors.
+ */
 struct SuperBlock {
     std::uint32_t start = 0;      ///< first instruction index
     std::uint32_t len = 0;        ///< instructions covered (≥ 1)
     std::uint32_t cost = 0;       ///< total architectural cycles
     std::uint32_t execCount = 0;  ///< profile counter (pre-promotion)
-    bool compiled = false;        ///< uops valid
+    std::uint32_t uopStart = 0;   ///< first micro-op in the arena pool
+    std::uint32_t uopCount = 0;   ///< micro-ops in this block's slice
+    bool compiled = false;        ///< arena slice valid
     bool threaded = false;        ///< handler pointers patched
-    std::vector<Uop> uops;
 };
 
 /** Block entries observed before promotion to compiled micro-ops. */

@@ -115,5 +115,67 @@ TEST(PerfSmokeTest, BlockBackendKeepsPaceWithFastDispatch)
               << fast.bestWallS / block.bestWallS << "x)\n";
 }
 
+/**
+ * Quantum-coalescing regression guard (DESIGN.md §14): a quiet
+ * fig13-style slice — same device/cap/workload, attack tone absent —
+ * must (a) actually engage the coalescing fast path and (b) sustain a
+ * conservative simulated-cycles-per-wall-second floor.  The floor is
+ * ~20x below the rate a contended 1-core host reaches, so it only trips
+ * on a genuine collapse of the fast path (e.g. the guard chain
+ * rejecting every burst), not on CI noise.
+ */
+TEST(PerfSmokeTest, QuietSliceCoalescesAndHoldsThroughputFloor)
+{
+    static const compiler::CompiledProgram compiled = [] {
+        compiler::PipelineConfig pconfig;
+        pconfig.maxRegionCycles = 6000;
+        return compiler::compile(workloads::build("sensor_app"),
+                                 compiler::Scheme::kGecko, pconfig);
+    }();
+    const auto& dev = device::DeviceDb::msp430fr5994();
+
+    double bestWallS = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t quanta = 0;
+    std::uint64_t coalesced = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        sim::IoHub io;
+        workloads::setupIo("sensor_app", io);
+        energy::ConstantHarvester wave(3.3, 150.0);
+        sim::SimConfig config;
+        config.cap.capacitanceF = 1e-3;
+        config.coalesceQuanta = 64;
+
+        sim::IntermittentSim simulation(compiled, dev, config, wave, io);
+        simulation.machine().setExecBackend(sim::ExecBackend::kBlock);
+
+        auto t0 = std::chrono::steady_clock::now();
+        simulation.run(2.0);
+        auto t1 = std::chrono::steady_clock::now();
+        double wall = std::chrono::duration<double>(t1 - t0).count();
+        if (rep == 0 || wall < bestWallS)
+            bestWallS = wall;
+        cycles = simulation.machine().stats.cycles;
+        quanta = simulation.stats.quanta;
+        coalesced = simulation.stats.coalescedQuanta;
+    }
+
+    ASSERT_GT(cycles, 1'000'000u) << "slice too short to time";
+    EXPECT_GT(coalesced, 0u)
+        << "coalescing fast path never engaged on a quiet slice";
+    // Most quanta of a quiet steady-source run should coalesce.
+    EXPECT_GT(coalesced * 2, quanta)
+        << "fast path absorbed only " << coalesced << " of " << quanta
+        << " quanta";
+    const double simCyclesPerS = static_cast<double>(cycles) / bestWallS;
+    EXPECT_GE(simCyclesPerS, 5e7)
+        << "quiet-slice throughput collapsed: " << simCyclesPerS
+        << " sim cycles/s (" << cycles << " cycles in " << bestWallS
+        << "s)";
+    std::cout << "[perf_smoke] quiet slice: " << simCyclesPerS
+              << " sim cycles/s, " << coalesced << "/" << quanta
+              << " quanta coalesced\n";
+}
+
 }  // namespace
 }  // namespace gecko
