@@ -110,6 +110,9 @@ struct Telemetry {
     /// JSON report: "static" (paper default) or "adaptive" (a bench
     /// that arms the online controller sets this).
     std::string defenseMode = "static";
+    /// Raw per-figure JSON payload, copied verbatim into the report's
+    /// `figure_data` key (schema v6); "" = none.
+    std::string figureData;
     std::chrono::steady_clock::time_point processStart =
         std::chrono::steady_clock::now();
 };
@@ -259,6 +262,7 @@ writeBenchReport(const std::string& figure, const std::string& status = "")
     report.quanta = telemetry().quanta.load(std::memory_order_relaxed);
     report.coalescedQuanta =
         telemetry().coalescedQuanta.load(std::memory_order_relaxed);
+    report.figureData = telemetry().figureData;
     {
         std::lock_guard<std::mutex> lock(telemetry().mutex);
         report.sweeps = telemetry().sweeps;

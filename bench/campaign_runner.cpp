@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "campaign/engine.hpp"
 #include "campaign/manifest.hpp"
+#include "fault/spec.hpp"
 
 /**
  * @file
@@ -24,7 +25,13 @@
  * Usage: campaign_runner [--dir=PATH] [--fresh] [--quick] [--status]
  *                        [--workloads=a,b] [--schemes=a,b] [--seeds=N]
  *                        [--sim=S] [--slice=S] [--max-jobs=N]
- *                        [--threads=N] [--seed=N]
+ *                        [--threads=N] [--seed=N] [--spec=FILE]
+ *
+ * --spec=FILE loads a declarative scenario spec (src/fault/spec.hpp):
+ * its `engine` section sets devices/seeds/sim/slice, its `scenario`
+ * section replaces the default scenario list (clean is always kept as
+ * the baseline), and a spec `seed` overrides GECKO_SEED / --seed.
+ * Explicit flags after --spec still win over the spec's values.
  *
  * Exit status: 0 only when the campaign is complete (every job done or
  * quarantined), so `until campaign_runner ...; do :; done` is a valid
@@ -124,6 +131,8 @@ main(int argc, char** argv)
     int seedCount = 4;
     space.simSeconds = 0.02;
     space.sliceSimSeconds = 0.005;
+    fault::FaultSpec spec;
+    std::string specPath;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -150,6 +159,49 @@ main(int argc, char** argv)
         } else if (arg.rfind("--max-jobs=", 0) == 0) {
             config.maxJobsThisRun = std::strtoull(
                 arg.c_str() + 11, nullptr, 10);
+        } else if (arg.rfind("--spec=", 0) == 0) {
+            specPath = arg.substr(7);
+            std::string error;
+            if (!fault::loadSpecFile(specPath, &spec, &error)) {
+                std::cerr << error << "\n";
+                return 2;
+            }
+            // Engine section: job-space knobs (later flags still win).
+            if (!spec.devices.empty())
+                space.devices = spec.devices;
+            if (spec.seeds > 0)
+                seedCount = spec.seeds;
+            if (spec.simS > 0.0)
+                space.simSeconds = spec.simS;
+            if (spec.sliceS > 0.0)
+                space.sliceSimSeconds = spec.sliceS;
+            if (!spec.workloads.empty())
+                space.workloads = spec.workloads;
+            if (!spec.schemes.empty())
+                space.schemes = spec.schemes;
+            // Scenario section: the spec's scenario replaces the
+            // default attack list; clean stays as the baseline arm.
+            if (spec.hasScenario) {
+                campaign::Scenario sc;
+                sc.freqHz = spec.scenario.freqHz;
+                sc.powerDbm = spec.scenario.powerDbm;
+                sc.gridRows = spec.scenario.gridRows;
+                sc.gridCols = spec.scenario.gridCols;
+                sc.gridRow = spec.scenario.gridRow;
+                sc.gridCol = spec.scenario.gridCol;
+                sc.burstCount = spec.scenario.burstCount;
+                sc.burstOnS = spec.scenario.burstOnS;
+                sc.burstGapS = spec.scenario.burstGapS;
+                space.scenarios = {{campaign::ScenarioKind::kClean,
+                                    0.0, 0.0}};
+                if (spec.scenario.kind == "tone") {
+                    sc.kind = campaign::ScenarioKind::kTone;
+                    space.scenarios.push_back(sc);
+                } else if (spec.scenario.kind == "burst") {
+                    sc.kind = campaign::ScenarioKind::kBurst;
+                    space.scenarios.push_back(sc);
+                }
+            }
         } else if (arg.rfind("--threads=", 0) == 0 ||
                    arg.rfind("--seed=", 0) == 0 ||
                    arg.rfind("--trace=", 0) == 0) {
@@ -180,7 +232,11 @@ main(int argc, char** argv)
     std::filesystem::create_directories(dir, ec);
 
     config.dir = dir;
-    config.seed = exp::globalSeed() != 0 ? exp::globalSeed() : 1;
+    // Spec seed > GECKO_SEED / --seed > 1 (fault::resolveSeed).
+    config.seed = specPath.empty()
+                      ? (exp::globalSeed() != 0 ? exp::globalSeed() : 1)
+                      : fault::resolveSeed(spec);
+    config.specPath = specPath;
     config.stopRequested = [] { return bench::stopSignal().load() != 0; };
 
     campaign::EngineReport report;

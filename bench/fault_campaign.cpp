@@ -6,6 +6,7 @@
 #include "fault/campaign.hpp"
 #include "fault/corpus.hpp"
 #include "fault/injectors.hpp"
+#include "fault/spec.hpp"
 
 /**
  * Deterministic fault-injection campaign driver (see src/fault/).
@@ -19,6 +20,11 @@
  * Flags:
  *   --cases=N      grid size (default 5000)
  *   --seed=N       campaign seed (default GECKO_SEED, else 1)
+ *   --spec=FILE    declarative scenario spec (src/fault/spec.hpp): its
+ *                  `campaign` section overrides cases/workloads/schemes/
+ *                  injector mix/budgets.  Seed precedence: a `seed` in
+ *                  the spec file wins over GECKO_SEED / --seed; without
+ *                  one the ambient seed applies, falling back to 1.
  *   --watchdog=N   machine-level livelock budget in run-loop iterations
  *                  (default GECKO_WATCHDOG, else 400000)
  *   --threads=N    pool width (default GECKO_THREADS / host cores)
@@ -100,6 +106,7 @@ main(int argc, char** argv)
         config.seed = exp::globalSeed();
     std::string outDir;
     std::string replayPath;
+    std::string specPath;
     bool expectNvpCorruption = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -112,8 +119,22 @@ main(int argc, char** argv)
             outDir = arg.substr(6);
         else if (arg.rfind("--replay=", 0) == 0)
             replayPath = arg.substr(9);
+        else if (arg.rfind("--spec=", 0) == 0)
+            specPath = arg.substr(7);
         else if (arg == "--expect-nvp-corruption")
             expectNvpCorruption = true;
+    }
+    if (!specPath.empty()) {
+        fault::FaultSpec spec;
+        std::string error;
+        if (!fault::loadSpecFile(specPath, &spec, &error)) {
+            std::cerr << error << "\n";
+            return 1;
+        }
+        // Spec seed > GECKO_SEED / --seed > 1 (see resolveSeed).
+        fault::applyToCampaign(spec, &config);
+        std::cout << "# spec " << specPath << " (seed " << config.seed
+                  << ")\n";
     }
 
     if (!replayPath.empty())

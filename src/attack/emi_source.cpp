@@ -36,11 +36,23 @@ EmiSource::setEnabled(bool enabled)
         GECKO_TRACE_EVENT(trace::EventKind::kEmiOn, 0,
                           static_cast<std::uint64_t>(freqHz_),
                           traceMilliDbm(powerDbm_));
+        if (hasGridTag_) {
+            GECKO_TRACE_EVENT(trace::EventKind::kSpatialHit, 0, gridCell_,
+                              gridCouplingMilli_);
+        }
     } else {
         GECKO_TRACE_EVENT(trace::EventKind::kEmiOff, 0,
                           static_cast<std::uint64_t>(freqHz_),
                           traceMilliDbm(powerDbm_));
     }
+}
+
+void
+EmiSource::setGridTag(std::uint64_t cell, std::uint64_t couplingMilli)
+{
+    hasGridTag_ = true;
+    gridCell_ = cell;
+    gridCouplingMilli_ = couplingMilli;
 }
 
 void
@@ -70,6 +82,9 @@ EmiSource::archiveState(campaign::Archive& ar)
     ar.f64(powerDbm_);
     ar.f64(amplitude_);
     ar.boolean(enabled_);
+    ar.boolean(hasGridTag_);
+    ar.u64(gridCell_);
+    ar.u64(gridCouplingMilli_);
 }
 
 }  // namespace gecko::attack

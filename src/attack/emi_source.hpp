@@ -1,6 +1,8 @@
 #ifndef GECKO_ATTACK_EMI_SOURCE_HPP_
 #define GECKO_ATTACK_EMI_SOURCE_HPP_
 
+#include <cstdint>
+
 #include "attack/rigs.hpp"
 
 /**
@@ -44,6 +46,14 @@ class EmiSource
     void setEnabled(bool enabled);
     bool enabled() const { return enabled_; }
 
+    /**
+     * Tag the source with a spatial-grid position: every carrier-on
+     * edge then also emits a kSpatialHit event (a=cell, b=coupling in
+     * milli-units), so traces record *where* the injection coupled.
+     */
+    void setGridTag(std::uint64_t cell, std::uint64_t couplingMilli);
+    bool hasGridTag() const { return hasGridTag_; }
+
     double freqHz() const { return freqHz_; }
     double powerDbm() const { return powerDbm_; }
 
@@ -68,6 +78,9 @@ class EmiSource
     double amplitude_;
     double skewPpm_;
     bool enabled_ = true;
+    bool hasGridTag_ = false;
+    std::uint64_t gridCell_ = 0;
+    std::uint64_t gridCouplingMilli_ = 0;
 };
 
 }  // namespace gecko::attack

@@ -1,0 +1,116 @@
+#include "attack/spatial.hpp"
+
+#include <cmath>
+
+#include "analog/emi_coupling.hpp"
+#include "exp/rng.hpp"
+
+namespace gecko::attack {
+
+namespace {
+
+/** Worst-case positional falloff across the board diagonal (dB). */
+constexpr double kFalloffDb = 26.0;
+
+/** Per-cell routing jitter on top of the falloff (± dB). */
+constexpr double kJitterDb = 2.0;
+
+/** Broadband floor of the local resonance response. */
+constexpr double kResonanceFloor = 0.25;
+
+exp::Rng
+cellRng(std::uint64_t seed, int cell)
+{
+    return exp::Rng(
+        exp::mixSeed(seed, static_cast<std::uint64_t>(cell) + 1));
+}
+
+}  // namespace
+
+SpatialGrid::SpatialGrid(int rows, int cols, std::uint64_t seed)
+    : rows_(rows), cols_(cols), seed_(seed)
+{
+    // The hotspot (monitor front-end trace area) sits somewhere in the
+    // middle half of the board, picked once per grid seed.
+    exp::Rng rng(exp::mixSeed(seed, 0x407ull));
+    hotRow_ = 0.25 + 0.5 * rng.uniform();
+    hotCol_ = 0.25 + 0.5 * rng.uniform();
+}
+
+double
+SpatialGrid::couplingDb(int row, int col) const
+{
+    double y = (row + 0.5) / rows_;
+    double x = (col + 0.5) / cols_;
+    // Normalize by the board diagonal so kFalloffDb is the worst case
+    // regardless of aspect ratio.
+    double dist = std::hypot(y - hotRow_, x - hotCol_) / std::sqrt(2.0);
+    exp::Rng rng = cellRng(seed_, cellIndex(row, col));
+    double jitter = kJitterDb * (2.0 * rng.uniform() - 1.0);
+    double db = -kFalloffDb * dist + jitter;
+    return db < 0.0 ? db : 0.0;
+}
+
+double
+SpatialGrid::resonanceHz(int row, int col) const
+{
+    exp::Rng rng = cellRng(seed_, cellIndex(row, col));
+    rng.uniform();  // skip the jitter draw (shared per-cell stream)
+    // Local trace resonances live in the band the paper found
+    // exploitable: ~18-45 MHz.
+    return 18e6 + 27e6 * rng.uniform();
+}
+
+double
+SpatialGrid::resonanceQ(int row, int col) const
+{
+    exp::Rng rng = cellRng(seed_, cellIndex(row, col));
+    rng.uniform();
+    rng.uniform();
+    return 6.0 + 14.0 * rng.uniform();
+}
+
+double
+SpatialGrid::couplingScale(int row, int col, double freqHz) const
+{
+    analog::ResonantPeak peak;
+    peak.freqHz = resonanceHz(row, col);
+    peak.q = resonanceQ(row, col);
+    peak.gain = 1.0;
+    // Lorentzian response of the local trace on top of a broadband
+    // floor: at the cell's resonance the full positional coupling is
+    // available; off-resonance only the floor couples.
+    double detune = 2.0 * peak.q * (freqHz - peak.freqHz) / peak.freqHz;
+    double lorentz = peak.gain / (1.0 + detune * detune);
+    double response = kResonanceFloor + (1.0 - kResonanceFloor) * lorentz;
+    return analog::attenuationFromDb(-couplingDb(row, col)) * response;
+}
+
+GridRig::GridRig(const InjectionRig& base, const SpatialGrid& grid,
+                 int row, int col)
+    : base_(base), grid_(grid), row_(row), col_(col)
+{
+}
+
+double
+GridRig::amplitude(double freqHz, double powerDbm) const
+{
+    return base_.amplitude(freqHz, powerDbm) *
+           grid_.couplingScale(row_, col_, freqHz);
+}
+
+std::uint64_t
+GridRig::cell() const
+{
+    return static_cast<std::uint64_t>(grid_.cellIndex(row_, col_));
+}
+
+std::uint64_t
+GridRig::couplingMilli(double freqHz) const
+{
+    double scale = grid_.couplingScale(row_, col_, freqHz);
+    double milli = scale * 1000.0;
+    return milli > 0 ? static_cast<std::uint64_t>(std::llround(milli)) : 0;
+}
+
+}  // namespace gecko::attack

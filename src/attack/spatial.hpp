@@ -1,0 +1,102 @@
+#ifndef GECKO_ATTACK_SPATIAL_HPP_
+#define GECKO_ATTACK_SPATIAL_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/rigs.hpp"
+
+/**
+ * @file
+ * Spatial EMFI coupling: a 2D grid of injection positions over the
+ * victim board (EMMap-style near-field scan).
+ *
+ * The rig models (DPI points, remote antenna) treat the injection
+ * position as fixed; real EMFI probes couple very differently depending
+ * on where they sit over the die/board.  SpatialGrid models that as a
+ * per-cell amplitude factor composed of
+ *
+ *  - distance falloff from the board's coupling hotspot (the monitor
+ *    front end's trace area), and
+ *  - a per-cell local trace resonance (centre frequency + Q drawn
+ *    deterministically from the grid seed), so the susceptibility map
+ *    is frequency-dependent the way near-field scans are.
+ *
+ * Everything is a pure function of (rows, cols, seed, cell, freq):
+ * the same grid replays bit-identically in benches, campaign jobs and
+ * golden traces.
+ */
+
+namespace gecko::attack {
+
+/** Deterministic per-cell coupling map over the victim board. */
+class SpatialGrid
+{
+  public:
+    SpatialGrid(int rows, int cols, std::uint64_t seed = kDefaultSeed);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int cells() const { return rows_ * cols_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Flat cell index used as the trace payload (row-major). */
+    int cellIndex(int row, int col) const { return row * cols_ + col; }
+
+    /** Positional coupling gain in dB (≤ 0; falloff from the hotspot
+     *  plus per-cell routing jitter), frequency-independent part. */
+    double couplingDb(int row, int col) const;
+
+    /** Centre frequency (Hz) of the cell's local trace resonance. */
+    double resonanceHz(int row, int col) const;
+
+    /** Quality factor of the cell's local resonance. */
+    double resonanceQ(int row, int col) const;
+
+    /**
+     * Full amplitude factor of injecting a tone at `freqHz` from cell
+     * (row, col): positional attenuation times the local Lorentzian
+     * resonance response (floor + peak).
+     */
+    double couplingScale(int row, int col, double freqHz) const;
+
+    static constexpr std::uint64_t kDefaultSeed = 0x5ca77e12ull;
+
+  private:
+    int rows_;
+    int cols_;
+    std::uint64_t seed_;
+    /// Hotspot position in normalized board coordinates [0, 1]^2.
+    double hotRow_;
+    double hotCol_;
+};
+
+/**
+ * Injection rig decorator: the base rig's induced amplitude scaled by
+ * one grid cell's coupling factor.  Composes over DpiRig/RemoteRig so
+ * the existing propagation physics is reused unchanged.
+ */
+class GridRig : public InjectionRig
+{
+  public:
+    GridRig(const InjectionRig& base, const SpatialGrid& grid, int row,
+            int col);
+
+    double amplitude(double freqHz, double powerDbm) const override;
+
+    /** Flat cell index (the kSpatialHit trace payload `a`). */
+    std::uint64_t cell() const;
+
+    /** Coupling scale at `freqHz` in milli-units (trace payload `b`). */
+    std::uint64_t couplingMilli(double freqHz) const;
+
+  private:
+    const InjectionRig& base_;
+    const SpatialGrid& grid_;
+    int row_;
+    int col_;
+};
+
+}  // namespace gecko::attack
+
+#endif  // GECKO_ATTACK_SPATIAL_HPP_

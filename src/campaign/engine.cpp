@@ -16,6 +16,7 @@
 #include "attack/attack_schedule.hpp"
 #include "attack/emi_source.hpp"
 #include "attack/rigs.hpp"
+#include "attack/spatial.hpp"
 #include "campaign/archive.hpp"
 #include "campaign/manifest.hpp"
 #include "campaign/snapshot.hpp"
@@ -87,10 +88,22 @@ CampaignSpace::configHash() const
         h = fnv1a(h, std::string("s:") + compiler::schemeName(s) + ";");
     for (const auto& d : devices)
         h = fnv1a(h, "d:" + d + ";");
-    for (const auto& sc : scenarios)
+    for (const auto& sc : scenarios) {
         h = fnv1a(h, std::string("a:") + scenarioName(sc.kind) + "," +
                          numText(sc.freqHz) + "," + numText(sc.powerDbm) +
                          ";");
+        // New axes hash only when engaged, so pre-spatial journals keep
+        // their hashes and stay resumable.
+        if (sc.gridRows > 0)
+            h = fnv1a(h, "g:" + std::to_string(sc.gridRows) + "," +
+                             std::to_string(sc.gridCols) + "," +
+                             std::to_string(sc.gridRow) + "," +
+                             std::to_string(sc.gridCol) + ";");
+        if (sc.burstCount > 0)
+            h = fnv1a(h, "b:" + std::to_string(sc.burstCount) + "," +
+                             numText(sc.burstOnS) + "," +
+                             numText(sc.burstGapS) + ";");
+    }
     for (auto s : seeds)
         h = fnv1a(h, "r:" + std::to_string(s) + ";");
     h = fnv1a(h, "t:" + numText(simSeconds) + ";");
@@ -208,23 +221,43 @@ runJobOnce(const EngineConfig& config, const JobSpec& spec,
     energy::ConstantHarvester supply(3.3, 5.0);
     sim::IntermittentSim simulation(*compiled, dev, simCfg, supply, io);
 
-    // Attack rig lifetime must span the whole run.
-    attack::RemoteRig rig(dev, simCfg.monitorKind, 0.5);
-    attack::EmiSource source(rig, spec.scenario.freqHz,
-                             spec.scenario.powerDbm);
+    // Attack rig lifetime must span the whole run.  A spatial scenario
+    // decorates the base rig with its grid cell's coupling and tags the
+    // source so carrier-on edges trace the position (kSpatialHit).
+    attack::RemoteRig baseRig(dev, simCfg.monitorKind, 0.5);
+    const Scenario& sc = spec.scenario;
+    const bool spatial = sc.gridRows > 0;
+    attack::SpatialGrid grid(spatial ? sc.gridRows : 1,
+                             spatial ? sc.gridCols : 1);
+    attack::GridRig gridRig(baseRig, grid, spatial ? sc.gridRow : 0,
+                            spatial ? sc.gridCol : 0);
+    const attack::InjectionRig& rig =
+        spatial ? static_cast<const attack::InjectionRig&>(gridRig)
+                : baseRig;
+    attack::EmiSource source(rig, sc.freqHz, sc.powerDbm);
+    if (spatial)
+        source.setGridTag(gridRig.cell(), gridRig.couplingMilli(sc.freqHz));
     attack::AttackSchedule schedule{std::vector<attack::AttackWindow>{}};
-    if (spec.scenario.kind != ScenarioKind::kClean)
+    if (sc.kind != ScenarioKind::kClean)
         simulation.setEmiSource(&source);
-    if (spec.scenario.kind == ScenarioKind::kBurst) {
-        // Seed-derived tone windows (same flavour as the fuzz tier).
-        exp::Rng rng(exp::mixSeed(spec.seed, 0xb0057ull));
-        double t = 0.0005 * (1 + rng.pick(4));
-        int nWindows = 2 + static_cast<int>(rng.pick(3));
-        for (int w = 0; w < nWindows; ++w) {
-            double on = 0.001 * (1 + rng.pick(5));
-            schedule.add({t, t + on, spec.scenario.freqHz,
-                          spec.scenario.powerDbm});
-            t += on + 0.001 * (1 + rng.pick(4));
+    if (sc.kind == ScenarioKind::kBurst) {
+        if (sc.burstCount > 0) {
+            // Explicit spec-declared windows.
+            double t = sc.burstGapS > 0 ? sc.burstGapS : 0.001;
+            for (int w = 0; w < sc.burstCount; ++w) {
+                schedule.add({t, t + sc.burstOnS, sc.freqHz, sc.powerDbm});
+                t += sc.burstOnS + sc.burstGapS;
+            }
+        } else {
+            // Seed-derived tone windows (same flavour as the fuzz tier).
+            exp::Rng rng(exp::mixSeed(spec.seed, 0xb0057ull));
+            double t = 0.0005 * (1 + rng.pick(4));
+            int nWindows = 2 + static_cast<int>(rng.pick(3));
+            for (int w = 0; w < nWindows; ++w) {
+                double on = 0.001 * (1 + rng.pick(5));
+                schedule.add({t, t + on, sc.freqHz, sc.powerDbm});
+                t += on + 0.001 * (1 + rng.pick(4));
+            }
         }
         simulation.setAttackSchedule(&schedule);
     }
@@ -425,8 +458,11 @@ processJob(Shared& sh, std::uint64_t id)
                 sh.manifest->append(
                     {id, JobState::kFailed, attempt, 0, note});
                 if (exhausted) {
+                    std::string why = "attempts exhausted";
+                    if (!config.specPath.empty())
+                        why += "; spec=" + config.specPath;
                     sh.manifest->append({id, JobState::kQuarantined,
-                                         attempt, 0, "attempts exhausted"});
+                                         attempt, 0, why});
                     ++sh.quarantinedTotal;
                 }
             }

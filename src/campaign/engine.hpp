@@ -51,6 +51,20 @@ struct Scenario {
     ScenarioKind kind = ScenarioKind::kClean;
     double freqHz = 27e6;
     double powerDbm = 35.0;
+    /// Spatial injection position (attack::SpatialGrid): gridRows > 0
+    /// places the attacker at cell (gridRow, gridCol) of a rows x cols
+    /// map and scales the rig's coupling accordingly.  0 = the
+    /// historical position-free rig (and the historical configHash).
+    int gridRows = 0;
+    int gridCols = 0;
+    int gridRow = 0;
+    int gridCol = 0;
+    /// Explicit burst schedule: burstCount > 0 replaces the
+    /// seed-derived windows of kBurst with `burstCount` windows of
+    /// `burstOnS` seconds separated by `burstGapS` gaps.
+    int burstCount = 0;
+    double burstOnS = 0.0;
+    double burstGapS = 0.0;
 };
 
 /** The cartesian job space. */
@@ -99,6 +113,10 @@ struct EngineConfig {
     /// Campaign identity seed (recorded in the manifest header and
     /// mixed into job seeds).
     std::uint64_t seed = 1;
+    /// Path of the spec file this campaign was launched from ("" =
+    /// flag-driven).  Recorded in quarantine notes so a poisoned
+    /// spec-driven job names its spec in the manifest.
+    std::string specPath;
     /// Total attempts per job before quarantine.
     int maxAttempts = 3;
     /// Linear retry backoff unit (attempt n sleeps n * this).

@@ -231,6 +231,23 @@ runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget,
         spec.injector == InjectorKind::kMultiBitFlip
             ? 2 + static_cast<int>(rng.pick(2))
             : 1;
+    // Instruction-fault parameters (drawn after the shared prefix and
+    // gated on the kind, so every other kind's sequence is untouched).
+    // The glitch fires mid-interval — `instrDelta` cycles before the
+    // next failure event — because an EMFI pulse strong enough to
+    // corrupt a fetch lands while the victim is executing, not at the
+    // power-failure boundary itself.
+    std::uint64_t instrDelta = 0;
+    int instrBits = 1;
+    std::uint32_t wildTarget = 0;
+    if (isInstrFault(spec.injector)) {
+        instrDelta = 1 + rng.pick(static_cast<std::uint32_t>(
+                             std::min<std::uint64_t>(interval - 1, 512)));
+        if (spec.injector == InjectorKind::kOperandFlip)
+            instrBits = 1 + static_cast<int>(rng.pick(2));
+        wildTarget = rng.pick(static_cast<std::uint32_t>(
+            std::max<std::size_t>(1, gold.prog->prog.size())));
+    }
 
     Nvm nvm(kMemWords);
     IoHub io;
@@ -253,10 +270,19 @@ runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget,
     std::int64_t maxFailures = injectAt + 24;
     std::uint64_t watchdog = 0;
     const std::uint64_t cycleCap = gold.cycles * 64 + (1ull << 22);
+    // Instruction-fault arming: the fault fires at an absolute cycle
+    // between two failure events, and the same EMI window that glitched
+    // the fetch masks the *next* backup signal, so the checkpoint that
+    // would capture the corrupted state is skipped for every scheme.
+    bool instrArmed = false;
+    bool skipNextCkpt = false;
+    std::uint64_t instrFireAt = 0;
 
     while (!machine.halted()) {
-        std::uint64_t budget =
-            next_failure > executed ? next_failure - executed : 1;
+        std::uint64_t target = next_failure;
+        if (instrArmed && instrFireAt > executed && instrFireAt < target)
+            target = instrFireAt;
+        std::uint64_t budget = target > executed ? target - executed : 1;
         std::uint64_t consumed = 0;
         RunExit exit = machine.run(budget, &consumed);
         executed += consumed;
@@ -266,22 +292,58 @@ runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget,
         if (exit == RunExit::kHalted)
             break;
         if (exit == RunExit::kFaulted) {
-            res.outcome = CaseOutcome::kFaulted;
-            res.detail = "machine faulted (bad PC/address)";
-            break;
+            if (injected && isInstrFault(spec.injector)) {
+                // A glitched fetch trapped (bad PC/address): the MCU
+                // reboots through its normal recovery path — the trap
+                // is part of the fault's observable behaviour, not the
+                // end of the experiment.  Bounded by the watchdog.
+                machine.powerCycle();
+                runtime.onBoot();
+            } else {
+                res.outcome = CaseOutcome::kFaulted;
+                res.detail = "machine faulted (bad PC/address)";
+                break;
+            }
+        }
+        if (instrArmed && executed >= instrFireAt) {
+            // Applied at a run() boundary, so every execution backend
+            // sees the identical architectural mutation.
+            switch (spec.injector) {
+              case InjectorKind::kInstrSkip:
+                injectInstrSkip(machine);
+                break;
+              case InjectorKind::kOpcodeCorrupt:
+                injectOpcodeCorrupt(machine, wildTarget);
+                break;
+              case InjectorKind::kOperandFlip:
+                res.word = injectOperandFlip(machine, instrBits, rng,
+                                             spec.wordOverride);
+                break;
+              default:
+                break;
+            }
+            instrArmed = false;
+            injected = true;
+            skipNextCkpt = true;
         }
         if (executed >= next_failure) {
             if (failureIdx < maxFailures) {
-                bool isInject = !injected && failureIdx == injectAt;
+                bool isInject =
+                    !injected && !instrArmed && failureIdx == injectAt;
                 // The stale injectors (and slot-targeting flips) need a
                 // *hard* failure at the injection point: no fresh
                 // checkpoint, so the rollback/restore path actually
-                // reads the disturbed storage.
+                // reads the disturbed storage.  An applied instruction
+                // fault masks the next backup signal the same way
+                // (skipNextCkpt): the corrupted volatile state dies
+                // uncheckpointed, which is exactly what lets rollback
+                // schemes contain it.
                 bool skipCkpt =
-                    isInject &&
-                    (spec.injector == InjectorKind::kAckCorrupt ||
-                     spec.injector == InjectorKind::kStaleImage ||
-                     targetSlots);
+                    skipNextCkpt ||
+                    (isInject &&
+                     (spec.injector == InjectorKind::kAckCorrupt ||
+                      spec.injector == InjectorKind::kStaleImage ||
+                      targetSlots));
                 bool torn =
                     isInject && spec.injector == InjectorKind::kTornWrite;
 
@@ -320,7 +382,11 @@ runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget,
                         }
                     }
                 }
-                if (isInject) {
+                if (isInject && isInstrFault(spec.injector)) {
+                    instrArmed = true;
+                    instrFireAt = next_failure + interval - instrDelta;
+                    res.injectAt = failureIdx;
+                } else if (isInject) {
                     switch (spec.injector) {
                       case InjectorKind::kBitFlip:
                       case InjectorKind::kMultiBitFlip:
@@ -355,6 +421,7 @@ runMachineCase(const CaseSpec& spec, std::uint64_t watchdogBudget,
                 }
                 machine.powerCycle();
                 runtime.onBoot();
+                skipNextCkpt = false;
                 ++failureIdx;
             }
             next_failure += interval;
@@ -594,8 +661,9 @@ minimizeCase(const CaseResult& failing, std::uint64_t watchdogBudget)
 }
 
 /** Injector schedule: the five discrete NVM injectors three times, one
- *  sim-level injector after each block (sim cases are ~1/6 of the
- *  grid — they cost an order of magnitude more wall time each). */
+ *  sim-level injector after each block (sim cases are ~1/7 of the
+ *  grid — they cost an order of magnitude more wall time each), then
+ *  the three instruction-stream injectors (machine-level, cheap). */
 constexpr InjectorKind kSchedule[] = {
     InjectorKind::kBitFlip,      InjectorKind::kTornWrite,
     InjectorKind::kAckCorrupt,   InjectorKind::kStaleImage,
@@ -609,6 +677,8 @@ constexpr InjectorKind kSchedule[] = {
     InjectorKind::kBitFlip,      InjectorKind::kTornWrite,
     InjectorKind::kAckCorrupt,   InjectorKind::kStaleImage,
     InjectorKind::kMultiBitFlip, InjectorKind::kEmiBurst,
+    InjectorKind::kInstrSkip,    InjectorKind::kOpcodeCorrupt,
+    InjectorKind::kOperandFlip,
 };
 constexpr std::size_t kScheduleLen =
     sizeof(kSchedule) / sizeof(kSchedule[0]);
@@ -622,14 +692,22 @@ makeCampaignCases(const CampaignConfig& config)
     specs.reserve(static_cast<std::size_t>(config.cases));
     const std::size_t ns = config.schemes.size();
     const std::size_t nw = config.workloads.size();
+    // A spec-file injector mix replaces the built-in schedule; the
+    // default (empty mix) is byte-identical to the historical campaign.
+    const InjectorKind* schedule = kSchedule;
+    std::size_t scheduleLen = kScheduleLen;
+    if (!config.injectorMix.empty()) {
+        schedule = config.injectorMix.data();
+        scheduleLen = config.injectorMix.size();
+    }
     for (int i = 0; i < config.cases; ++i) {
         auto u = static_cast<std::size_t>(i);
         CaseSpec spec;
         spec.scheme = config.schemes[u % ns];
-        spec.injector = kSchedule[(u / ns) % kScheduleLen];
+        spec.injector = schedule[(u / ns) % scheduleLen];
         spec.workload = isSimLevel(spec.injector)
                             ? "sensor_loop"
-                            : config.workloads[(u / (ns * kScheduleLen)) % nw];
+                            : config.workloads[(u / (ns * scheduleLen)) % nw];
         spec.seed = exp::mixSeed(config.seed, static_cast<std::uint64_t>(i));
         specs.push_back(std::move(spec));
     }
@@ -710,13 +788,31 @@ runCampaign(const CampaignConfig& config)
         out.defenseEscalations += r.defenseEscalations;
         out.defenseRatchetTrips += r.defenseRatchetTrips;
         bool corrupt = isCorruption(r.outcome);
-        if (corrupt && (r.spec.scheme == Scheme::kGecko ||
-                        r.spec.scheme == Scheme::kGeckoNoPrune)) {
-            out.geckoClean = false;
-            ++out.geckoCorruptions;
+        bool gecko = r.spec.scheme == Scheme::kGecko ||
+                     r.spec.scheme == Scheme::kGeckoNoPrune;
+        if (isInstrFault(r.spec.injector)) {
+            // Instruction faults corrupt architectural state the
+            // storage-integrity guards cannot see — a distinct threat
+            // class, measured by containment *rate* rather than the
+            // geckoClean verdict (which keeps the paper's fault model).
+            if (gecko) {
+                ++out.instrGeckoCases;
+                if (corrupt)
+                    ++out.instrGeckoCorruptions;
+            }
+            if (r.spec.scheme == Scheme::kNvp) {
+                ++out.instrNvpCases;
+                if (corrupt)
+                    ++out.instrNvpCorruptions;
+            }
+        } else {
+            if (corrupt && gecko) {
+                out.geckoClean = false;
+                ++out.geckoCorruptions;
+            }
+            if (corrupt && r.spec.scheme == Scheme::kNvp)
+                ++out.nvpCorruptions;
         }
-        if (corrupt && r.spec.scheme == Scheme::kNvp)
-            ++out.nvpCorruptions;
         out.corruptedRestores += r.corruptedRestores;
         out.crcRejects += r.crcRejects;
         out.slotRepairs += r.slotRepairs;
@@ -782,6 +878,11 @@ runCampaign(const CampaignConfig& config)
     rep << "summary geckoCorruptions=" << out.geckoCorruptions
         << " nvpCorruptions=" << out.nvpCorruptions << " geckoClean="
         << (out.geckoClean ? "yes" : "no") << "\n";
+    if (out.instrGeckoCases + out.instrNvpCases > 0)
+        rep << "instr gecko=" << out.instrGeckoCorruptions << "/"
+            << out.instrGeckoCases << " nvp=" << out.instrNvpCorruptions
+            << "/" << out.instrNvpCases << " contained="
+            << (out.instrContained() ? "yes" : "no") << "\n";
     out.report = rep.str();
     return out;
 }

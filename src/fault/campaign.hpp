@@ -56,6 +56,10 @@ struct CampaignConfig {
     /// case is declared kLivelock.  0 = use GECKO_WATCHDOG from the
     /// environment, falling back to the historical 400000.
     std::uint64_t watchdogBudget = 0;
+    /// Spec-file injector mix: when non-empty, replaces the built-in
+    /// injector schedule in makeCampaignCases (cases cycle through this
+    /// list instead).  Empty = the historical default schedule.
+    std::vector<InjectorKind> injectorMix;
     /// Pool override for tests (null = the process-wide pool).
     exp::ThreadPool* pool = nullptr;
     /// Event-trace sink: when set, every case records into its own
@@ -93,10 +97,32 @@ struct CampaignResult {
     std::string corpus;
     /// counts[scheme][injector].
     std::vector<std::vector<GroupCounts>> counts;
-    /// No corruption outcome in any GECKO / GECKO-noprune case.
+    /// No corruption outcome in any GECKO / GECKO-noprune case under
+    /// the paper's storage/sensing fault model (instruction-stream
+    /// faults are a distinct threat class, tallied separately below).
     bool geckoClean = true;
     std::uint64_t geckoCorruptions = 0;
     std::uint64_t nvpCorruptions = 0;
+    /// Instruction-fault containment tallies: corruptions vs cases per
+    /// scheme class.  GECKO cannot *detect* a wrong architectural value
+    /// (no storage guard sees it), but the skipped-checkpoint death
+    /// after the glitch usually discards it — so containment is a rate,
+    /// not a verdict.
+    std::uint64_t instrGeckoCases = 0;
+    std::uint64_t instrGeckoCorruptions = 0;
+    std::uint64_t instrNvpCases = 0;
+    std::uint64_t instrNvpCorruptions = 0;
+    /// GECKO's instruction-fault corruption rate is no worse than
+    /// NVP's (vacuously true when either class ran no cases).
+    bool instrContained() const
+    {
+        if (instrGeckoCases == 0 || instrNvpCases == 0)
+            return true;
+        return static_cast<double>(instrGeckoCorruptions) *
+                   static_cast<double>(instrNvpCases) <=
+               static_cast<double>(instrNvpCorruptions) *
+                   static_cast<double>(instrGeckoCases);
+    }
     /// Aggregated defence counters across all cases.
     std::uint64_t corruptedRestores = 0;
     std::uint64_t crcRejects = 0;

@@ -56,9 +56,20 @@ enum class InjectorKind {
     /// the adaptive defense controller enabled: a detected-then-survived
     /// attack is a pass.
     kEmiBurst,
+    /// EMFI glitch skips one instruction fetch: the PC advances without
+    /// the instruction executing (Moro-style fault model).  The glitch
+    /// window also masks the next backup signal, so the checkpoint that
+    /// would capture the corrupted state is skipped for every scheme.
+    kInstrSkip,
+    /// EMFI glitch corrupts the fetched opcode; modelled as a wild
+    /// control transfer to a seeded in-range PC.
+    kOpcodeCorrupt,
+    /// EMFI glitch flips 1-2 bits of an in-flight operand: a seeded
+    /// architectural register is disturbed between instructions.
+    kOperandFlip,
 };
 
-inline constexpr int kInjectorKinds = 9;
+inline constexpr int kInjectorKinds = 12;
 
 const char* injectorName(InjectorKind kind);
 bool injectorFromName(const std::string& name, InjectorKind* out);
@@ -72,6 +83,18 @@ isSimLevel(InjectorKind kind)
            kind == InjectorKind::kMonitorOffset ||
            kind == InjectorKind::kBrownoutBurst ||
            kind == InjectorKind::kEmiBurst;
+}
+
+/** Instruction-stream faults corrupt *architectural* state the storage
+ *  integrity guards cannot see; they form a distinct threat class whose
+ *  containment is measured separately from the storage/sensing model
+ *  (they are excluded from the campaign's geckoClean verdict). */
+inline bool
+isInstrFault(InjectorKind kind)
+{
+    return kind == InjectorKind::kInstrSkip ||
+           kind == InjectorKind::kOpcodeCorrupt ||
+           kind == InjectorKind::kOperandFlip;
 }
 
 /** One campaign case, fully replayable from these fields. */

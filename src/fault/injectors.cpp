@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/machine.hpp"
 #include "trace/trace.hpp"
 
 namespace gecko::fault {
@@ -28,6 +29,12 @@ injectorName(InjectorKind kind)
         return "brownoutburst";
       case InjectorKind::kEmiBurst:
         return "emiburst";
+      case InjectorKind::kInstrSkip:
+        return "instrskip";
+      case InjectorKind::kOpcodeCorrupt:
+        return "opcodecorrupt";
+      case InjectorKind::kOperandFlip:
+        return "operandflip";
     }
     return "unknown";
 }
@@ -151,6 +158,41 @@ substituteStaleSlot(sim::Nvm& nvm, int reg, int slot,
     GECKO_TRACE_EVENT(
         trace::EventKind::kFaultInject, 0, trace::kSiteStaleSlot,
         static_cast<std::uint64_t>(reg * compiler::kMaxSlots + slot));
+}
+
+void
+injectInstrSkip(sim::Machine& machine)
+{
+    std::uint32_t pc = machine.pc();
+    GECKO_TRACE_EVENT(trace::EventKind::kInstrFault, 0,
+                      trace::kSiteInstrSkip,
+                      static_cast<std::uint64_t>(pc));
+    machine.setPc(pc + 1);
+}
+
+void
+injectOpcodeCorrupt(sim::Machine& machine, std::uint32_t targetPc)
+{
+    GECKO_TRACE_EVENT(trace::EventKind::kInstrFault, 0,
+                      trace::kSiteOpcodeCorrupt,
+                      static_cast<std::uint64_t>(targetPc));
+    machine.setPc(targetPc);
+}
+
+int
+injectOperandFlip(sim::Machine& machine, int nBits, exp::Rng& rng,
+                  std::int32_t regOverride)
+{
+    // Draw the register before any override check so the bit mask stays
+    // identical when a minimiser pins the register.
+    int derived = static_cast<int>(rng.pick(16));
+    int reg = regOverride >= 0 ? regOverride % 16 : derived;
+    auto r = static_cast<std::size_t>(reg);
+    machine.regs()[r] = flipBits(machine.regs()[r], nBits, rng);
+    GECKO_TRACE_EVENT(trace::EventKind::kInstrFault, 0,
+                      trace::kSiteOperandFlip,
+                      static_cast<std::uint64_t>(reg));
+    return reg;
 }
 
 BrownoutHarvester::BrownoutHarvester(const energy::Harvester& base,

@@ -18,6 +18,10 @@
  * case's full behaviour is a pure function of its CaseSpec.
  */
 
+namespace gecko::sim {
+class Machine;
+}
+
 namespace gecko::fault {
 
 /** Flip 1..3 bits inside one word. */
@@ -57,6 +61,25 @@ void substituteJitImage(
  */
 void substituteStaleSlot(sim::Nvm& nvm, int reg, int slot,
                          std::uint32_t staleValue);
+
+/**
+ * Skip the instruction the machine is about to fetch: the PC advances
+ * without the instruction executing (an EMFI glitch swallowed the
+ * fetch).  Applied between run() quanta so every execution backend sees
+ * the identical architectural mutation.
+ */
+void injectInstrSkip(sim::Machine& machine);
+
+/** Corrupted fetched opcode, modelled as a wild jump to `targetPc`. */
+void injectOpcodeCorrupt(sim::Machine& machine, std::uint32_t targetPc);
+
+/**
+ * Flip `nBits` bits of one seeded architectural register (an in-flight
+ * operand disturbed by the glitch).
+ * @return the register index hit.
+ */
+int injectOperandFlip(sim::Machine& machine, int nBits, exp::Rng& rng,
+                      std::int32_t regOverride = -1);
 
 /**
  * Harvester decorator: collapses the base source's open-circuit voltage

@@ -1,0 +1,728 @@
+#include "fault/spec.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "exp/rng.hpp"
+#include "fault/injectors.hpp"
+
+namespace gecko::fault {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal strict JSON reader.  Values keep the raw number text so
+// 64-bit seeds survive without a double round-trip.
+// ---------------------------------------------------------------------
+struct JsonValue {
+    enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+    Type type = kNull;
+    bool b = false;
+    double num = 0.0;
+    std::string raw;  ///< number lexeme as written
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> members;
+};
+
+class Parser
+{
+  public:
+    Parser(const std::string& text, std::string* error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parse(JsonValue* out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after the top-level value");
+        return true;
+    }
+
+  private:
+    bool fail(const std::string& what)
+    {
+        if (error_->empty()) {
+            std::size_t line = 1, col = 1;
+            for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+                if (text_[i] == '\n') {
+                    ++line;
+                    col = 1;
+                } else {
+                    ++col;
+                }
+            }
+            std::ostringstream os;
+            os << "spec: " << what << " (line " << line << ", column "
+               << col << ")";
+            *error_ = os.str();
+        }
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool literal(const char* word, JsonValue* out, JsonValue::Type type,
+                 bool b)
+    {
+        std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("invalid literal");
+        pos_ += n;
+        out->type = type;
+        out->b = b;
+        return true;
+    }
+
+    bool string(std::string* out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': out->push_back('"'); break;
+                  case '\\': out->push_back('\\'); break;
+                  case '/': out->push_back('/'); break;
+                  case 'n': out->push_back('\n'); break;
+                  case 't': out->push_back('\t'); break;
+                  default:
+                    return fail("unsupported escape sequence");
+                }
+            } else {
+                out->push_back(c);
+            }
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        ++pos_;  // closing quote
+        return true;
+    }
+
+    bool number(JsonValue* out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        out->raw = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        out->num = std::strtod(out->raw.c_str(), &end);
+        if (end != out->raw.c_str() + out->raw.size() || out->raw.empty())
+            return fail("malformed number");
+        out->type = JsonValue::kNumber;
+        return true;
+    }
+
+    bool value(JsonValue* out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out->type = JsonValue::kObject;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!string(&key))
+                    return false;
+                for (const auto& m : out->members)
+                    if (m.first == key)
+                        return fail("duplicate key \"" + key + "\"");
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':' after key \"" + key + "\"");
+                ++pos_;
+                JsonValue v;
+                if (!value(&v))
+                    return false;
+                out->members.emplace_back(key, std::move(v));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}' in object");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out->type = JsonValue::kArray;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                JsonValue v;
+                if (!value(&v))
+                    return false;
+                out->arr.push_back(std::move(v));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']' in array");
+            }
+        }
+        if (c == '"') {
+            out->type = JsonValue::kString;
+            return string(&out->str);
+        }
+        if (c == 't')
+            return literal("true", out, JsonValue::kBool, true);
+        if (c == 'f')
+            return literal("false", out, JsonValue::kBool, false);
+        if (c == 'n')
+            return literal("null", out, JsonValue::kNull, false);
+        return number(out);
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Strict mapping: every object member must be consumed by name.
+// ---------------------------------------------------------------------
+bool
+failAt(std::string* error, const std::string& path, const std::string& what)
+{
+    if (error->empty())
+        *error = "spec: " + what + " at " + path;
+    return false;
+}
+
+bool
+asInt(const JsonValue& v, const std::string& path, int lo, int hi,
+      int* out, std::string* error)
+{
+    if (v.type != JsonValue::kNumber ||
+        v.num != std::floor(v.num))
+        return failAt(error, path, "expected an integer");
+    if (v.num < lo || v.num > hi)
+        return failAt(error, path, "value out of range");
+    *out = static_cast<int>(v.num);
+    return true;
+}
+
+bool
+asU64(const JsonValue& v, const std::string& path, std::uint64_t* out,
+      std::string* error)
+{
+    if (v.type != JsonValue::kNumber ||
+        v.raw.find_first_of(".eE-") != std::string::npos)
+        return failAt(error, path, "expected an unsigned integer");
+    char* end = nullptr;
+    *out = std::strtoull(v.raw.c_str(), &end, 10);
+    if (end != v.raw.c_str() + v.raw.size())
+        return failAt(error, path, "expected an unsigned integer");
+    return true;
+}
+
+bool
+asDouble(const JsonValue& v, const std::string& path, double* out,
+         std::string* error)
+{
+    if (v.type != JsonValue::kNumber)
+        return failAt(error, path, "expected a number");
+    *out = v.num;
+    return true;
+}
+
+bool
+asString(const JsonValue& v, const std::string& path, std::string* out,
+         std::string* error)
+{
+    if (v.type != JsonValue::kString)
+        return failAt(error, path, "expected a string");
+    *out = v.str;
+    return true;
+}
+
+bool
+asStringList(const JsonValue& v, const std::string& path,
+             std::vector<std::string>* out, std::string* error)
+{
+    if (v.type != JsonValue::kArray || v.arr.empty())
+        return failAt(error, path, "expected a non-empty string array");
+    out->clear();
+    for (const JsonValue& e : v.arr) {
+        if (e.type != JsonValue::kString || e.str.empty())
+            return failAt(error, path,
+                          "expected a non-empty string array");
+        out->push_back(e.str);
+    }
+    return true;
+}
+
+bool
+schemeFromName(const std::string& name, compiler::Scheme* out)
+{
+    for (compiler::Scheme s :
+         {compiler::Scheme::kNvp, compiler::Scheme::kRatchet,
+          compiler::Scheme::kGeckoNoPrune, compiler::Scheme::kGecko}) {
+        if (name == compiler::schemeName(s)) {
+            *out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+mapGrid(const JsonValue& v, SpecScenario* sc, std::string* error)
+{
+    if (v.type != JsonValue::kObject)
+        return failAt(error, "$.scenario.grid", "expected an object");
+    for (const auto& [key, val] : v.members) {
+        std::string path = "$.scenario.grid." + key;
+        if (key == "rows") {
+            if (!asInt(val, path, 1, 4096, &sc->gridRows, error))
+                return false;
+        } else if (key == "cols") {
+            if (!asInt(val, path, 1, 4096, &sc->gridCols, error))
+                return false;
+        } else if (key == "row") {
+            if (!asInt(val, path, 0, 4095, &sc->gridRow, error))
+                return false;
+        } else if (key == "col") {
+            if (!asInt(val, path, 0, 4095, &sc->gridCol, error))
+                return false;
+        } else {
+            return failAt(error, path, "unknown field \"" + key + "\"");
+        }
+    }
+    if (sc->gridRows < 1 || sc->gridCols < 1)
+        return failAt(error, "$.scenario.grid",
+                      "rows and cols are required");
+    if (sc->gridRow >= sc->gridRows || sc->gridCol >= sc->gridCols)
+        return failAt(error, "$.scenario.grid",
+                      "cell (row, col) outside the grid");
+    return true;
+}
+
+bool
+mapBurst(const JsonValue& v, SpecScenario* sc, std::string* error)
+{
+    if (v.type != JsonValue::kObject)
+        return failAt(error, "$.scenario.burst", "expected an object");
+    for (const auto& [key, val] : v.members) {
+        std::string path = "$.scenario.burst." + key;
+        if (key == "count") {
+            if (!asInt(val, path, 1, 1000, &sc->burstCount, error))
+                return false;
+        } else if (key == "on_s") {
+            if (!asDouble(val, path, &sc->burstOnS, error))
+                return false;
+        } else if (key == "gap_s") {
+            if (!asDouble(val, path, &sc->burstGapS, error))
+                return false;
+        } else {
+            return failAt(error, path, "unknown field \"" + key + "\"");
+        }
+    }
+    if (sc->burstCount < 1 || sc->burstOnS <= 0.0 || sc->burstGapS < 0.0)
+        return failAt(error, "$.scenario.burst",
+                      "count >= 1 and on_s > 0 are required");
+    return true;
+}
+
+bool
+mapScenario(const JsonValue& v, FaultSpec* spec, std::string* error)
+{
+    if (v.type != JsonValue::kObject)
+        return failAt(error, "$.scenario", "expected an object");
+    SpecScenario& sc = spec->scenario;
+    bool hasGrid = false, hasBurst = false;
+    for (const auto& [key, val] : v.members) {
+        std::string path = "$.scenario." + key;
+        if (key == "kind") {
+            if (!asString(val, path, &sc.kind, error))
+                return false;
+            if (sc.kind != "clean" && sc.kind != "tone" &&
+                sc.kind != "burst")
+                return failAt(error, path,
+                              "kind must be clean, tone or burst");
+        } else if (key == "freq_hz") {
+            if (!asDouble(val, path, &sc.freqHz, error))
+                return false;
+            if (sc.freqHz <= 0.0)
+                return failAt(error, path, "value out of range");
+        } else if (key == "power_dbm") {
+            if (!asDouble(val, path, &sc.powerDbm, error))
+                return false;
+        } else if (key == "grid") {
+            hasGrid = true;
+            if (!mapGrid(val, &sc, error))
+                return false;
+        } else if (key == "burst") {
+            hasBurst = true;
+            if (!mapBurst(val, &sc, error))
+                return false;
+        } else {
+            return failAt(error, path, "unknown field \"" + key + "\"");
+        }
+    }
+    if (sc.kind == "clean" && (hasGrid || hasBurst))
+        return failAt(error, "$.scenario",
+                      "grid/burst require a tone or burst scenario");
+    if (hasBurst && sc.kind != "burst")
+        return failAt(error, "$.scenario",
+                      "burst schedule requires kind \"burst\"");
+    spec->hasScenario = true;
+    return true;
+}
+
+bool
+mapCampaign(const JsonValue& v, FaultSpec* spec, std::string* error)
+{
+    if (v.type != JsonValue::kObject)
+        return failAt(error, "$.campaign", "expected an object");
+    for (const auto& [key, val] : v.members) {
+        std::string path = "$.campaign." + key;
+        if (key == "cases") {
+            if (!asInt(val, path, 1, 100000000, &spec->cases, error))
+                return false;
+        } else if (key == "corpus_per_group") {
+            if (!asInt(val, path, 1, 100000, &spec->corpusPerGroup,
+                       error))
+                return false;
+        } else if (key == "workloads") {
+            if (!asStringList(val, path, &spec->workloads, error))
+                return false;
+        } else if (key == "schemes") {
+            std::vector<std::string> names;
+            if (!asStringList(val, path, &names, error))
+                return false;
+            spec->schemes.clear();
+            for (const std::string& n : names) {
+                compiler::Scheme s;
+                if (!schemeFromName(n, &s))
+                    return failAt(error, path,
+                                  "unknown scheme \"" + n + "\"");
+                spec->schemes.push_back(s);
+            }
+        } else if (key == "injectors") {
+            std::vector<std::string> names;
+            if (!asStringList(val, path, &names, error))
+                return false;
+            spec->injectors.clear();
+            for (const std::string& n : names) {
+                InjectorKind k;
+                if (!injectorFromName(n, &k))
+                    return failAt(error, path,
+                                  "unknown injector \"" + n + "\"");
+                spec->injectors.push_back(k);
+            }
+        } else if (key == "sim_budget_s") {
+            if (!asDouble(val, path, &spec->simBudgetS, error))
+                return false;
+            if (spec->simBudgetS <= 0.0)
+                return failAt(error, path, "value out of range");
+        } else if (key == "watchdog") {
+            if (!asU64(val, path, &spec->watchdog, error))
+                return false;
+        } else {
+            return failAt(error, path, "unknown field \"" + key + "\"");
+        }
+    }
+    spec->hasCampaign = true;
+    return true;
+}
+
+bool
+mapEngine(const JsonValue& v, FaultSpec* spec, std::string* error)
+{
+    if (v.type != JsonValue::kObject)
+        return failAt(error, "$.engine", "expected an object");
+    for (const auto& [key, val] : v.members) {
+        std::string path = "$.engine." + key;
+        if (key == "devices") {
+            if (!asStringList(val, path, &spec->devices, error))
+                return false;
+        } else if (key == "seeds") {
+            if (!asInt(val, path, 1, 100000, &spec->seeds, error))
+                return false;
+        } else if (key == "sim_s") {
+            if (!asDouble(val, path, &spec->simS, error))
+                return false;
+            if (spec->simS <= 0.0)
+                return failAt(error, path, "value out of range");
+        } else if (key == "slice_s") {
+            if (!asDouble(val, path, &spec->sliceS, error))
+                return false;
+            if (spec->sliceS < 0.0)
+                return failAt(error, path, "value out of range");
+        } else {
+            return failAt(error, path, "unknown field \"" + key + "\"");
+        }
+    }
+    spec->hasEngine = true;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Canonical serialization.
+// ---------------------------------------------------------------------
+
+/** Shortest decimal that round-trips through strtod. */
+std::string
+numText(double v)
+{
+    char buf[64];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+void
+emitStringList(std::ostringstream& os, const std::vector<std::string>& v)
+{
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+        os << (i ? ", " : "") << "\"" << v[i] << "\"";
+    os << "]";
+}
+
+}  // namespace
+
+bool
+parseSpec(const std::string& text, FaultSpec* out, std::string* error)
+{
+    std::string err;
+    *out = FaultSpec{};
+    JsonValue root;
+    Parser parser(text, &err);
+    if (!parser.parse(&root)) {
+        if (error)
+            *error = err;
+        return false;
+    }
+    auto failTop = [&](const std::string& what) {
+        if (error)
+            *error = err.empty() ? "spec: " + what : err;
+        return false;
+    };
+    if (root.type != JsonValue::kObject)
+        return failTop("top-level value must be an object");
+
+    bool sawVersion = false;
+    for (const auto& [key, val] : root.members) {
+        std::string path = "$." + key;
+        if (key == "version") {
+            sawVersion = true;
+            if (!asInt(val, path, 0, 1 << 20, &out->version, &err))
+                return failTop("");
+            if (out->version != 1) {
+                err = "spec: unsupported version " +
+                      std::to_string(out->version) +
+                      " (this build reads version 1)";
+                return failTop("");
+            }
+        } else if (key == "name") {
+            if (!asString(val, path, &out->name, &err))
+                return failTop("");
+        } else if (key == "seed") {
+            if (!asU64(val, path, &out->seed, &err))
+                return failTop("");
+            out->hasSeed = true;
+        } else if (key == "campaign") {
+            if (!mapCampaign(val, out, &err))
+                return failTop("");
+        } else if (key == "scenario") {
+            if (!mapScenario(val, out, &err))
+                return failTop("");
+        } else if (key == "engine") {
+            if (!mapEngine(val, out, &err))
+                return failTop("");
+        } else {
+            failAt(&err, path, "unknown field \"" + key + "\"");
+            return failTop("");
+        }
+    }
+    if (!sawVersion)
+        return failTop("missing required field \"version\"");
+    return true;
+}
+
+std::string
+serializeSpec(const FaultSpec& spec)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"version\": " << spec.version;
+    if (!spec.name.empty())
+        os << ",\n  \"name\": \"" << spec.name << "\"";
+    if (spec.hasSeed)
+        os << ",\n  \"seed\": " << spec.seed;
+    if (spec.hasCampaign) {
+        os << ",\n  \"campaign\": {";
+        bool first = true;
+        auto field = [&](const char* name) -> std::ostringstream& {
+            os << (first ? "\n    \"" : ",\n    \"") << name << "\": ";
+            first = false;
+            return os;
+        };
+        if (spec.cases > 0)
+            field("cases") << spec.cases;
+        if (spec.corpusPerGroup > 0)
+            field("corpus_per_group") << spec.corpusPerGroup;
+        if (!spec.workloads.empty())
+            emitStringList(field("workloads"), spec.workloads);
+        if (!spec.schemes.empty()) {
+            std::vector<std::string> names;
+            for (compiler::Scheme s : spec.schemes)
+                names.emplace_back(compiler::schemeName(s));
+            emitStringList(field("schemes"), names);
+        }
+        if (!spec.injectors.empty()) {
+            std::vector<std::string> names;
+            for (InjectorKind k : spec.injectors)
+                names.emplace_back(injectorName(k));
+            emitStringList(field("injectors"), names);
+        }
+        if (spec.simBudgetS > 0.0)
+            field("sim_budget_s") << numText(spec.simBudgetS);
+        if (spec.watchdog > 0)
+            field("watchdog") << spec.watchdog;
+        os << "\n  }";
+    }
+    if (spec.hasScenario) {
+        const SpecScenario& sc = spec.scenario;
+        os << ",\n  \"scenario\": {";
+        os << "\n    \"kind\": \"" << sc.kind << "\"";
+        if (sc.kind != "clean") {
+            os << ",\n    \"freq_hz\": " << numText(sc.freqHz);
+            os << ",\n    \"power_dbm\": " << numText(sc.powerDbm);
+            if (sc.gridRows > 0) {
+                os << ",\n    \"grid\": {\"rows\": " << sc.gridRows
+                   << ", \"cols\": " << sc.gridCols
+                   << ", \"row\": " << sc.gridRow
+                   << ", \"col\": " << sc.gridCol << "}";
+            }
+            if (sc.kind == "burst" && sc.burstCount > 0) {
+                os << ",\n    \"burst\": {\"count\": " << sc.burstCount
+                   << ", \"on_s\": " << numText(sc.burstOnS)
+                   << ", \"gap_s\": " << numText(sc.burstGapS) << "}";
+            }
+        }
+        os << "\n  }";
+    }
+    if (spec.hasEngine) {
+        os << ",\n  \"engine\": {";
+        bool first = true;
+        auto field = [&](const char* name) -> std::ostringstream& {
+            os << (first ? "\n    \"" : ",\n    \"") << name << "\": ";
+            first = false;
+            return os;
+        };
+        if (!spec.devices.empty())
+            emitStringList(field("devices"), spec.devices);
+        if (spec.seeds > 0)
+            field("seeds") << spec.seeds;
+        if (spec.simS > 0.0)
+            field("sim_s") << numText(spec.simS);
+        if (spec.sliceS > 0.0)
+            field("slice_s") << numText(spec.sliceS);
+        os << "\n  }";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+bool
+loadSpecFile(const std::string& path, FaultSpec* out, std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "spec: cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!parseSpec(buf.str(), out, error)) {
+        if (error && !error->empty())
+            *error += " [" + path + "]";
+        return false;
+    }
+    return true;
+}
+
+std::uint64_t
+resolveSeed(const FaultSpec& spec)
+{
+    if (spec.hasSeed)
+        return spec.seed;
+    std::uint64_t ambient = exp::globalSeed();
+    return ambient != 0 ? ambient : 1;
+}
+
+void
+applyToCampaign(const FaultSpec& spec, CampaignConfig* config)
+{
+    config->seed = resolveSeed(spec);
+    if (spec.cases > 0)
+        config->cases = spec.cases;
+    if (spec.corpusPerGroup > 0)
+        config->corpusPerGroup = spec.corpusPerGroup;
+    if (!spec.workloads.empty())
+        config->workloads = spec.workloads;
+    if (!spec.schemes.empty())
+        config->schemes = spec.schemes;
+    if (!spec.injectors.empty())
+        config->injectorMix = spec.injectors;
+    if (spec.simBudgetS > 0.0)
+        config->simTimeBudgetS = spec.simBudgetS;
+    if (spec.watchdog > 0)
+        config->watchdogBudget = spec.watchdog;
+}
+
+}  // namespace gecko::fault

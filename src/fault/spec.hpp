@@ -1,0 +1,119 @@
+#ifndef GECKO_FAULT_SPEC_HPP_
+#define GECKO_FAULT_SPEC_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
+
+/**
+ * @file
+ * Declarative fault-scenario specs (InjectV-style): campaigns are data,
+ * not code.
+ *
+ * A spec is a versioned JSON file describing one scenario — the EMI
+ * environment (tone/burst schedule, spatial grid location), the
+ * injector mix, the job space and the seed — consumed by both campaign
+ * drivers:
+ *
+ *  - `fault_campaign --spec=FILE` takes the `campaign` section
+ *    (workloads, schemes, injector mix, cases, budgets), and
+ *  - `campaign_runner --spec=FILE` takes the `engine` + `scenario`
+ *    sections (job space, tone/burst schedule, grid cell).
+ *
+ * Parsing is *strict*: unknown fields and unsupported versions are
+ * rejected with a field-path diagnostic, so a typo'd spec fails loudly
+ * instead of silently running the default campaign.  serializeSpec()
+ * emits a canonical form — parse → serialize → parse is byte-stable —
+ * which is what the round-trip property test locks down.
+ *
+ * Seed precedence (resolveSeed): a seed in the spec file overrides
+ * GECKO_SEED / --seed; without one the ambient seed applies, falling
+ * back to 1.  A spec names a reproducible experiment, so its seed must
+ * win over environment leftovers.
+ */
+
+namespace gecko::fault {
+
+/** The EMI environment of a spec ("scenario" section). */
+struct SpecScenario {
+    /// "clean", "tone" or "burst".
+    std::string kind = "clean";
+    double freqHz = 27e6;
+    double powerDbm = 35.0;
+    /// Spatial grid placement (gridRows > 0 enables it): the tone is
+    /// injected from cell (gridRow, gridCol) of a rows x cols map.
+    int gridRows = 0;
+    int gridCols = 0;
+    int gridRow = 0;
+    int gridCol = 0;
+    /// Explicit burst schedule (burstCount > 0 overrides the seeded
+    /// schedule of burst scenarios): `burstCount` windows of `burstOnS`
+    /// seconds separated by `burstGapS` gaps.
+    int burstCount = 0;
+    double burstOnS = 0.0;
+    double burstGapS = 0.0;
+};
+
+/** One parsed scenario-spec file (schema version 1). */
+struct FaultSpec {
+    int version = 1;
+    std::string name;
+    bool hasSeed = false;
+    std::uint64_t seed = 0;
+
+    // "campaign" section (fault_campaign).
+    bool hasCampaign = false;
+    int cases = 0;
+    int corpusPerGroup = 0;
+    std::vector<std::string> workloads;
+    std::vector<compiler::Scheme> schemes;
+    std::vector<InjectorKind> injectors;
+    double simBudgetS = 0.0;
+    std::uint64_t watchdog = 0;
+
+    // "scenario" section (EMI environment; campaign_runner jobs).
+    bool hasScenario = false;
+    SpecScenario scenario;
+
+    // "engine" section (campaign_runner job space).
+    bool hasEngine = false;
+    std::vector<std::string> devices;
+    int seeds = 0;
+    double simS = 0.0;
+    double sliceS = 0.0;
+};
+
+/**
+ * Parse a spec from JSON text.  Strict: unknown fields, bad types, out
+ * of range values and unsupported versions all fail with a diagnostic
+ * naming the offending field path.
+ */
+bool parseSpec(const std::string& text, FaultSpec* out,
+               std::string* error);
+
+/** Canonical serialization (parse -> serialize -> parse is byte-stable). */
+std::string serializeSpec(const FaultSpec& spec);
+
+/** Read and parse a spec file. */
+bool loadSpecFile(const std::string& path, FaultSpec* out,
+                  std::string* error);
+
+/**
+ * The seed a spec-driven run must use: the spec's own seed when it has
+ * one, else the ambient exp::globalSeed() (GECKO_SEED / --seed), else 1.
+ */
+std::uint64_t resolveSeed(const FaultSpec& spec);
+
+/**
+ * Apply the spec's campaign section (and resolved seed) onto a
+ * CampaignConfig.  Fields the spec leaves unset keep the config's
+ * current values.
+ */
+void applyToCampaign(const FaultSpec& spec, CampaignConfig* config);
+
+}  // namespace gecko::fault
+
+#endif  // GECKO_FAULT_SPEC_HPP_

@@ -75,6 +75,8 @@ BenchReport::toJson() const
        << ",\"retries_exhausted\":" << retriesExhausted;
     if (!traceOut.empty())
         os << ",\"trace_out\":\"" << jsonEscape(traceOut) << "\"";
+    if (!figureData.empty())
+        os << ",\"figure_data\":" << figureData;
     os << ",\"sweeps\":[";
     for (std::size_t i = 0; i < sweeps.size(); ++i) {
         const SweepRecord& s = sweeps[i];

@@ -55,11 +55,14 @@ struct SweepRecord {
  *    absorbed by the coalescing fast path — DESIGN.md §14 — and the
  *    quantum throughput) so coalescing effectiveness is recorded next
  *    to the cycle rate it improves.
+ *  - 6: added the optional `figure_data` object — raw per-figure
+ *    payload (e.g. the per-cell susceptibility map of fig_spatial_map)
+ *    emitted verbatim by the bench that produced it.
  * Readers must tolerate unknown keys so newer records keep
  * aggregating under older readers (the find-based extractors below
  * do this by construction).
  */
-inline constexpr int kBenchSchemaVersion = 5;
+inline constexpr int kBenchSchemaVersion = 6;
 
 /** Telemetry of one bench binary run. */
 struct BenchReport {
@@ -97,6 +100,9 @@ struct BenchReport {
     std::uint64_t retriesExhausted = 0;
     /// Path of the event-trace file written for this run ("" = none).
     std::string traceOut;
+    /// Raw per-figure JSON payload emitted verbatim as `figure_data`
+    /// (schema v6); "" = none.  The bench owns the sub-schema.
+    std::string figureData;
     std::vector<SweepRecord> sweeps;
 
     /** Speedup vs. the recorded serial baseline (0 = unknown). */

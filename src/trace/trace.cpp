@@ -43,7 +43,9 @@ eventName(EventKind kind)
         case EventKind::kOutageEnd: return "outage_end";
         case EventKind::kEmiOn: return "emi_on";
         case EventKind::kEmiOff: return "emi_off";
+        case EventKind::kSpatialHit: return "spatial_hit";
         case EventKind::kFaultInject: return "fault_inject";
+        case EventKind::kInstrFault: return "instr_fault";
         case EventKind::kDefenseAnomaly: return "defense_anomaly";
         case EventKind::kDefenseModeChange: return "defense_mode_change";
         case EventKind::kDefenseRatchetTrip: return "defense_ratchet_trip";

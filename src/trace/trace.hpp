@@ -92,9 +92,11 @@ enum class EventKind : std::uint16_t {
     // Attack (80..95)
     kEmiOn = 80,  ///< a=freqHz, b=power in milli-dBm (signed, offset)
     kEmiOff = 81,
+    kSpatialHit = 82,  ///< a=grid cell (row*cols+col), b=coupling milli-units
 
     // Fault injection (96..111)
     kFaultInject = 96,  ///< a=FaultSite, b=site-specific payload
+    kInstrFault = 97,   ///< a=FaultSite (instr family), b=payload (pc/reg)
 
     // Adaptive defense controller (112..)
     kDefenseAnomaly = 112,     ///< a=score milli-units, b=evidence bits
@@ -112,6 +114,10 @@ enum FaultSite : std::uint64_t {
     kSiteTornWrite = 5,
     kSiteJitWriteFault = 6,
     kSiteMonitorFault = 7,
+    // Instruction-stream faults (EventKind::kInstrFault payloads).
+    kSiteInstrSkip = 8,
+    kSiteOpcodeCorrupt = 9,
+    kSiteOperandFlip = 10,
 };
 
 // Event flag bits (shared namespace; kinds use disjoint subsets).

@@ -8,10 +8,15 @@
 # reports complete.  The two aggregate.json files must be byte-identical
 # and the stdout aggregate lines must match.
 #
-# Usage: campaign_kill_resume.sh /path/to/campaign_runner
+# Usage: campaign_kill_resume.sh /path/to/campaign_runner [spec.json]
+#
+# With a second argument, a spec-driven phase repeats the oracle for a
+# campaign configured entirely from that declarative spec file
+# (scenario grid/burst axes included).
 set -u
 
 RUNNER=${1:?usage: campaign_kill_resume.sh /path/to/campaign_runner}
+SPEC=${2:-}
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/gecko_killres.XXXXXX")
 trap 'rm -rf "$WORK"' EXIT
 
@@ -91,6 +96,50 @@ for be in step fast block; do
         exit 1
     fi
 done
+
+if [ -n "$SPEC" ]; then
+    echo "== spec-driven kill/resume ($SPEC)"
+    # The spec supplies the scenario axes (grid cell, burst schedule);
+    # the scale flags after --spec deliberately override its engine
+    # section so the kill window lands mid-campaign.
+    SARGS=(--threads=4 "--spec=$SPEC" --seeds=32 --sim=0.5 --slice=0.05)
+    "$RUNNER" "${SARGS[@]}" --fresh --dir="$WORK/spec_ref" \
+        >"$WORK/spec_ref.out" 2>"$WORK/spec.err"
+    rc=$?
+    if [ $rc -ne 0 ]; then
+        echo "FAIL: spec reference run exited $rc"
+        cat "$WORK/spec.err"
+        exit 1
+    fi
+    "$RUNNER" "${SARGS[@]}" --fresh --dir="$WORK/spec_cut" \
+        >/dev/null 2>>"$WORK/spec.err" &
+    VICTIM=$!
+    sleep 0.4
+    kill -9 "$VICTIM" 2>/dev/null && \
+        echo "   killed spec pid $VICTIM" || \
+        echo "   spec victim finished before the kill"
+    wait "$VICTIM" 2>/dev/null
+    tries=0
+    until "$RUNNER" "${SARGS[@]}" --dir="$WORK/spec_cut" \
+        >"$WORK/spec_cut.out" 2>>"$WORK/spec.err"; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 20 ]; then
+            echo "FAIL: spec campaign did not converge after $tries resumes"
+            tail -5 "$WORK/spec.err"
+            exit 1
+        fi
+    done
+    if ! cmp -s "$WORK/spec_ref/aggregate.json" \
+        "$WORK/spec_cut/aggregate.json"; then
+        echo "FAIL: spec-driven aggregate differs after kill/resume"
+        exit 1
+    fi
+    if ! cmp -s "$WORK/spec_ref.out" "$WORK/spec_cut.out"; then
+        echo "FAIL: spec-driven stdout aggregate lines differ"
+        exit 1
+    fi
+    echo "   spec-driven aggregate byte-identical"
+fi
 
 echo "PASS: resumed aggregate byte-identical to uninterrupted run"
 exit 0

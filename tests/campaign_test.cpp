@@ -27,6 +27,7 @@
 #include "exp/rng.hpp"
 #include "exp/thread_pool.hpp"
 #include "fault/injectors.hpp"
+#include "fault/spec.hpp"
 #include "metrics/bench_json.hpp"
 #include "sim/intermittent_sim.hpp"
 #include "trace/trace.hpp"
@@ -845,6 +846,113 @@ TEST(EngineTest, TornJournalTailsAreAbsorbedOnResume)
     EXPECT_EQ(resumed.tornManifestLines, 1u);
     EXPECT_EQ(resumed.tornResultLines, 1u);
     EXPECT_EQ(resumed.aggregateJson, expected.aggregateJson);
+}
+
+TEST(EngineTest, SpatialSpecScenarioInterruptResumesByteIdentical)
+{
+    // A grid-placed burst scenario built from a declarative spec — the
+    // exact wiring campaign_runner --spec uses — must satisfy the same
+    // interrupt/resume oracle as the flag-driven spaces.
+    const char* text = R"({
+      "version": 1,
+      "seed": 31,
+      "scenario": {
+        "kind": "burst",
+        "freq_hz": 27000000,
+        "power_dbm": 35,
+        "grid": {"rows": 6, "cols": 6, "row": 2, "col": 4},
+        "burst": {"count": 2, "on_s": 0.002, "gap_s": 0.001}
+      },
+      "engine": {"seeds": 2, "sim_s": 0.008, "slice_s": 0.002}
+    })";
+    fault::FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(fault::parseSpec(text, &spec, &error)) << error;
+
+    auto makeConfig = [&](const std::string& dir) {
+        campaign::EngineConfig config = engineConfig(dir);
+        config.seed = fault::resolveSeed(spec);
+        config.space.seeds = {1, 2};
+        config.space.simSeconds = spec.simS;
+        config.space.sliceSimSeconds = spec.sliceS;
+        campaign::Scenario sc;
+        sc.kind = campaign::ScenarioKind::kBurst;
+        sc.freqHz = spec.scenario.freqHz;
+        sc.powerDbm = spec.scenario.powerDbm;
+        sc.gridRows = spec.scenario.gridRows;
+        sc.gridCols = spec.scenario.gridCols;
+        sc.gridRow = spec.scenario.gridRow;
+        sc.gridCol = spec.scenario.gridCol;
+        sc.burstCount = spec.scenario.burstCount;
+        sc.burstOnS = spec.scenario.burstOnS;
+        sc.burstGapS = spec.scenario.burstGapS;
+        config.space.scenarios = {
+            {campaign::ScenarioKind::kClean, 0.0, 0.0}, sc};
+        return config;
+    };
+    EXPECT_EQ(fault::resolveSeed(spec), 31u);
+
+    TempDir ref("specref"), cut("speccut");
+    exp::ThreadPool pool(1);
+    auto expected = campaign::runCampaign(makeConfig(ref.str()), pool);
+    EXPECT_TRUE(expected.complete);
+    // The spatial axis must actually bite: attacked groups fall behind
+    // their clean baselines (the grid cell scales coupling, it never
+    // disables the attack outright at this power).
+    EXPECT_NE(expected.aggregateJson.find("/burst"), std::string::npos);
+
+    std::atomic<bool> armed{false};
+    std::atomic<int> checks{0};
+    auto config = makeConfig(cut.str());
+    config.beforeJob = [&](std::uint64_t job) {
+        if (job == 2)
+            armed.store(true);
+    };
+    config.stopRequested = [&] { return armed.load() && ++checks > 2; };
+    auto interrupted = campaign::runCampaign(config, pool);
+    EXPECT_FALSE(interrupted.complete);
+
+    auto resumed = campaign::runCampaign(makeConfig(cut.str()), pool);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.aggregateJson, expected.aggregateJson);
+}
+
+TEST(EngineTest, ScenarioGridAndBurstAxesChangeConfigHash)
+{
+    campaign::CampaignSpace space = smallSpace();
+    const std::uint64_t base = space.configHash();
+    campaign::CampaignSpace grid = smallSpace();
+    grid.scenarios[1].gridRows = 4;
+    grid.scenarios[1].gridCols = 4;
+    EXPECT_NE(grid.configHash(), base);
+    campaign::CampaignSpace cell = grid;
+    cell.scenarios[1].gridCol = 1;
+    EXPECT_NE(cell.configHash(), grid.configHash());
+    campaign::CampaignSpace burst = smallSpace();
+    burst.scenarios[1].burstCount = 2;
+    burst.scenarios[1].burstOnS = 0.001;
+    EXPECT_NE(burst.configHash(), base);
+}
+
+TEST(EngineTest, QuarantineNoteRecordsSpecPath)
+{
+    TempDir dir("specquar");
+    exp::ThreadPool pool(1);
+    auto config = engineConfig(dir.str());
+    config.space.workloads = {"__poison__"};
+    config.maxAttempts = 1;
+    config.specPath = "examples/emi_grid_spec.json";
+    auto report = campaign::runCampaign(config, pool);
+    EXPECT_TRUE(report.complete);
+    EXPECT_EQ(report.jobsQuarantined, report.jobsTotal);
+
+    std::ifstream in(dir.str() + "/manifest.jsonl", std::ios::binary);
+    std::string manifest((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(
+        manifest.find("attempts exhausted; spec=examples/emi_grid_spec.json"),
+        std::string::npos)
+        << manifest;
 }
 
 TEST(EngineTest, JobSpaceDecodeCoversEveryCombination)

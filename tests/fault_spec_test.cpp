@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "exp/rng.hpp"
+#include "fault/campaign.hpp"
+#include "fault/spec.hpp"
+
+/**
+ * @file
+ * Declarative scenario specs (src/fault/spec.hpp): strict parsing with
+ * field-path diagnostics, canonical round-trip stability, seed
+ * precedence, and the equivalence guarantee — a spec-driven campaign is
+ * byte-identical to the same campaign configured through flags.
+ */
+
+namespace gecko::fault {
+namespace {
+
+// The global seed latches at first use, so the ambient-precedence test
+// stages a known value before main() runs (static init order within
+// this TU is top-down and nothing earlier touches globalSeed()).
+const bool g_seedStaged = [] {
+    exp::setGlobalSeed(42);
+    return true;
+}();
+
+FaultSpec
+fullSpec()
+{
+    FaultSpec spec;
+    spec.name = "round-trip";
+    spec.hasSeed = true;
+    spec.seed = 0xdeadbeefcafef00dull;
+    spec.hasCampaign = true;
+    spec.cases = 48;
+    spec.corpusPerGroup = 2;
+    spec.workloads = {"crc16", "sensor_loop"};
+    spec.schemes = {compiler::Scheme::kNvp, compiler::Scheme::kGecko};
+    spec.injectors = {InjectorKind::kBitFlip, InjectorKind::kInstrSkip,
+                      InjectorKind::kOperandFlip};
+    spec.simBudgetS = 0.75;
+    spec.watchdog = 123456;
+    spec.hasScenario = true;
+    spec.scenario.kind = "burst";
+    spec.scenario.freqHz = 27e6;
+    spec.scenario.powerDbm = 35.0;
+    spec.scenario.gridRows = 8;
+    spec.scenario.gridCols = 8;
+    spec.scenario.gridRow = 3;
+    spec.scenario.gridCol = 5;
+    spec.scenario.burstCount = 3;
+    spec.scenario.burstOnS = 0.004;
+    spec.scenario.burstGapS = 0.003;
+    spec.hasEngine = true;
+    spec.devices = {"MSP430FR5994"};
+    spec.seeds = 2;
+    spec.simS = 0.02;
+    spec.sliceS = 0.005;
+    return spec;
+}
+
+TEST(SpecRoundTrip, SerializeParseSerializeIsByteStable)
+{
+    const std::string first = serializeSpec(fullSpec());
+    FaultSpec reparsed;
+    std::string error;
+    ASSERT_TRUE(parseSpec(first, &reparsed, &error)) << error;
+    const std::string second = serializeSpec(reparsed);
+    EXPECT_EQ(first, second);
+
+    // And a third generation for good measure: the canonical form is a
+    // fixed point, not merely a 2-cycle.
+    FaultSpec third;
+    ASSERT_TRUE(parseSpec(second, &third, &error)) << error;
+    EXPECT_EQ(second, serializeSpec(third));
+}
+
+TEST(SpecRoundTrip, EveryFieldSurvives)
+{
+    const FaultSpec spec = fullSpec();
+    FaultSpec out;
+    std::string error;
+    ASSERT_TRUE(parseSpec(serializeSpec(spec), &out, &error)) << error;
+    EXPECT_EQ(out.name, spec.name);
+    EXPECT_TRUE(out.hasSeed);
+    EXPECT_EQ(out.seed, spec.seed);
+    EXPECT_EQ(out.cases, spec.cases);
+    EXPECT_EQ(out.corpusPerGroup, spec.corpusPerGroup);
+    EXPECT_EQ(out.workloads, spec.workloads);
+    EXPECT_EQ(out.schemes, spec.schemes);
+    EXPECT_EQ(out.injectors, spec.injectors);
+    EXPECT_DOUBLE_EQ(out.simBudgetS, spec.simBudgetS);
+    EXPECT_EQ(out.watchdog, spec.watchdog);
+    EXPECT_EQ(out.scenario.kind, spec.scenario.kind);
+    EXPECT_DOUBLE_EQ(out.scenario.freqHz, spec.scenario.freqHz);
+    EXPECT_EQ(out.scenario.gridRows, spec.scenario.gridRows);
+    EXPECT_EQ(out.scenario.gridCol, spec.scenario.gridCol);
+    EXPECT_EQ(out.scenario.burstCount, spec.scenario.burstCount);
+    EXPECT_DOUBLE_EQ(out.scenario.burstOnS, spec.scenario.burstOnS);
+    EXPECT_EQ(out.devices, spec.devices);
+    EXPECT_EQ(out.seeds, spec.seeds);
+    EXPECT_DOUBLE_EQ(out.simS, spec.simS);
+    EXPECT_DOUBLE_EQ(out.sliceS, spec.sliceS);
+}
+
+TEST(SpecParse, UnknownFieldRejectedWithPath)
+{
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 1, "campaign": {"casez": 10}})", &spec, &error));
+    EXPECT_NE(error.find("$.campaign.casez"), std::string::npos) << error;
+
+    EXPECT_FALSE(parseSpec(R"({"version": 1, "bogus": true})", &spec,
+                           &error));
+    EXPECT_NE(error.find("$.bogus"), std::string::npos) << error;
+}
+
+TEST(SpecParse, UnsupportedVersionRejected)
+{
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(parseSpec(R"({"version": 2})", &spec, &error));
+    EXPECT_NE(error.find("version 2"), std::string::npos) << error;
+
+    EXPECT_FALSE(parseSpec(R"({"name": "no-version"})", &spec, &error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(SpecParse, MalformedJsonAndDuplicateKeysRejected)
+{
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(parseSpec(R"({"version": 1)", &spec, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseSpec(R"({"version": 1, "version": 1})", &spec,
+                           &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(SpecParse, BadNamesAndRangesRejected)
+{
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 1, "campaign": {"schemes": ["NOPE"]}})", &spec,
+        &error));
+    EXPECT_NE(error.find("NOPE"), std::string::npos) << error;
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 1, "campaign": {"injectors": ["zapper"]}})", &spec,
+        &error));
+    EXPECT_NE(error.find("zapper"), std::string::npos) << error;
+    // Cell outside the grid.
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 1, "scenario": {"kind": "tone",
+            "grid": {"rows": 4, "cols": 4, "row": 4, "col": 0}}})",
+        &spec, &error));
+    EXPECT_NE(error.find("grid"), std::string::npos) << error;
+    // Grid on a clean scenario is meaningless.
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 1, "scenario": {"kind": "clean",
+            "grid": {"rows": 2, "cols": 2, "row": 0, "col": 0}}})",
+        &spec, &error));
+    EXPECT_NE(error.find("scenario"), std::string::npos) << error;
+}
+
+TEST(SpecSeed, SpecSeedOverridesAmbientSeed)
+{
+    ASSERT_TRUE(g_seedStaged);
+    ASSERT_EQ(exp::globalSeed(), 42u);
+    FaultSpec spec;
+    spec.hasSeed = true;
+    spec.seed = 777;
+    EXPECT_EQ(resolveSeed(spec), 777u);
+}
+
+TEST(SpecSeed, AmbientSeedAppliesWhenSpecHasNone)
+{
+    ASSERT_EQ(exp::globalSeed(), 42u);
+    FaultSpec spec;
+    EXPECT_EQ(resolveSeed(spec), 42u);
+    // The fall-back-to-1 arm is covered by applyToCampaign keeping the
+    // deterministic default when nothing seeds the run; asserting it
+    // here would need a second process (globalSeed latches once).
+}
+
+TEST(SpecCampaign, SpecDrivenRunMatchesFlagDrivenRun)
+{
+    const char* text = R"({
+      "version": 1,
+      "seed": 11,
+      "campaign": {
+        "cases": 24,
+        "workloads": ["crc16"],
+        "schemes": ["NVP", "GECKO"],
+        "injectors": ["bitflip", "instrskip"],
+        "sim_budget_s": 0.5
+      }
+    })";
+    FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseSpec(text, &spec, &error)) << error;
+
+    CampaignConfig fromSpec;
+    applyToCampaign(spec, &fromSpec);
+
+    CampaignConfig byHand;
+    byHand.seed = 11;
+    byHand.cases = 24;
+    byHand.workloads = {"crc16"};
+    byHand.schemes = {compiler::Scheme::kNvp, compiler::Scheme::kGecko};
+    byHand.injectorMix = {InjectorKind::kBitFlip,
+                          InjectorKind::kInstrSkip};
+    byHand.simTimeBudgetS = 0.5;
+
+    CampaignResult a = runCampaign(fromSpec);
+    CampaignResult b = runCampaign(byHand);
+    EXPECT_EQ(a.report, b.report);
+    EXPECT_EQ(a.corpus, b.corpus);
+    EXPECT_EQ(a.cases.size(), b.cases.size());
+}
+
+}  // namespace
+}  // namespace gecko::fault

@@ -255,6 +255,36 @@ TEST(CampaignTest, NvpCorruptsAndGeckoSurvives)
     EXPECT_GT(result.corruptedRestores, 0u);
 }
 
+TEST(CampaignTest, InstructionFaultsAreContainedAndTalliedSeparately)
+{
+    // An instr-only mix over NVP vs GECKO: instruction-stream faults
+    // are a distinct threat class — they must never count against
+    // geckoClean (no storage guard can see a wrong architectural
+    // value), but GECKO's post-glitch checkpoint mask keeps its
+    // corruption *rate* at or below NVP's (instrContained()).
+    CampaignConfig config;
+    config.cases = 288;
+    config.seed = 7;
+    config.workloads = {"crc16", "sensor_loop"};
+    config.schemes = {Scheme::kNvp, Scheme::kGecko};
+    config.injectorMix = {InjectorKind::kInstrSkip,
+                          InjectorKind::kOpcodeCorrupt,
+                          InjectorKind::kOperandFlip};
+    exp::ThreadPool pool(3);
+    config.pool = &pool;
+    CampaignResult result = runCampaign(config);
+
+    EXPECT_TRUE(result.geckoClean);
+    EXPECT_EQ(result.geckoCorruptions, 0u);
+    EXPECT_EQ(result.nvpCorruptions, 0u);  // no storage-class cases ran
+    EXPECT_GT(result.instrGeckoCases, 0u);
+    EXPECT_GT(result.instrNvpCases, 0u);
+    EXPECT_GT(result.instrNvpCorruptions, 0u);
+    EXPECT_TRUE(result.instrContained());
+    // The report carries the per-class containment line.
+    EXPECT_NE(result.report.find("instr gecko="), std::string::npos);
+}
+
 TEST(CampaignTest, CorpusCasesReplayStandalone)
 {
     CampaignConfig config;

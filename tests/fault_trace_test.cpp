@@ -46,10 +46,13 @@ traceCase(const CaseSpec& spec, double budgetS)
 struct Evidence {
     InjectorKind injector;
     const char* workload;
-    /// Acceptable kFaultInject sites (`a` payload).
+    /// Acceptable injection sites (`a` payload of the inject event).
     std::vector<std::uint64_t> sites;
     /// Acceptable defense kinds observed after the injection.
     std::vector<EventKind> defenses;
+    /// Injection event carrying the site: kFaultInject for the storage
+    /// family, kInstrFault for the instruction-stream family.
+    EventKind injectKind = EventKind::kFaultInject;
 };
 
 const std::vector<Evidence>&
@@ -93,6 +96,22 @@ evidenceTable()
          {kSiteJitWriteFault},
          {EventKind::kJitSaveRetry, EventKind::kJitRetriesExhausted,
           EventKind::kJitDisabled}},
+        // Instruction-stream family: the glitch corrupts architectural
+        // state, so the defense is the post-glitch checkpoint mask —
+        // the poisoned interval never commits, and the next reboot
+        // restores a pre-glitch image or rolls back to region entry.
+        {IK::kInstrSkip, "crc16",
+         {trace::kSiteInstrSkip},
+         {EventKind::kJitRestore, EventKind::kRollback},
+         EventKind::kInstrFault},
+        {IK::kOpcodeCorrupt, "crc16",
+         {trace::kSiteOpcodeCorrupt},
+         {EventKind::kJitRestore, EventKind::kRollback},
+         EventKind::kInstrFault},
+        {IK::kOperandFlip, "sensor_loop",
+         {trace::kSiteOperandFlip},
+         {EventKind::kJitRestore, EventKind::kRollback},
+         EventKind::kInstrFault},
     };
     return table;
 }
@@ -107,8 +126,8 @@ hasOrderedEvidence(const std::vector<trace::Event>& events,
                    std::size_t* defenseIdx)
 {
     for (std::size_t i = 0; i < events.size(); ++i) {
-        if (events[i].kind != static_cast<std::uint16_t>(
-                                  EventKind::kFaultInject))
+        if (events[i].kind !=
+            static_cast<std::uint16_t>(want.injectKind))
             continue;
         bool siteOk = false;
         for (std::uint64_t site : want.sites)

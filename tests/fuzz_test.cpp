@@ -595,7 +595,8 @@ TEST(BackendFaultDifferentialTest, AllInjectorsAgreeAcrossTiers)
         InjectorKind::kTornWrite,    InjectorKind::kAckCorrupt,
         InjectorKind::kStaleImage,   InjectorKind::kMonitorStuck,
         InjectorKind::kMonitorOffset, InjectorKind::kBrownoutBurst,
-        InjectorKind::kEmiBurst,
+        InjectorKind::kEmiBurst,      InjectorKind::kInstrSkip,
+        InjectorKind::kOpcodeCorrupt, InjectorKind::kOperandFlip,
     };
     for (InjectorKind kind : kinds) {
         for (Scheme scheme : {Scheme::kNvp, Scheme::kGecko}) {

@@ -16,7 +16,7 @@ TEST(BenchJsonTest, ReportLeadsWithSchemaVersion)
     std::string json = report.toJson();
     // schema_version is the first key so even a truncated record
     // identifies its format.
-    EXPECT_EQ(json.rfind("{\"schema_version\":5,", 0), 0u) << json;
+    EXPECT_EQ(json.rfind("{\"schema_version\":6,", 0), 0u) << json;
     EXPECT_EQ(jsonNumber(json, "schema_version"),
               static_cast<double>(kBenchSchemaVersion));
     // Version-3/4 provenance keys are always present.
@@ -28,6 +28,12 @@ TEST(BenchJsonTest, ReportLeadsWithSchemaVersion)
     report.traceOut = "out/trace.jsonl";
     EXPECT_EQ(jsonString(report.toJson(), "trace_out"),
               "out/trace.jsonl");
+    // figure_data (v6) only appears when the bench supplied one, and
+    // is spliced in raw (it is already JSON).
+    EXPECT_EQ(json.find("figure_data"), std::string::npos);
+    report.figureData = "{\"cells\":[1,2]}";
+    EXPECT_NE(report.toJson().find("\"figure_data\":{\"cells\":[1,2]}"),
+              std::string::npos);
 }
 
 TEST(BenchJsonTest, ReadersTolerateUnknownKeys)

@@ -9,7 +9,10 @@
 #include "attack/attack_schedule.hpp"
 #include "attack/emi_source.hpp"
 #include "attack/rigs.hpp"
+#include "attack/spatial.hpp"
 #include "compiler/pipeline.hpp"
+#include "fault/campaign.hpp"
+#include "fault/injectors.hpp"
 #include "device/device_db.hpp"
 #include "energy/harvester.hpp"
 #include "exp/parallel.hpp"
@@ -129,7 +132,63 @@ traceScenario(const Scenario& sc, bool fastDispatch)
     return buffer;
 }
 
-/** Record the whole matrix into `collector` on `pool`. */
+/**
+ * The spatial arc: the attack victim irradiated from one cell of an
+ * 8x8 injection-point grid (DESIGN.md §15).  The tone rides through a
+ * GridRig, so the on-edge emits a kSpatialHit carrying the cell index
+ * and its coupling factor.
+ */
+void
+runSpatialArcScenario()
+{
+    const auto& dev = device::DeviceDb::msp430fr5994();
+    auto compiled =
+        compiler::compile(workloads::build("sensor_loop"), Scheme::kGecko);
+    sim::IoHub io;
+    workloads::setupIo("sensor_loop", io);
+
+    sim::SimConfig cfg;
+    cfg.jitRamWords = 4;
+    cfg.bootOverheadCycles = 1000;
+    cfg.cap.capacitanceF = 20e-6;
+    cfg.cap.initialV = 3.3;
+
+    energy::ConstantHarvester harvester(3.3, 5.0);
+    sim::IntermittentSim simulation(compiled, dev, cfg, harvester, io);
+
+    attack::RemoteRig base(dev, analog::MonitorKind::kAdc, 0.1);
+    attack::SpatialGrid grid(8, 8);
+    attack::GridRig rig(base, grid, 3, 5);
+    attack::EmiSource source(rig, 27e6, 35.0);
+    source.setGridTag(rig.cell(), rig.couplingMilli(27e6));
+    attack::AttackSchedule schedule(
+        {{0.005, 0.012, 27e6, 35.0}, {0.018, 0.025, 27e6, 35.0}});
+    simulation.setEmiSource(&source);
+    simulation.setAttackSchedule(&schedule);
+    simulation.run(0.03);
+}
+
+/**
+ * The instruction-fault arc: one campaign case whose glitch skips an
+ * instruction mid-interval (kInstrFault), followed by the post-glitch
+ * checkpoint mask and recovery.
+ */
+void
+runInstrFaultArcScenario()
+{
+    fault::CaseSpec spec;
+    spec.workload = "crc16";
+    spec.scheme = Scheme::kGecko;
+    spec.injector = fault::InjectorKind::kInstrSkip;
+    spec.seed = 0x9e3779b97f4a7c16ull;
+    fault::runCase(spec, 0.4);
+}
+
+/**
+ * Record the whole matrix into `collector` on `pool`, then the two
+ * serial fault arcs (spatial hit, instruction fault) that extend the
+ * golden with the PR's new event kinds.
+ */
 void
 traceMatrix(trace::Collector& collector, exp::ThreadPool& pool)
 {
@@ -141,6 +200,15 @@ traceMatrix(trace::Collector& collector, exp::ThreadPool& pool)
         runScenario(sc, true);
         return 0;
     });
+    {
+        trace::CaseScope scope(&collector, "spatial_arc", matrix.size());
+        runSpatialArcScenario();
+    }
+    {
+        trace::CaseScope scope(&collector, "instr_fault_arc",
+                               matrix.size() + 1);
+        runInstrFaultArcScenario();
+    }
 }
 
 std::vector<std::string>
@@ -242,7 +310,9 @@ TEST_F(TraceTest, EventNamesAndIdsAreStable)
     EXPECT_EQ(static_cast<int>(trace::EventKind::kJitRestore), 48);
     EXPECT_EQ(static_cast<int>(trace::EventKind::kThresholdCross), 64);
     EXPECT_EQ(static_cast<int>(trace::EventKind::kEmiOn), 80);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kSpatialHit), 82);
     EXPECT_EQ(static_cast<int>(trace::EventKind::kFaultInject), 96);
+    EXPECT_EQ(static_cast<int>(trace::EventKind::kInstrFault), 97);
     EXPECT_EQ(static_cast<int>(trace::EventKind::kDefenseAnomaly), 112);
     EXPECT_EQ(static_cast<int>(trace::EventKind::kDefenseModeChange), 113);
     EXPECT_EQ(static_cast<int>(trace::EventKind::kDefenseRatchetTrip),
@@ -253,6 +323,10 @@ TEST_F(TraceTest, EventNamesAndIdsAreStable)
                  "jit_save_torn");
     EXPECT_STREQ(trace::eventName(trace::EventKind::kFaultInject),
                  "fault_inject");
+    EXPECT_STREQ(trace::eventName(trace::EventKind::kSpatialHit),
+                 "spatial_hit");
+    EXPECT_STREQ(trace::eventName(trace::EventKind::kInstrFault),
+                 "instr_fault");
     EXPECT_STREQ(trace::eventName(trace::EventKind::kDefenseAnomaly),
                  "defense_anomaly");
     EXPECT_STREQ(trace::eventName(trace::EventKind::kDefenseModeChange),
@@ -345,7 +419,14 @@ TEST_F(TraceTest, GoldenTraceMatrix)
     ASSERT_GT(collector.totalEvents(), 0u);
     EXPECT_EQ(collector.totalDropped(), 0u)
         << "golden scenarios must fit the ring";
-    expectGoldenMatch("trace_matrix.jsonl", trace::toJsonl(collector));
+    const std::string jsonl = trace::toJsonl(collector);
+    // The two serial arcs must actually exercise their event kinds —
+    // a golden without them would silently lose the new coverage.
+    EXPECT_NE(jsonl.find("\"spatial_hit\""), std::string::npos)
+        << "spatial_arc emitted no kSpatialHit";
+    EXPECT_NE(jsonl.find("\"instr_fault\""), std::string::npos)
+        << "instr_fault_arc emitted no kInstrFault";
+    expectGoldenMatch("trace_matrix.jsonl", jsonl);
 }
 
 /**
