@@ -47,7 +47,7 @@ const std::vector<std::string> kFigures = {
     "fig15_capacitor",  "fig_spatial_map",  "table1_devices",
     "table2_comparison", "table3_ckpt_counts", "ablation_detection",
     "ablation_pruning", "ablation_wcet",    "extension_wearout",
-    "fault_campaign",   "campaign_runner"};
+    "fault_campaign",   "campaign_runner",  "fig_adversarial"};
 
 struct FigureResult {
     std::string figure;
@@ -338,6 +338,12 @@ main(int argc, char** argv)
                 " --spec='" GECKO_EXAMPLES_DIR "/emi_grid_spec.json'";
         if (fig == "campaign_runner") {
             extraArgs = " --fresh --dir='" + tmpDir + "/campaign_out'";
+            if (quick)
+                extraArgs += " --quick";
+        }
+        if (fig == "fig_adversarial") {
+            extraArgs =
+                " --fresh --dir='" + tmpDir + "/adversarial_out'";
             if (quick)
                 extraArgs += " --quick";
         }

@@ -9,7 +9,9 @@
 #include "bench_util.hpp"
 #include "campaign/engine.hpp"
 #include "campaign/manifest.hpp"
+#include "device/device_db.hpp"
 #include "fault/spec.hpp"
+#include "workloads/workloads.hpp"
 
 /**
  * @file
@@ -23,9 +25,18 @@
  * oracle in tests/campaign_kill_resume.sh enforces this).
  *
  * Usage: campaign_runner [--dir=PATH] [--fresh] [--quick] [--status]
- *                        [--workloads=a,b] [--schemes=a,b] [--seeds=N]
+ *                        [--workloads=a,b] [--schemes=a,b]
+ *                        [--devices=a,b] [--defenses=a,b] [--seeds=N]
  *                        [--sim=S] [--slice=S] [--max-jobs=N]
  *                        [--threads=N] [--seed=N] [--spec=FILE]
+ *
+ * The default job space is the full workload × device matrix: every
+ * workloads::build() benchmark on every Table-I board.  --quick (and
+ * the spec engine section) narrows it.  Changing the space changes its
+ * configHash, so a directory journaled under the old single-board
+ * default refuses to resume under the new one — that refusal is the
+ * identity guard working, not a bug; finish old dirs with the explicit
+ * flags that describe their space.
  *
  * --spec=FILE loads a declarative scenario spec (src/fault/spec.hpp):
  * its `engine` section sets devices/seeds/sim/slice, its `scenario`
@@ -123,11 +134,29 @@ main(int argc, char** argv)
 
     campaign::EngineConfig config;
     campaign::CampaignSpace& space = config.space;
-    space.workloads = {"sensor_loop", "crc16"};
+    // Full workload × device matrix by default (ROADMAP item 2): every
+    // buildable benchmark plus the app workloads, on every Table-I
+    // board.  Each job is cheap (tens of simulated milliseconds), so
+    // the full matrix stays interactive; --quick narrows it.
+    space.workloads = workloads::benchmarkNames();
+    space.workloads.push_back("sensor_loop");
+    space.workloads.push_back("sensor_app");
+    space.workloads.push_back("xtea");
+    space.devices.clear();
+    for (const device::DeviceProfile& d : device::DeviceDb::all())
+        space.devices.push_back(d.name);
     space.schemes = {compiler::Scheme::kNvp, compiler::Scheme::kGecko};
-    space.scenarios = {{campaign::ScenarioKind::kClean, 0.0, 0.0},
-                       {campaign::ScenarioKind::kTone, 27e6, 35.0},
-                       {campaign::ScenarioKind::kBurst, 27e6, 35.0}};
+    {
+        campaign::Scenario clean;
+        clean.kind = campaign::ScenarioKind::kClean;
+        clean.freqHz = 0.0;
+        clean.powerDbm = 0.0;
+        campaign::Scenario tone;
+        tone.kind = campaign::ScenarioKind::kTone;
+        campaign::Scenario burst;
+        burst.kind = campaign::ScenarioKind::kBurst;
+        space.scenarios = {clean, tone, burst};
+    }
     int seedCount = 4;
     space.simSeconds = 0.02;
     space.sliceSimSeconds = 0.005;
@@ -150,6 +179,10 @@ main(int argc, char** argv)
             space.schemes.clear();
             for (const std::string& name : splitList(arg.substr(10)))
                 space.schemes.push_back(schemeByName(name));
+        } else if (arg.rfind("--devices=", 0) == 0) {
+            space.devices = splitList(arg.substr(10));
+        } else if (arg.rfind("--defenses=", 0) == 0) {
+            space.defenses = splitList(arg.substr(11));
         } else if (arg.rfind("--seeds=", 0) == 0) {
             seedCount = std::max(1, std::atoi(arg.c_str() + 8));
         } else if (arg.rfind("--sim=", 0) == 0) {
@@ -192,8 +225,22 @@ main(int argc, char** argv)
                 sc.burstCount = spec.scenario.burstCount;
                 sc.burstOnS = spec.scenario.burstOnS;
                 sc.burstGapS = spec.scenario.burstGapS;
-                space.scenarios = {{campaign::ScenarioKind::kClean,
-                                    0.0, 0.0}};
+                // Schema v2 attack-schedule scripting.
+                sc.dutyPeriodS = spec.scenario.dutyPeriodS;
+                sc.dutyOnFrac = spec.scenario.dutyOnFrac;
+                sc.phaseS = spec.scenario.phaseS;
+                sc.envelopeDbm = spec.scenario.envelopeDbm;
+                sc.outagePeriodS = spec.scenario.outagePeriodS;
+                sc.outageOnFrac = spec.scenario.outageOnFrac;
+                campaign::Scenario clean;
+                clean.kind = campaign::ScenarioKind::kClean;
+                clean.freqHz = 0.0;
+                clean.powerDbm = 0.0;
+                // Outage is environment, not attack: the clean baseline
+                // arm shares it so the attack delta isolates the EMI.
+                clean.outagePeriodS = spec.scenario.outagePeriodS;
+                clean.outageOnFrac = spec.scenario.outageOnFrac;
+                space.scenarios = {clean};
                 if (spec.scenario.kind == "tone") {
                     sc.kind = campaign::ScenarioKind::kTone;
                     space.scenarios.push_back(sc);
@@ -213,6 +260,7 @@ main(int argc, char** argv)
     }
     if (quick) {
         space.workloads = {"sensor_loop"};
+        space.devices = {"MSP430FR5994"};
         space.scenarios.resize(2);  // clean + tone
         seedCount = 2;
         space.simSeconds = 0.01;

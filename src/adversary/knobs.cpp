@@ -1,0 +1,218 @@
+#include "adversary/knobs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace gecko::adversary {
+
+namespace {
+
+double
+clampD(double v, double lo, double hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+/** Shortest text that strtod()s back to exactly `v` (spec.cpp idiom). */
+std::string
+numText(double v)
+{
+    char buf[64];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+/** Find `"key":` and parse the number after it; false if absent. */
+bool
+numberAfterKey(const std::string& text, const char* key, double* out)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char* start = text.c_str() + pos + needle.size();
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start)
+        return false;
+    *out = v;
+    return true;
+}
+
+}  // namespace
+
+AttackKnobs
+clampKnobs(const AttackKnobs& k, const KnobBounds& b)
+{
+    AttackKnobs out = k;
+    out.freqHz = clampD(k.freqHz, b.freqMinHz, b.freqMaxHz);
+    out.powerDbm = clampD(k.powerDbm, b.powerMinDbm, b.powerMaxDbm);
+    out.dutyPeriodS =
+        clampD(k.dutyPeriodS, b.dutyPeriodMinS, b.dutyPeriodMaxS);
+    out.dutyOnFrac = clampD(k.dutyOnFrac, b.dutyOnFracMin, b.dutyOnFracMax);
+    out.phaseS = clampD(k.phaseS, b.phaseMinS, b.phaseMaxS);
+    out.envelopeStepDbm =
+        clampD(k.envelopeStepDbm, 0.0, b.envelopeStepMaxDbm);
+    out.gridCell = std::min(std::max(k.gridCell, 0), b.cells() - 1);
+    return out;
+}
+
+AttackKnobs
+randomKnobs(exp::Rng& rng, const KnobBounds& b)
+{
+    AttackKnobs k;
+    k.freqHz = b.freqMinHz + rng.uniform() * (b.freqMaxHz - b.freqMinHz);
+    k.powerDbm =
+        b.powerMinDbm + rng.uniform() * (b.powerMaxDbm - b.powerMinDbm);
+    k.dutyPeriodS = b.dutyPeriodMinS +
+                    rng.uniform() * (b.dutyPeriodMaxS - b.dutyPeriodMinS);
+    k.dutyOnFrac = b.dutyOnFracMin +
+                   rng.uniform() * (b.dutyOnFracMax - b.dutyOnFracMin);
+    k.phaseS = b.phaseMinS + rng.uniform() * (b.phaseMaxS - b.phaseMinS);
+    k.envelopeStepDbm = rng.uniform() * b.envelopeStepMaxDbm;
+    k.gridCell = static_cast<int>(rng.pick(
+        static_cast<std::uint32_t>(b.cells())));
+    return k;
+}
+
+AttackKnobs
+perturb(const AttackKnobs& k, const KnobBounds& b, int coord, int direction,
+        double stepScale)
+{
+    AttackKnobs out = k;
+    const double d = direction >= 0 ? 1.0 : -1.0;
+    switch (coord) {
+      case 0:
+        out.freqHz += d * stepScale * 0.5 * (b.freqMaxHz - b.freqMinHz);
+        break;
+      case 1:
+        out.powerDbm +=
+            d * stepScale * 0.5 * (b.powerMaxDbm - b.powerMinDbm);
+        break;
+      case 2:
+        out.dutyPeriodS +=
+            d * stepScale * 0.5 * (b.dutyPeriodMaxS - b.dutyPeriodMinS);
+        break;
+      case 3:
+        out.dutyOnFrac +=
+            d * stepScale * 0.5 * (b.dutyOnFracMax - b.dutyOnFracMin);
+        break;
+      case 4:
+        out.phaseS += d * stepScale * 0.5 * (b.phaseMaxS - b.phaseMinS);
+        break;
+      case 5:
+        out.envelopeStepDbm += d * stepScale * 0.5 * b.envelopeStepMaxDbm;
+        break;
+      case 6: {
+        // Discrete coordinate: step at least one cell.
+        const int cells = b.cells();
+        const int step = std::max(
+            1, static_cast<int>(stepScale * 0.5 * cells));
+        out.gridCell += direction >= 0 ? step : -step;
+        break;
+      }
+      default:
+        break;
+    }
+    return clampKnobs(out, b);
+}
+
+campaign::Scenario
+toScenario(const AttackKnobs& k, const KnobBounds& b,
+           const std::string& name, double outagePeriodS,
+           double outageOnFrac)
+{
+    campaign::Scenario sc;
+    sc.kind = campaign::ScenarioKind::kTone;
+    sc.name = name;
+    sc.freqHz = k.freqHz;
+    sc.powerDbm = k.powerDbm;
+    sc.gridRows = b.gridRows;
+    sc.gridCols = b.gridCols;
+    sc.gridRow = k.gridCell / b.gridCols;
+    sc.gridCol = k.gridCell % b.gridCols;
+    sc.dutyPeriodS = k.dutyPeriodS;
+    sc.dutyOnFrac = k.dutyOnFrac;
+    sc.phaseS = k.phaseS;
+    if (k.envelopeStepDbm > 0.01)
+        sc.envelopeDbm = {k.powerDbm, k.powerDbm - k.envelopeStepDbm};
+    sc.outagePeriodS = outagePeriodS;
+    sc.outageOnFrac = outageOnFrac;
+    return sc;
+}
+
+fault::FaultSpec
+toSpec(const AttackKnobs& k, const KnobBounds& b, const std::string& name,
+       std::uint64_t seed, const std::string& device, int seeds,
+       double simS, double sliceS, double outagePeriodS,
+       double outageOnFrac)
+{
+    fault::FaultSpec spec;
+    spec.version = 2;
+    spec.name = name;
+    spec.hasSeed = true;
+    spec.seed = seed;
+    spec.hasScenario = true;
+    spec.scenario.kind = "tone";
+    spec.scenario.freqHz = k.freqHz;
+    spec.scenario.powerDbm = k.powerDbm;
+    spec.scenario.gridRows = b.gridRows;
+    spec.scenario.gridCols = b.gridCols;
+    spec.scenario.gridRow = k.gridCell / b.gridCols;
+    spec.scenario.gridCol = k.gridCell % b.gridCols;
+    spec.scenario.dutyPeriodS = k.dutyPeriodS;
+    spec.scenario.dutyOnFrac = k.dutyOnFrac;
+    spec.scenario.phaseS = k.phaseS;
+    if (k.envelopeStepDbm > 0.01)
+        spec.scenario.envelopeDbm = {k.powerDbm,
+                                     k.powerDbm - k.envelopeStepDbm};
+    spec.scenario.outagePeriodS = outagePeriodS;
+    spec.scenario.outageOnFrac = outageOnFrac;
+    spec.hasEngine = true;
+    spec.devices = {device};
+    spec.seeds = seeds;
+    spec.simS = simS;
+    spec.sliceS = sliceS;
+    return spec;
+}
+
+std::string
+knobsJson(const AttackKnobs& k)
+{
+    std::ostringstream os;
+    os << "{\"freq_hz\":" << numText(k.freqHz)
+       << ",\"power_dbm\":" << numText(k.powerDbm)
+       << ",\"duty_period_s\":" << numText(k.dutyPeriodS)
+       << ",\"duty_on_frac\":" << numText(k.dutyOnFrac)
+       << ",\"phase_s\":" << numText(k.phaseS)
+       << ",\"envelope_step_dbm\":" << numText(k.envelopeStepDbm)
+       << ",\"grid_cell\":" << k.gridCell << "}";
+    return os.str();
+}
+
+bool
+knobsFromJson(const std::string& text, AttackKnobs* out)
+{
+    AttackKnobs k;
+    double cell = 0.0;
+    if (!numberAfterKey(text, "freq_hz", &k.freqHz) ||
+        !numberAfterKey(text, "power_dbm", &k.powerDbm) ||
+        !numberAfterKey(text, "duty_period_s", &k.dutyPeriodS) ||
+        !numberAfterKey(text, "duty_on_frac", &k.dutyOnFrac) ||
+        !numberAfterKey(text, "phase_s", &k.phaseS) ||
+        !numberAfterKey(text, "envelope_step_dbm", &k.envelopeStepDbm) ||
+        !numberAfterKey(text, "grid_cell", &cell))
+        return false;
+    k.gridCell = static_cast<int>(cell);
+    *out = k;
+    return true;
+}
+
+}  // namespace gecko::adversary

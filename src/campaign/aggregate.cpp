@@ -15,6 +15,9 @@ struct Field {
     const char* key;
     std::uint64_t JobResult::* result;
     std::uint64_t GroupTotals::* total;
+    /// Added after the first deployment: absent in old results.jsonl
+    /// lines, which parse as 0 instead of reading as torn records.
+    bool optional = false;
 };
 
 constexpr Field kFields[] = {
@@ -41,6 +44,7 @@ constexpr Field kFields[] = {
     {"escalations", &JobResult::escalations, &GroupTotals::escalations},
     {"de_escalations", &JobResult::deEscalations,
      &GroupTotals::deEscalations},
+    {"commits", &JobResult::commits, &GroupTotals::commits, true},
 };
 
 }  // namespace
@@ -69,8 +73,13 @@ JobResult::fromJsonl(const std::string& line)
     r.group = *group;
     for (const Field& f : kFields) {
         auto v = metrics::jsonNumber(line, f.key);
-        if (!v)
+        if (!v) {
+            if (f.optional) {
+                r.*f.result = 0;
+                continue;
+            }
             return std::nullopt;  // torn mid-record
+        }
         r.*f.result = static_cast<std::uint64_t>(*v);
     }
     return r;
@@ -104,7 +113,8 @@ Aggregator::toJson(std::uint64_t totalJobs, std::uint64_t configHash,
     std::ostringstream os;
     // config/seed quoted: full-u64 values survive the double-based
     // jsonNumber extractor (see manifest header rationale).
-    os << "{\"schema_version\":" << 4
+    // v5: per-group `commits` (committed-region progress counter).
+    os << "{\"schema_version\":" << 5
        << ",\"figure\":\"campaign\",\"jobs_total\":" << totalJobs
        << ",\"jobs_done\":" << jobCount_ << ",\"config\":\"" << configHash
        << "\",\"seed\":\"" << seed << "\",\"groups\":[";

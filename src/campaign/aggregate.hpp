@@ -54,6 +54,11 @@ struct JobResult {
     // --- defense (defense::DefenseStats; 0 when disabled) ---
     std::uint64_t escalations = 0;
     std::uint64_t deEscalations = 0;
+    // --- forward progress (sim::Nvm): committed region boundaries.
+    // Optional on the wire (absent in pre-adversarial results.jsonl
+    // lines, which parse as 0) — the denial-of-progress objective's
+    // numerator.
+    std::uint64_t commits = 0;
 
     std::string toJsonl() const;
 
@@ -81,6 +86,7 @@ struct GroupTotals {
     std::uint64_t retriesExhausted = 0;
     std::uint64_t escalations = 0;
     std::uint64_t deEscalations = 0;
+    std::uint64_t commits = 0;
 };
 
 /**

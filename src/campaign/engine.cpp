@@ -21,6 +21,7 @@
 #include "campaign/manifest.hpp"
 #include "campaign/snapshot.hpp"
 #include "compiler/compile_cache.hpp"
+#include "defense/defense.hpp"
 #include "device/device_db.hpp"
 #include "energy/harvester.hpp"
 #include "exp/rng.hpp"
@@ -49,6 +50,7 @@ CampaignSpace::jobCount() const
     n *= schemes.size();
     n *= devices.size();
     n *= scenarios.size();
+    n *= defenses.size();
     n *= seeds.size();
     return n;
 }
@@ -103,7 +105,28 @@ CampaignSpace::configHash() const
             h = fnv1a(h, "b:" + std::to_string(sc.burstCount) + "," +
                              numText(sc.burstOnS) + "," +
                              numText(sc.burstGapS) + ";");
+        if (!sc.name.empty())
+            h = fnv1a(h, "n:" + sc.name + ";");
+        if (sc.dutyPeriodS > 0)
+            h = fnv1a(h, "y:" + numText(sc.dutyPeriodS) + "," +
+                             numText(sc.dutyOnFrac) + ";");
+        if (sc.phaseS > 0)
+            h = fnv1a(h, "p:" + numText(sc.phaseS) + ";");
+        if (!sc.envelopeDbm.empty()) {
+            std::string env = "e:";
+            for (double dbm : sc.envelopeDbm)
+                env += numText(dbm) + ",";
+            h = fnv1a(h, env + ";");
+        }
+        if (sc.outagePeriodS > 0)
+            h = fnv1a(h, "o:" + numText(sc.outagePeriodS) + "," +
+                             numText(sc.outageOnFrac) + ";");
     }
+    // The defense axis hashes only when engaged (anything beyond the
+    // single historical "static" arm), like the scenario axes above.
+    if (defenses.size() != 1 || defenses[0] != "static")
+        for (const auto& d : defenses)
+            h = fnv1a(h, "f:" + d + ";");
     for (auto s : seeds)
         h = fnv1a(h, "r:" + std::to_string(s) + ";");
     h = fnv1a(h, "t:" + numText(simSeconds) + ";");
@@ -120,7 +143,14 @@ JobSpec::groupKey() const
     key += '/';
     key += compiler::schemeName(scheme);
     key += '/';
-    key += scenarioName(scenario.kind);
+    key += scenario.name.empty() ? scenarioName(scenario.kind)
+                                 : scenario.name.c_str();
+    // The historical single-arm "static" defense stays keyless so old
+    // aggregates keep their group names byte-for-byte.
+    if (defense != "static") {
+        key += '/';
+        key += defense;
+    }
     return key;
 }
 
@@ -136,6 +166,7 @@ jobAt(const CampaignSpace& space, std::uint64_t id)
         return v;
     };
     spec.seed = space.seeds[take(space.seeds.size())];
+    spec.defense = space.defenses[take(space.defenses.size())];
     spec.scenario = space.scenarios[take(space.scenarios.size())];
     spec.device = space.devices[take(space.devices.size())];
     spec.scheme = space.schemes[take(space.schemes.size())];
@@ -215,17 +246,29 @@ runJobOnce(const EngineConfig& config, const JobSpec& spec,
     simCfg.cap.capacitanceF = 20e-6;
     simCfg.cap.initialV = 3.3;
     simCfg.monitorSeed = exp::mixSeed(config.seed, spec.seed);
+    if (!defense::presetByName(spec.defense, &simCfg.defense))
+        throw std::runtime_error("campaign: unknown defense preset \"" +
+                                 spec.defense + "\"");
 
     sim::IoHub io;
     workloads::setupIo(spec.workload, io);
-    energy::ConstantHarvester supply(3.3, 5.0);
+    const Scenario& sc = spec.scenario;
+    // Environment: the historical constant supply, or a square-wave
+    // outage cycle when the scenario scripts one (so attacks can phase-
+    // lock their bursts to harvester outages).
+    energy::ConstantHarvester constantSupply(3.3, 5.0);
+    energy::SquareWaveHarvester outageSupply(
+        3.3, 5.0, sc.outagePeriodS * sc.outageOnFrac,
+        sc.outagePeriodS * (1.0 - sc.outageOnFrac));
+    energy::Harvester& supply =
+        sc.outagePeriodS > 0 ? static_cast<energy::Harvester&>(outageSupply)
+                             : constantSupply;
     sim::IntermittentSim simulation(*compiled, dev, simCfg, supply, io);
 
     // Attack rig lifetime must span the whole run.  A spatial scenario
     // decorates the base rig with its grid cell's coupling and tags the
     // source so carrier-on edges trace the position (kSpatialHit).
     attack::RemoteRig baseRig(dev, simCfg.monitorKind, 0.5);
-    const Scenario& sc = spec.scenario;
     const bool spatial = sc.gridRows > 0;
     attack::SpatialGrid grid(spatial ? sc.gridRows : 1,
                              spatial ? sc.gridCols : 1);
@@ -240,12 +283,33 @@ runJobOnce(const EngineConfig& config, const JobSpec& spec,
     attack::AttackSchedule schedule{std::vector<attack::AttackWindow>{}};
     if (sc.kind != ScenarioKind::kClean)
         simulation.setEmiSource(&source);
-    if (sc.kind == ScenarioKind::kBurst) {
+    // Per-window power: the piecewise amplitude envelope cycles over
+    // the attack windows; empty = flat powerDbm.
+    auto windowPower = [&sc](int w) {
+        return sc.envelopeDbm.empty()
+                   ? sc.powerDbm
+                   : sc.envelopeDbm[static_cast<std::size_t>(w) %
+                                    sc.envelopeDbm.size()];
+    };
+    if (sc.dutyPeriodS > 0 && sc.kind != ScenarioKind::kClean) {
+        // Duty-cycled carrier (v2 attack-schedule scripting): on for
+        // dutyOnFrac of every period, first window at phaseS.
+        const double onS = sc.dutyPeriodS * sc.dutyOnFrac;
+        int w = 0;
+        for (double t = sc.phaseS; t < config.space.simSeconds;
+             t += sc.dutyPeriodS, ++w)
+            schedule.add({t, t + onS, sc.freqHz, windowPower(w)});
+        simulation.setAttackSchedule(&schedule);
+    } else if (sc.kind == ScenarioKind::kBurst) {
         if (sc.burstCount > 0) {
-            // Explicit spec-declared windows.
-            double t = sc.burstGapS > 0 ? sc.burstGapS : 0.001;
+            // Explicit spec-declared windows; phaseS offsets the first
+            // (0 keeps the historical gap-led start).
+            double t = sc.phaseS > 0
+                           ? sc.phaseS
+                           : (sc.burstGapS > 0 ? sc.burstGapS : 0.001);
             for (int w = 0; w < sc.burstCount; ++w) {
-                schedule.add({t, t + sc.burstOnS, sc.freqHz, sc.powerDbm});
+                schedule.add({t, t + sc.burstOnS, sc.freqHz,
+                              windowPower(w)});
                 t += sc.burstOnS + sc.burstGapS;
             }
         } else {
@@ -333,6 +397,7 @@ runJobOnce(const EngineConfig& config, const JobSpec& spec,
         r.escalations = dc->stats().escalations;
         r.deEscalations = dc->stats().deEscalations;
     }
+    r.commits = simulation.nvm().commitCount;
     out.slicesDone = plan.count;
     if (!config.keepSnapshots)
         std::remove(snapPath.c_str());

@@ -51,6 +51,11 @@ struct Scenario {
     ScenarioKind kind = ScenarioKind::kClean;
     double freqHz = 27e6;
     double powerDbm = 35.0;
+    /// Optional stable label: a named scenario aggregates under (and
+    /// hashes as) its name instead of its kind, so many same-kind
+    /// variants (e.g. adversarial-search candidates) stay distinct
+    /// groups.  "" = historical kind-keyed behaviour.
+    std::string name;
     /// Spatial injection position (attack::SpatialGrid): gridRows > 0
     /// places the attacker at cell (gridRow, gridCol) of a rows x cols
     /// map and scales the rig's coupling accordingly.  0 = the
@@ -65,6 +70,24 @@ struct Scenario {
     int burstCount = 0;
     double burstOnS = 0.0;
     double burstGapS = 0.0;
+    // --- spec schema v2 attack-schedule scripting ---
+    /// Duty cycling (dutyPeriodS > 0 enables): the carrier is on for
+    /// `dutyOnFrac` of every `dutyPeriodS` period, expressed as an
+    /// explicit AttackSchedule over the whole job.  Applies to kTone
+    /// (windowed tone) and kBurst.
+    double dutyPeriodS = 0.0;
+    double dutyOnFrac = 0.0;
+    /// Offset of the first attack window (duty or explicit burst).
+    double phaseS = 0.0;
+    /// Piecewise amplitude envelope: per-window carrier power (dBm),
+    /// cycling over the windows.  Empty = flat powerDbm.
+    std::vector<double> envelopeDbm;
+    /// Harvester outage environment (outagePeriodS > 0 enables): the
+    /// supply is up for `outageOnFrac` of every period and collapses
+    /// for the rest (SquareWaveHarvester), so burst phase can lock to
+    /// harvester outages.  0 = the historical constant supply.
+    double outagePeriodS = 0.0;
+    double outageOnFrac = 0.0;
 };
 
 /** The cartesian job space. */
@@ -73,6 +96,13 @@ struct CampaignSpace {
     std::vector<compiler::Scheme> schemes;
     std::vector<std::string> devices = {"MSP430FR5994"};
     std::vector<Scenario> scenarios;
+    /// Defense-configuration axis (preset names resolved by
+    /// defense::presetByName): "static" = controller off (historical
+    /// behaviour), "adaptive" = controller defaults, "strict" =
+    /// tightened degraded-entry thresholds.  The default single
+    /// "static" entry hashes exactly like the pre-axis space, so old
+    /// journals stay resumable.
+    std::vector<std::string> defenses = {"static"};
     std::vector<std::uint64_t> seeds;
     /// Simulated seconds per job.
     double simSeconds = 0.05;
@@ -95,9 +125,11 @@ struct JobSpec {
     compiler::Scheme scheme = compiler::Scheme::kGecko;
     std::string device;
     Scenario scenario;
+    /// Defense preset name ("static" = controller off).
+    std::string defense = "static";
     std::uint64_t seed = 0;
 
-    /** Aggregation key: "workload/scheme/scenario/seed". */
+    /** Aggregation key: "workload/scheme/scenario[/defense]". */
     std::string groupKey() const;
 };
 

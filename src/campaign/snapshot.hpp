@@ -32,8 +32,10 @@
 
 namespace gecko::campaign {
 
-/** Snapshot wire-format version (bump on any layout change). */
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/** Snapshot wire-format version (bump on any layout change).
+ *  v3: defense controller gained relapse-hysteresis, redo-commit gate
+ *  and edge-skew reconciliation state. */
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /**
  * Serialize `sim` + `io` (+ the trace ring, when given) into a sealed

@@ -19,6 +19,33 @@ traceScore(double s)
 
 }  // namespace
 
+bool
+presetByName(const std::string& name, DefenseConfig* out)
+{
+    if (name == "static") {
+        *out = DefenseConfig{};
+        return true;
+    }
+    if (name == "adaptive") {
+        DefenseConfig config;
+        config.enabled = true;
+        *out = config;
+        return true;
+    }
+    if (name == "strict") {
+        DefenseConfig config;
+        config.enabled = true;
+        config.scoreSuspicious = 0.7;
+        config.scoreAttack = 1.8;
+        config.calmSamples = 96;
+        config.rollbackBudgetPerRegion = 2;
+        config.backoffCapCycles = 16384;
+        *out = config;
+        return true;
+    }
+    return false;
+}
+
 const char*
 modeName(Mode mode)
 {
@@ -71,8 +98,21 @@ DefenseController::setMode(double t, Mode next)
         ++stats_.escalations;
         if (stats_.firstEscalationT < 0)
             stats_.firstEscalationT = t;
+        // Relapse: escalating again soon after we calmed down.  Each
+        // one doubles the calm dwell (capped), so an attacker
+        // duty-cycled to just outlast the hysteresis loses the race —
+        // its off-time requirement grows geometrically while its
+        // disruption stays fixed.
+        if (prev == Mode::kNominal && config_.relapseWindowSamples > 0 &&
+            sinceDeescalation_ <
+                static_cast<std::uint64_t>(config_.relapseWindowSamples)) {
+            relapseLevel_ =
+                std::min(relapseLevel_ + 1, config_.relapseLevelCap);
+            ++stats_.relapses;
+        }
     } else {
         ++stats_.deEscalations;
+        sinceDeescalation_ = 0;
     }
     if (next == Mode::kDegraded)
         committedSinceDegrade_ = false;
@@ -120,18 +160,69 @@ DefenseController::addEvidence(double t, double weight,
         escalateTo(t, Mode::kSuspicious);
 }
 
+int
+DefenseController::trackEdge(PendingEdge& pending, bool primaryPulse,
+                             bool shadowPulse)
+{
+    if (primaryPulse && shadowPulse) {
+        // Simultaneous agreement; nothing pending can be forged skew.
+        pending = PendingEdge{};
+        return 0;
+    }
+    if (primaryPulse != shadowPulse) {
+        const int lead = primaryPulse ? 1 : -1;
+        if (pending.lead == -lead) {
+            // The other monitor confirmed the earlier pulse: benign
+            // sampling skew at a real crossing, not evidence.
+            ++stats_.edgeSkews;
+            pending = PendingEdge{};
+            return 0;
+        }
+        // Same-side repeat (sustained forged trough): the previous
+        // pulse is now unconfirmable — charge it and re-arm.
+        const int matured = pending.lead == lead ? 1 : 0;
+        pending.lead = lead;
+        pending.age = 0;
+        return matured;
+    }
+    // Quiet sample: age the window; an unmatched pulse matures into a
+    // disagreement charge once the skew grace is exhausted.
+    if (pending.lead != 0 && ++pending.age > config_.edgeSkewSamples) {
+        pending = PendingEdge{};
+        return 1;
+    }
+    return 0;
+}
+
+int
+DefenseController::calmDwell() const
+{
+    const int shift = std::min(relapseLevel_, config_.relapseLevelCap);
+    const long long dwell =
+        static_cast<long long>(config_.calmSamples) << std::min(shift, 20);
+    return static_cast<int>(std::min<long long>(dwell, 1 << 20));
+}
+
 void
 DefenseController::decayAndMaybeDeescalate(double t)
 {
     score_ = std::max(0.0, score_ * (1.0 - config_.decayPerSample));
     if (score_ < config_.scoreClear)
         aboveSuspicion_ = false;
-    if (mode_ == Mode::kNominal || score_ > config_.scoreClear) {
-        if (score_ > config_.scoreClear)
-            calmRun_ = 0;
+    if (score_ > config_.scoreClear) {
+        calmRun_ = 0;
         return;
     }
-    if (++calmRun_ < config_.calmSamples)
+    if (mode_ == Mode::kNominal) {
+        // Sustained nominal calm forgives one relapse level per calm
+        // dwell — a one-off incident doesn't tax the node forever.
+        if (relapseLevel_ > 0 && ++calmRun_ >= calmDwell()) {
+            --relapseLevel_;
+            calmRun_ = 0;
+        }
+        return;
+    }
+    if (++calmRun_ < calmDwell())
         return;
     // One level per calm dwell — the hysteresis that keeps an attacker
     // from flapping the policy with a 50% duty-cycle tone.  Leaving
@@ -149,6 +240,8 @@ DefenseController::observeSample(double t, double vLo, double vHi,
                                  const analog::MonitorEvent& shadow)
 {
     ++stats_.samples;
+    if (sinceDeescalation_ != ~std::uint64_t{0})
+        ++sinceDeescalation_;
     std::uint64_t evidence = 0;
 
     if (lastSampleT_ >= 0.0 && t > lastSampleT_) {
@@ -171,8 +264,23 @@ DefenseController::observeSample(double t, double vLo, double vHi,
     decayAndMaybeDeescalate(t);
     if (evidence & kEvidencePhysics)
         addEvidence(t, config_.physicsWeight, evidence);
-    if (evidence & kEvidenceDisagree)
-        addEvidence(t, config_.disagreeWeight, evidence);
+    if (config_.edgeSkewSamples <= 0) {
+        if (evidence & kEvidenceDisagree)
+            addEvidence(t, config_.disagreeWeight, evidence);
+    } else {
+        // Edge-skew reconciliation: a lone pulse waits for the other
+        // monitor's matching pulse before it becomes evidence, so the
+        // one-sample trip skew at a genuine supply crossing (ADC
+        // quantization vs comparator hysteresis) stops scoring as
+        // forgery.  Unmatched pulses still mature into the full
+        // disagreement weight when the window closes.
+        int charges = trackEdge(pendingBackup_, primary.backup,
+                                shadow.backup) +
+                      trackEdge(pendingWake_, primary.wake, shadow.wake);
+        for (int i = 0; i < charges; ++i)
+            addEvidence(t, config_.disagreeWeight,
+                        evidence | kEvidenceDisagree);
+    }
 
     lastSampleT_ = t;
     lastSampleV_ = 0.5 * (vLo + vHi);
@@ -200,6 +308,7 @@ DefenseController::noteRollback(double t, std::uint32_t regionId)
     const std::uint64_t commitsSince =
         lastCommitCount_ - commitCountAtRollback_;
     commitCountAtRollback_ = lastCommitCount_;
+    redoCommitPending_ = true;
     if (regionId == lastRollbackRegion_ && commitsSince <= 1) {
         ++consecutiveRollbacks_;
     } else {
@@ -217,8 +326,17 @@ DefenseController::noteCommit(std::uint64_t commitCount)
 {
     if (commitCount <= lastCommitCount_)
         return;
-    const std::uint64_t committed = commitCount - lastCommitCount_;
+    std::uint64_t committed = commitCount - lastCommitCount_;
     lastCommitCount_ = commitCount;
+    // The first commit after a rollback merely redoes the rolled-back
+    // region: the frontier hasn't moved, so it earns no credit.
+    // Without this gate an outage-phase-locked burst that forces one
+    // rollback per power cycle farms a boot-quantum of credit from
+    // every redo and the debt ledger never trips.
+    if (redoCommitPending_) {
+        redoCommitPending_ = false;
+        --committed;
+    }
     // Each committed region pays one boot-quantum of debt back.  The
     // credit is bounded (not a wholesale clear) so an attack that lets
     // a trickle of progress through cannot keep the ledger from
@@ -297,8 +415,15 @@ DefenseController::archiveState(campaign::Archive& ar)
     ar.f64(score_);
     ar.boolean(aboveSuspicion_);
     ar.i32(calmRun_);
+    ar.i32(relapseLevel_);
+    ar.u64(sinceDeescalation_);
+    ar.boolean(redoCommitPending_);
     ar.f64(lastSampleT_);
     ar.f64(lastSampleV_);
+    ar.i32(pendingBackup_.lead);
+    ar.i32(pendingBackup_.age);
+    ar.i32(pendingWake_.lead);
+    ar.i32(pendingWake_.age);
     ar.u32(lastRollbackRegion_);
     ar.u64(consecutiveRollbacks_);
     ar.u64(lastCommitCount_);
@@ -308,10 +433,12 @@ DefenseController::archiveState(campaign::Archive& ar)
     ar.u64(stats_.samples);
     ar.u64(stats_.anomalies);
     ar.u64(stats_.disagreements);
+    ar.u64(stats_.edgeSkews);
     ar.u64(stats_.physicsViolations);
     ar.u64(stats_.escalations);
     ar.u64(stats_.deEscalations);
     ar.u64(stats_.ratchetTrips);
+    ar.u64(stats_.relapses);
     ar.u64(stats_.wakesDeferred);
     ar.f64(stats_.firstEscalationT);
     ar.f64(stats_.energyDebtJ);

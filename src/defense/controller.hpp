@@ -112,7 +112,20 @@ class DefenseController
 
   private:
     void addEvidence(double t, double weight, std::uint64_t evidence);
+    /// Calm dwell currently required to step one mode down:
+    /// calmSamples doubled once per relapse level.
+    int calmDwell() const;
     void decayAndMaybeDeescalate(double t);
+    /// One-monitor edge pulse awaiting the other monitor's matching
+    /// pulse (lead: +1 primary, -1 shadow, 0 empty).
+    struct PendingEdge {
+        int lead = 0;
+        int age = 0;
+    };
+    /// Track one edge kind (backup or wake) through the skew window;
+    /// returns the number of disagreement charges that matured.
+    int trackEdge(PendingEdge& pending, bool primaryPulse,
+                  bool shadowPulse);
     void escalateTo(double t, Mode target);
     void setMode(double t, Mode next);
     void tripRatchet(double t, std::uint32_t regionId,
@@ -129,9 +142,17 @@ class DefenseController
     double score_ = 0.0;
     bool aboveSuspicion_ = false;  ///< anomaly-edge latch (traced once)
     int calmRun_ = 0;
+    // Relapse-hardened hysteresis: dwell doublings earned by
+    // re-escalating soon after a de-escalation, and the (saturating)
+    // sample count since the last de-escalation.
+    int relapseLevel_ = 0;
+    std::uint64_t sinceDeescalation_ = ~std::uint64_t{0};
 
     double lastSampleT_ = -1.0;
     double lastSampleV_ = -1.0;
+    // Edge-skew reconciliation windows (one per edge kind).
+    PendingEdge pendingBackup_;
+    PendingEdge pendingWake_;
 
     // Ratchet state.
     std::uint32_t lastRollbackRegion_ = ~std::uint32_t{0};
@@ -140,6 +161,9 @@ class DefenseController
     /// Commit count at the previous rollback: distinguishes a redo of
     /// the rolled-back region (not progress) from the frontier moving.
     std::uint64_t commitCountAtRollback_ = 0;
+    /// Set by a rollback: the next commit is the redo of the
+    /// rolled-back region and earns no energy-debt credit.
+    bool redoCommitPending_ = false;
     bool committedSinceDegrade_ = false;
 
     // Recharge dwell (kDegraded wake gate).

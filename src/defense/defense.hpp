@@ -2,6 +2,7 @@
 #define GECKO_DEFENSE_DEFENSE_HPP_
 
 #include <cstdint>
+#include <string>
 
 /**
  * @file
@@ -65,10 +66,30 @@ struct DefenseConfig {
     /// Slack (V) added to the physics bound — absorbs quantization and
     /// sampling-phase error without admitting volt-scale EMI swings.
     double physicsMarginV = 0.05;
+    /// Redundant monitors with different quantization and sampling
+    /// cadence legitimately flag the *same* supply edge a sample or two
+    /// apart (e.g. the wake crossing during a harvester-outage restore
+    /// ramp).  A lone edge pulse is therefore held pending this many
+    /// samples; a matching pulse from the other monitor inside the
+    /// window reconciles the pair as benign skew instead of evidence.
+    /// An attacker gains nothing from the grace: a forged trough
+    /// couples into only one sensing path, never earns the matching
+    /// pulse, and is charged when the window closes (one-sample
+    /// detection latency).  0 restores immediate per-sample charging.
+    int edgeSkewSamples = 1;
 
     // --- hysteretic de-escalation ---
     /// Consecutive calm samples required to step *one* level down.
     int calmSamples = 64;
+    /// A re-escalation out of kNominal within this many samples of the
+    /// last de-escalation is a *relapse*: each relapse doubles the calm
+    /// dwell (up to relapseLevelCap doublings), so a duty-cycled tone
+    /// that waits out the dwell and re-attacks pays a geometrically
+    /// growing price instead of farming the fixed hysteresis.  0
+    /// disables relapse hardening.
+    int relapseWindowSamples = 256;
+    /// Cap on dwell doublings (dwell <= calmSamples << cap).
+    int relapseLevelCap = 4;
 
     // --- escalated checkpoint-save policy ---
     /// Base of the save-retry backoff (cycles).
@@ -109,18 +130,36 @@ struct PlantModel {
     double bootEnergyJ = 4.8e-5;
 };
 
+/**
+ * Resolve a named defense preset (the campaign engine's defense axis):
+ *  - "static":   controller off — the paper's static configuration
+ *  - "adaptive": controller on with the default knobs
+ *  - "strict":   controller on with tightened degraded-entry
+ *    thresholds (lower escalation scores, half the rollback budget,
+ *    longer calm dwell)
+ * @return false for an unknown name (`*out` untouched).
+ */
+bool presetByName(const std::string& name, DefenseConfig* out);
+
 /** Observable controller counters. */
 struct DefenseStats {
     std::uint64_t samples = 0;
     /// Upward crossings of the suspicion threshold (traced).
     std::uint64_t anomalies = 0;
-    /// Samples carrying monitor-disagreement evidence.
+    /// Samples where the two monitor views mismatched (raw, before
+    /// edge-skew reconciliation).
     std::uint64_t disagreements = 0;
+    /// Mismatch pairs reconciled as benign sampling skew (the other
+    /// monitor confirmed the same edge within edgeSkewSamples).
+    std::uint64_t edgeSkews = 0;
     /// Samples carrying physics-violation evidence.
     std::uint64_t physicsViolations = 0;
     std::uint64_t escalations = 0;
     std::uint64_t deEscalations = 0;
     std::uint64_t ratchetTrips = 0;
+    /// Re-escalations out of kNominal within the relapse window of a
+    /// de-escalation (each one doubles the calm dwell).
+    std::uint64_t relapses = 0;
     /// Monitor wake signals deferred by the kDegraded recharge dwell.
     std::uint64_t wakesDeferred = 0;
     /// Sim time of the first escalation out of kNominal (<0 = never);

@@ -300,6 +300,22 @@ asStringList(const JsonValue& v, const std::string& path,
 }
 
 bool
+asDoubleList(const JsonValue& v, const std::string& path,
+             std::vector<double>* out, std::string* error)
+{
+    if (v.type != JsonValue::kArray || v.arr.empty())
+        return failAt(error, path, "expected a non-empty number array");
+    out->clear();
+    for (const JsonValue& e : v.arr) {
+        if (e.type != JsonValue::kNumber)
+            return failAt(error, path,
+                          "expected a non-empty number array");
+        out->push_back(e.num);
+    }
+    return true;
+}
+
+bool
 schemeFromName(const std::string& name, compiler::Scheme* out)
 {
     for (compiler::Scheme s :
@@ -372,7 +388,56 @@ mapBurst(const JsonValue& v, SpecScenario* sc, std::string* error)
 }
 
 bool
-mapScenario(const JsonValue& v, FaultSpec* spec, std::string* error)
+mapDuty(const JsonValue& v, SpecScenario* sc, std::string* error)
+{
+    if (v.type != JsonValue::kObject)
+        return failAt(error, "$.scenario.duty", "expected an object");
+    for (const auto& [key, val] : v.members) {
+        std::string path = "$.scenario.duty." + key;
+        if (key == "period_s") {
+            if (!asDouble(val, path, &sc->dutyPeriodS, error))
+                return false;
+        } else if (key == "on_frac") {
+            if (!asDouble(val, path, &sc->dutyOnFrac, error))
+                return false;
+        } else {
+            return failAt(error, path, "unknown field \"" + key + "\"");
+        }
+    }
+    if (sc->dutyPeriodS <= 0.0 || sc->dutyOnFrac <= 0.0 ||
+        sc->dutyOnFrac > 1.0)
+        return failAt(error, "$.scenario.duty",
+                      "period_s > 0 and on_frac in (0, 1] are required");
+    return true;
+}
+
+bool
+mapOutage(const JsonValue& v, SpecScenario* sc, std::string* error)
+{
+    if (v.type != JsonValue::kObject)
+        return failAt(error, "$.scenario.outage", "expected an object");
+    for (const auto& [key, val] : v.members) {
+        std::string path = "$.scenario.outage." + key;
+        if (key == "period_s") {
+            if (!asDouble(val, path, &sc->outagePeriodS, error))
+                return false;
+        } else if (key == "on_frac") {
+            if (!asDouble(val, path, &sc->outageOnFrac, error))
+                return false;
+        } else {
+            return failAt(error, path, "unknown field \"" + key + "\"");
+        }
+    }
+    if (sc->outagePeriodS <= 0.0 || sc->outageOnFrac <= 0.0 ||
+        sc->outageOnFrac >= 1.0)
+        return failAt(error, "$.scenario.outage",
+                      "period_s > 0 and on_frac in (0, 1) are required");
+    return true;
+}
+
+bool
+mapScenario(const JsonValue& v, FaultSpec* spec,
+            std::vector<std::string>* v2Fields, std::string* error)
 {
     if (v.type != JsonValue::kObject)
         return failAt(error, "$.scenario", "expected an object");
@@ -403,6 +468,24 @@ mapScenario(const JsonValue& v, FaultSpec* spec, std::string* error)
             hasBurst = true;
             if (!mapBurst(val, &sc, error))
                 return false;
+        } else if (key == "duty") {
+            v2Fields->push_back(path);
+            if (!mapDuty(val, &sc, error))
+                return false;
+        } else if (key == "phase_s") {
+            v2Fields->push_back(path);
+            if (!asDouble(val, path, &sc.phaseS, error))
+                return false;
+            if (sc.phaseS < 0.0)
+                return failAt(error, path, "value out of range");
+        } else if (key == "envelope") {
+            v2Fields->push_back(path);
+            if (!asDoubleList(val, path, &sc.envelopeDbm, error))
+                return false;
+        } else if (key == "outage") {
+            v2Fields->push_back(path);
+            if (!mapOutage(val, &sc, error))
+                return false;
         } else {
             return failAt(error, path, "unknown field \"" + key + "\"");
         }
@@ -413,6 +496,12 @@ mapScenario(const JsonValue& v, FaultSpec* spec, std::string* error)
     if (hasBurst && sc.kind != "burst")
         return failAt(error, "$.scenario",
                       "burst schedule requires kind \"burst\"");
+    if (sc.kind == "clean" &&
+        (sc.dutyPeriodS > 0.0 || sc.phaseS > 0.0 ||
+         !sc.envelopeDbm.empty()))
+        return failAt(error, "$.scenario",
+                      "duty/phase_s/envelope require a tone or burst "
+                      "scenario");
     spec->hasScenario = true;
     return true;
 }
@@ -554,16 +643,17 @@ parseSpec(const std::string& text, FaultSpec* out, std::string* error)
         return failTop("top-level value must be an object");
 
     bool sawVersion = false;
+    std::vector<std::string> v2Fields;
     for (const auto& [key, val] : root.members) {
         std::string path = "$." + key;
         if (key == "version") {
             sawVersion = true;
             if (!asInt(val, path, 0, 1 << 20, &out->version, &err))
                 return failTop("");
-            if (out->version != 1) {
+            if (out->version != 1 && out->version != 2) {
                 err = "spec: unsupported version " +
                       std::to_string(out->version) +
-                      " (this build reads version 1)";
+                      " (this build reads versions 1 and 2)";
                 return failTop("");
             }
         } else if (key == "name") {
@@ -577,7 +667,7 @@ parseSpec(const std::string& text, FaultSpec* out, std::string* error)
             if (!mapCampaign(val, out, &err))
                 return failTop("");
         } else if (key == "scenario") {
-            if (!mapScenario(val, out, &err))
+            if (!mapScenario(val, out, &v2Fields, &err))
                 return failTop("");
         } else if (key == "engine") {
             if (!mapEngine(val, out, &err))
@@ -589,6 +679,14 @@ parseSpec(const std::string& text, FaultSpec* out, std::string* error)
     }
     if (!sawVersion)
         return failTop("missing required field \"version\"");
+    // Version gating happens after the walk (the version key may
+    // legally follow the scenario section in the file).
+    if (out->version < 2 && !v2Fields.empty()) {
+        err = "spec: field " + v2Fields.front() +
+              " requires version 2 (spec declares version " +
+              std::to_string(out->version) + ")";
+        return failTop("");
+    }
     return true;
 }
 
@@ -652,6 +750,24 @@ serializeSpec(const FaultSpec& spec)
                    << ", \"on_s\": " << numText(sc.burstOnS)
                    << ", \"gap_s\": " << numText(sc.burstGapS) << "}";
             }
+            if (sc.dutyPeriodS > 0.0) {
+                os << ",\n    \"duty\": {\"period_s\": "
+                   << numText(sc.dutyPeriodS) << ", \"on_frac\": "
+                   << numText(sc.dutyOnFrac) << "}";
+            }
+            if (sc.phaseS > 0.0)
+                os << ",\n    \"phase_s\": " << numText(sc.phaseS);
+            if (!sc.envelopeDbm.empty()) {
+                os << ",\n    \"envelope\": [";
+                for (std::size_t i = 0; i < sc.envelopeDbm.size(); ++i)
+                    os << (i ? ", " : "") << numText(sc.envelopeDbm[i]);
+                os << "]";
+            }
+        }
+        if (sc.outagePeriodS > 0.0) {
+            os << ",\n    \"outage\": {\"period_s\": "
+               << numText(sc.outagePeriodS) << ", \"on_frac\": "
+               << numText(sc.outageOnFrac) << "}";
         }
         os << "\n  }";
     }

@@ -55,9 +55,26 @@ struct SpecScenario {
     int burstCount = 0;
     double burstOnS = 0.0;
     double burstGapS = 0.0;
+    // --- schema v2: attack-schedule scripting ---
+    /// Duty cycling ("duty": {"period_s", "on_frac"}): the carrier is
+    /// on for onFrac of every period.  period_s > 0 enables.
+    double dutyPeriodS = 0.0;
+    double dutyOnFrac = 0.0;
+    /// Offset of the first attack window ("phase_s").
+    double phaseS = 0.0;
+    /// Piecewise amplitude envelope ("envelope": [dbm, ...]): per-
+    /// window carrier power, cycling.  Empty = flat power_dbm.
+    std::vector<double> envelopeDbm;
+    /// Harvester outage environment ("outage": {"period_s",
+    /// "on_frac"}): supply up for onFrac of every period, collapsed
+    /// for the rest.  period_s > 0 enables; legal on any kind (it is
+    /// environment, not attack).
+    double outagePeriodS = 0.0;
+    double outageOnFrac = 0.0;
 };
 
-/** One parsed scenario-spec file (schema version 1). */
+/** One parsed scenario-spec file (schema version 1 or 2; the v2
+ *  attack-schedule fields are rejected in v1 specs). */
 struct FaultSpec {
     int version = 1;
     std::string name;

@@ -58,11 +58,14 @@ struct SweepRecord {
  *  - 6: added the optional `figure_data` object — raw per-figure
  *    payload (e.g. the per-cell susceptibility map of fig_spatial_map)
  *    emitted verbatim by the bench that produced it.
+ *  - 7: fig_adversarial's defense-vs-best-attack matrix rides in
+ *    `figure_data`, and the campaign aggregate it embeds gained the
+ *    per-group `commits` counter (campaign schema v5).
  * Readers must tolerate unknown keys so newer records keep
  * aggregating under older readers (the find-based extractors below
  * do this by construction).
  */
-inline constexpr int kBenchSchemaVersion = 6;
+inline constexpr int kBenchSchemaVersion = 7;
 
 /** Telemetry of one bench binary run. */
 struct BenchReport {

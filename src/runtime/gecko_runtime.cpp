@@ -173,25 +173,28 @@ GeckoRuntime::rollback()
         for (const CkptSpec& ck : r->ckpts) {
             if (covered & compiler::regBit(ck.reg))
                 continue;
-            if (guarded()) {
-                sim::SlotRead sr = nvm_->readSlotGuarded(ck.reg, ck.slot);
-                if (sr.repaired) {
-                    ++stats.slotRepairs;
-                    GECKO_TRACE_EVENT(trace::EventKind::kSlotRepair, 0,
-                                      ck.reg,
-                                      static_cast<std::uint64_t>(ck.slot));
-                }
-                if (sr.unrecoverable) {
-                    ++stats.slotUnrecoverable;
-                    GECKO_TRACE_EVENT(trace::EventKind::kSlotUnrecoverable,
-                                      0, ck.reg,
-                                      static_cast<std::uint64_t>(ck.slot));
-                }
-                regs[ck.reg] = sr.value;
-            } else {
-                regs[ck.reg] =
-                    nvm_->slots[ck.reg][static_cast<std::size_t>(ck.slot)];
+            // Slot integrity is a property of the checkpoint *storage*,
+            // not of the GECKO protocol: every scheme writes slots
+            // through the guarded (value, CRC, shadow) store, so every
+            // scheme restores through the guarded read.  Ratchet used
+            // to read the primary word raw, which let single-word slot
+            // faults through on exactly the cases the campaign surfaced.
+            sim::SlotRead sr = nvm_->readSlotGuarded(ck.reg, ck.slot);
+            if (sr.repaired) {
+                // Scrub: re-arm the full pair so the surviving latent
+                // corruption cannot meet a second disturbance later.
+                nvm_->scrubSlot(ck.reg, ck.slot, sr.value);
+                ++stats.slotRepairs;
+                GECKO_TRACE_EVENT(trace::EventKind::kSlotRepair, 0, ck.reg,
+                                  static_cast<std::uint64_t>(ck.slot));
             }
+            if (sr.unrecoverable) {
+                ++stats.slotUnrecoverable;
+                GECKO_TRACE_EVENT(trace::EventKind::kSlotUnrecoverable, 0,
+                                  ck.reg,
+                                  static_cast<std::uint64_t>(ck.slot));
+            }
+            regs[ck.reg] = sr.value;
             covered |= compiler::regBit(ck.reg);
             cycles += 3;
         }

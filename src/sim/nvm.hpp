@@ -208,6 +208,15 @@ class Nvm
      * Guarded slot load: validates the primary (value, CRC) pair and
      * falls back to the shadow pair when the primary is corrupt.  A
      * virgin (all-zero) slot validates, since crc32Word(0) == 0.
+     *
+     * Multi-word hits on the same slot pair recover through the cross
+     * checks: the four stored words (two values, two check words) carry
+     * enough redundancy that any intact value word still validates
+     * against either intact check word, and when both check words are
+     * hit the two independently stored value words vouch for each other
+     * by agreement.  Only disturbances that corrupt a value word *and*
+     * every witness for it remain unrecoverable — and are reported as
+     * such rather than silently consumed.
      */
     SlotRead readSlotGuarded(int reg, int slot) const
     {
@@ -222,8 +231,36 @@ class Nvm
             out.repaired = true;
             return out;
         }
+        // Cross-pair recovery: a value word whose own check word was
+        // hit can still be vouched for by the sibling pair's check word.
+        if (crc32Word(slots[r][s]) == slotShadowCrc[r][s]) {
+            out.repaired = true;
+            return out;
+        }
+        if (crc32Word(slotShadow[r][s]) == slotCrc[r][s]) {
+            out.value = slotShadow[r][s];
+            out.repaired = true;
+            return out;
+        }
+        // Both check words corrupt but the two value words — written to
+        // distinct FRAM lines — agree: accept the agreed value.
+        if (slots[r][s] == slotShadow[r][s]) {
+            out.repaired = true;
+            return out;
+        }
         out.unrecoverable = true;
         return out;
+    }
+
+    /**
+     * Scrub a repaired slot: rewrite all four words of the pair
+     * coherently so a surviving latent corruption cannot combine with a
+     * later disturbance of the other copy.  Same cost model as
+     * writeSlot (two wide FRAM line writes).
+     */
+    void scrubSlot(int reg, int slot, std::uint32_t value)
+    {
+        writeSlot(reg, slot, value);
     }
     /// Id of the last committed region (written atomically by kBoundary).
     std::uint32_t committedRegion = 0;

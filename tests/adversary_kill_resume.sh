@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Kill-and-resume differential oracle for the adversarial attack
+# optimizer (DESIGN.md §16).
+#
+# Runs a reference search to completion, then runs the identical search
+# a second time but SIGKILLs it mid-flight (no cleanup, no signal
+# handler — the hardest crash) and resumes it in a loop until it
+# reports complete.  The resumed run's stdout matrix and every
+# per-defense best-attack spec must be byte-identical to the
+# uninterrupted run's: the search journal, the per-round campaigns and
+# the standalone best evaluation are all durable state.
+#
+# Usage: adversary_kill_resume.sh /path/to/fig_adversarial
+set -u
+
+BENCH=${1:?usage: adversary_kill_resume.sh /path/to/fig_adversarial}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/gecko_advres.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+# Big enough that the kill window reliably lands mid-search, small
+# enough to stay a smoke test (a few seconds per full pass).
+ARGS=(--threads=4 --defenses=static,adaptive --rounds=4 --restarts=2
+      --seeds=4 --sim=0.25)
+
+echo "== reference (uninterrupted) search"
+"$BENCH" "${ARGS[@]}" --fresh --dir="$WORK/ref" \
+    >"$WORK/ref.out" 2>"$WORK/ref.err"
+rc=$?
+if [ $rc -ne 0 ]; then
+    echo "FAIL: reference search exited $rc"
+    cat "$WORK/ref.err"
+    exit 1
+fi
+
+echo "== victim search, SIGKILL mid-flight"
+"$BENCH" "${ARGS[@]}" --fresh --dir="$WORK/cut" \
+    >/dev/null 2>"$WORK/cut.err" &
+VICTIM=$!
+sleep 0.4
+if kill -9 "$VICTIM" 2>/dev/null; then
+    echo "   killed pid $VICTIM"
+else
+    # The search beat the timer; the oracle still checks resume
+    # idempotence below, but flag it so a slow-host tune-up is visible.
+    echo "   victim finished before the kill (host too fast?)"
+fi
+wait "$VICTIM" 2>/dev/null
+
+rounds_before=$(grep -h '"type":"round"' "$WORK"/cut/*/search.jsonl \
+    2>/dev/null | wc -l)
+echo "   rounds journaled at kill: ${rounds_before:-0}"
+
+echo "== resume loop"
+tries=0
+until "$BENCH" "${ARGS[@]}" --dir="$WORK/cut" \
+    >"$WORK/cut.out" 2>>"$WORK/cut.err"; do
+    rc=$?
+    tries=$((tries + 1))
+    if [ "$tries" -gt 20 ]; then
+        echo "FAIL: search did not converge after $tries resumes (rc=$rc)"
+        tail -5 "$WORK/cut.err"
+        exit 1
+    fi
+done
+echo "   converged after $tries interrupted resume(s)"
+
+echo "== differential"
+if ! cmp -s "$WORK/ref.out" "$WORK/cut.out"; then
+    echo "FAIL: stdout matrix differs between uninterrupted and resumed"
+    diff "$WORK/ref.out" "$WORK/cut.out" | head -20
+    exit 1
+fi
+for d in static adaptive; do
+    if ! cmp -s "$WORK/ref/$d/best_spec.json" \
+        "$WORK/cut/$d/best_spec.json"; then
+        echo "FAIL: $d best_spec.json differs after kill/resume"
+        diff <(tr ',' '\n' <"$WORK/ref/$d/best_spec.json") \
+             <(tr ',' '\n' <"$WORK/cut/$d/best_spec.json") | head -20
+        exit 1
+    fi
+done
+
+echo "PASS: resumed matrix and best specs byte-identical"
+exit 0

@@ -663,8 +663,13 @@ smallSpace()
     campaign::CampaignSpace space;
     space.workloads = {"sensor_loop"};
     space.schemes = {Scheme::kGecko, Scheme::kNvp};
-    space.scenarios = {{campaign::ScenarioKind::kClean, 0.0, 0.0},
-                       {campaign::ScenarioKind::kTone, 27e6, 35.0}};
+    campaign::Scenario clean;
+    clean.kind = campaign::ScenarioKind::kClean;
+    clean.freqHz = 0.0;
+    clean.powerDbm = 0.0;
+    campaign::Scenario tone;
+    tone.kind = campaign::ScenarioKind::kTone;
+    space.scenarios = {clean, tone};
     space.seeds = {1, 2};
     space.simSeconds = 0.008;
     space.sliceSimSeconds = 0.002;
@@ -886,8 +891,11 @@ TEST(EngineTest, SpatialSpecScenarioInterruptResumesByteIdentical)
         sc.burstCount = spec.scenario.burstCount;
         sc.burstOnS = spec.scenario.burstOnS;
         sc.burstGapS = spec.scenario.burstGapS;
-        config.space.scenarios = {
-            {campaign::ScenarioKind::kClean, 0.0, 0.0}, sc};
+        campaign::Scenario clean;
+        clean.kind = campaign::ScenarioKind::kClean;
+        clean.freqHz = 0.0;
+        clean.powerDbm = 0.0;
+        config.space.scenarios = {clean, sc};
         return config;
     };
     EXPECT_EQ(fault::resolveSeed(spec), 31u);

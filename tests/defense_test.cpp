@@ -99,6 +99,74 @@ TEST(DefenseTest, MonitorDisagreementIsEvidence)
     EXPECT_GE(dc.mode(), Mode::kSuspicious);
 }
 
+TEST(DefenseTest, SkewedEdgePairReconcilesAsBenign)
+{
+    // A genuine supply crossing (e.g. the wake ramp after a harvester
+    // outage): the primary monitor trips the edge one sample before the
+    // shadow does.  That pair must reconcile as sampling skew, not
+    // score as forgery — this was a strict-preset false positive.
+    DefenseController dc(fastConfig(), PlantModel{});
+    double t = 0.0;
+    analog::MonitorEvent none, primaryWake, shadowWake;
+    primaryWake.wake = true;
+    shadowWake.wake = true;
+    for (int edge = 0; edge < 8; ++edge) {
+        dc.observeSample(t += 1e-5, 3.0, 3.0, primaryWake, none);
+        dc.observeSample(t += 1e-5, 3.0, 3.0, none, shadowWake);
+        for (int i = 0; i < 20; ++i)
+            dc.observeSample(t += 1e-5, 3.0, 3.0, none, none);
+    }
+    EXPECT_EQ(dc.stats().edgeSkews, 8u);
+    EXPECT_EQ(dc.stats().disagreements, 16u);  // raw mismatches counted
+    EXPECT_EQ(dc.stats().escalations, 0u);
+    EXPECT_EQ(dc.stats().anomalies, 0u);
+    EXPECT_EQ(dc.mode(), Mode::kNominal);
+}
+
+TEST(DefenseTest, UnmatchedEdgePulseMaturesIntoEvidence)
+{
+    // A forged trough couples into only one sensing path: the pulse is
+    // never confirmed, so it must still charge the disagreement weight
+    // once the one-sample skew grace closes — a one-sample detection
+    // latency, never a free pass.
+    DefenseController dc(fastConfig(), PlantModel{});
+    double t = 0.0;
+    analog::MonitorEvent none, forged;
+    forged.backup = true;  // only the shadow comparator sees the trough
+    dc.observeSample(t += 1e-5, 3.0, 3.0, none, forged);
+    EXPECT_EQ(dc.score(), 0.0);  // held pending, not yet evidence
+    dc.observeSample(t += 1e-5, 3.0, 3.0, none, none);
+    EXPECT_EQ(dc.score(), 0.0);  // still inside the skew grace
+    dc.observeSample(t += 1e-5, 3.0, 3.0, none, none);
+    EXPECT_GT(dc.score(), 0.0);  // grace closed: charged in full
+    EXPECT_EQ(dc.stats().edgeSkews, 0u);
+    EXPECT_EQ(dc.stats().disagreements, 1u);
+
+    // Sustained forgery (a pulse every sample) charges every sample
+    // after the first: the ladder still escalates.
+    for (int i = 0; i < 20; ++i)
+        dc.observeSample(t += 1e-5, 3.0, 3.0, none, forged);
+    EXPECT_GE(dc.mode(), Mode::kSuspicious);
+    EXPECT_EQ(dc.stats().edgeSkews, 0u);
+}
+
+TEST(DefenseTest, EdgeSkewZeroRestoresImmediateCharging)
+{
+    DefenseConfig config = fastConfig();
+    config.edgeSkewSamples = 0;
+    DefenseController dc(config, PlantModel{});
+    double t = 0.0;
+    analog::MonitorEvent none, primaryWake, shadowWake;
+    primaryWake.wake = true;
+    shadowWake.wake = true;
+    // The same benign skewed pair now charges both samples immediately.
+    dc.observeSample(t += 1e-5, 3.0, 3.0, primaryWake, none);
+    dc.observeSample(t += 1e-5, 3.0, 3.0, none, shadowWake);
+    EXPECT_EQ(dc.stats().edgeSkews, 0u);
+    EXPECT_EQ(dc.stats().disagreements, 2u);
+    EXPECT_GT(dc.score(), 0.0);
+}
+
 TEST(DefenseTest, HysteresisStepsDownOneLevelPerCalmDwell)
 {
     DefenseConfig config = fastConfig();
@@ -264,6 +332,114 @@ TEST(DefenseTest, WakeDwellGatesOnlyDegraded)
     // the node: the gate stays open.
     dc.noteSleepEnter(3.0, -1.0);
     EXPECT_TRUE(dc.wakeAllowed(3.0));
+}
+
+TEST(DefenseTest, RelapseDoublesCalmDwell)
+{
+    // The adversarial-search signature: a duty-cycled tone that goes
+    // quiet for exactly one calm dwell, lets the controller de-escalate
+    // to nominal, then re-attacks.  Each such relapse must double the
+    // dwell so the attacker's required off-time grows geometrically.
+    DefenseConfig config = fastConfig();
+    config.relapseWindowSamples = 64;
+    DefenseController dc(config, PlantModel{});
+    double t = 0.0, v = 3.0;
+
+    auto escalate = [&] {
+        while (dc.mode() == Mode::kNominal)
+            violate(dc, t, v);
+    };
+    auto calmToNominal = [&] {
+        int n = 0;
+        while (dc.mode() != Mode::kNominal) {
+            calm(dc, t, v);
+            ++n;
+        }
+        return n;
+    };
+
+    escalate();
+    const int firstDwell = calmToNominal();
+    escalate();  // relapse #1: within the window of the de-escalation
+    EXPECT_EQ(dc.stats().relapses, 1u);
+    const int secondDwell = calmToNominal();
+    // The doubled dwell dominates the decay samples, so the relapse
+    // path takes measurably longer to calm down.
+    EXPECT_GE(secondDwell, firstDwell + config.calmSamples);
+    escalate();  // relapse #2 doubles again
+    EXPECT_EQ(dc.stats().relapses, 2u);
+    const int thirdDwell = calmToNominal();
+    EXPECT_GE(thirdDwell, secondDwell + 2 * config.calmSamples);
+}
+
+TEST(DefenseTest, RelapseLevelIsCappedAndForgiven)
+{
+    DefenseConfig config = fastConfig();
+    config.relapseWindowSamples = 64;
+    config.relapseLevelCap = 2;
+    DefenseController dc(config, PlantModel{});
+    double t = 0.0, v = 3.0;
+
+    for (int round = 0; round < 5; ++round) {
+        while (dc.mode() == Mode::kNominal)
+            violate(dc, t, v);
+        while (dc.mode() != Mode::kNominal)
+            calm(dc, t, v);
+    }
+    // 4 relapses happened but the dwell stops doubling at the cap.
+    EXPECT_EQ(dc.stats().relapses, 4u);
+
+    // A long clean stretch forgives the penalty: after it, escalating
+    // again is no longer treated as a relapse-dwell marathon.  Relapse
+    // *counting* still works (the de-escalation was recent relative to
+    // a fresh attack), so measure via the dwell, not the counter.
+    for (int i = 0; i < 64 * 64; ++i)
+        calm(dc, t, v);
+    while (dc.mode() == Mode::kNominal)
+        violate(dc, t, v);
+    int dwell = 0;
+    while (dc.mode() != Mode::kNominal) {
+        calm(dc, t, v);
+        ++dwell;
+    }
+    // Forgiven to level 0, the fresh incident re-escalates one relapse
+    // level (the counter window is sample-based), so the dwell is at
+    // most the one-doubling cost — far below the capped 4x dwell.
+    EXPECT_LT(dwell, 3 * 2 * config.calmSamples);
+}
+
+TEST(DefenseTest, RedoCreditGateTripsLedgerOnRedoOnlyCycles)
+{
+    // Each power cycle: one boot's waste, one rollback, one redo
+    // commit, NO new progress.  Pre-hardening every redo earned a
+    // boot-quantum credit, so debt stayed at zero forever; with the
+    // gate the ledger integrates one quantum per cycle and trips.
+    DefenseConfig config = fastConfig();
+    config.energyDebtBudgetJ = 1e-3;
+    config.rollbackBudgetPerRegion = 1000;  // isolate the ledger path
+    PlantModel plant;
+    plant.bootEnergyJ = 1e-4;
+    DefenseController dc(config, plant);
+    std::uint64_t commits = 0;
+    for (int i = 0; i < 10; ++i) {
+        dc.noteEnergyCost(0.01 * i, 1e-4);
+        dc.noteRollback(0.01 * i + 1e-3, 3);
+        dc.noteCommit(++commits);
+    }
+    EXPECT_GE(dc.stats().ratchetTrips, 1u);
+    EXPECT_EQ(dc.mode(), Mode::kDegraded);
+
+    // Control: the same cycles with genuine progress (two commits per
+    // cycle) pay the debt down and never trip.
+    DefenseController ok(config, plant);
+    commits = 0;
+    for (int i = 0; i < 10; ++i) {
+        ok.noteEnergyCost(0.01 * i, 1e-4);
+        ok.noteRollback(0.01 * i + 1e-3, 3);
+        commits += 2;
+        ok.noteCommit(commits);
+    }
+    EXPECT_EQ(ok.stats().ratchetTrips, 0u);
 }
 
 }  // namespace

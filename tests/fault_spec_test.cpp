@@ -119,11 +119,97 @@ TEST(SpecParse, UnsupportedVersionRejected)
 {
     FaultSpec spec;
     std::string error;
-    EXPECT_FALSE(parseSpec(R"({"version": 2})", &spec, &error));
-    EXPECT_NE(error.find("version 2"), std::string::npos) << error;
+    EXPECT_FALSE(parseSpec(R"({"version": 3})", &spec, &error));
+    EXPECT_NE(error.find("version 3"), std::string::npos) << error;
 
     EXPECT_FALSE(parseSpec(R"({"name": "no-version"})", &spec, &error));
     EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+// --- schema v2: attack-schedule scripting ---
+
+FaultSpec
+fullSpecV2()
+{
+    FaultSpec spec = fullSpec();
+    spec.version = 2;
+    spec.scenario.dutyPeriodS = 0.004;
+    spec.scenario.dutyOnFrac = 0.5;
+    spec.scenario.phaseS = 0.001;
+    spec.scenario.envelopeDbm = {35.0, 29.0, 35.0, 23.0};
+    spec.scenario.outagePeriodS = 0.008;
+    spec.scenario.outageOnFrac = 0.75;
+    return spec;
+}
+
+TEST(SpecV2, RoundTripIsByteStableAndEveryFieldSurvives)
+{
+    const std::string first = serializeSpec(fullSpecV2());
+    FaultSpec out;
+    std::string error;
+    ASSERT_TRUE(parseSpec(first, &out, &error)) << error;
+    EXPECT_EQ(first, serializeSpec(out));
+
+    EXPECT_EQ(out.version, 2);
+    EXPECT_DOUBLE_EQ(out.scenario.dutyPeriodS, 0.004);
+    EXPECT_DOUBLE_EQ(out.scenario.dutyOnFrac, 0.5);
+    EXPECT_DOUBLE_EQ(out.scenario.phaseS, 0.001);
+    ASSERT_EQ(out.scenario.envelopeDbm.size(), 4u);
+    EXPECT_DOUBLE_EQ(out.scenario.envelopeDbm[1], 29.0);
+    EXPECT_DOUBLE_EQ(out.scenario.outagePeriodS, 0.008);
+    EXPECT_DOUBLE_EQ(out.scenario.outageOnFrac, 0.75);
+}
+
+TEST(SpecV2, V2FieldsRejectedInV1Specs)
+{
+    FaultSpec spec;
+    std::string error;
+    // The same scenario keys parse under version 2 ...
+    ASSERT_TRUE(parseSpec(
+        R"({"version": 2, "scenario": {"kind": "tone",
+            "duty": {"period_s": 0.004, "on_frac": 0.5}}})",
+        &spec, &error))
+        << error;
+    // ... and are refused, by field path, under version 1.
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 1, "scenario": {"kind": "tone",
+            "duty": {"period_s": 0.004, "on_frac": 0.5}}})",
+        &spec, &error));
+    EXPECT_NE(error.find("$.scenario.duty"), std::string::npos) << error;
+    EXPECT_NE(error.find("requires version 2"), std::string::npos) << error;
+
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 1, "scenario": {"kind": "burst",
+            "phase_s": 0.001}})",
+        &spec, &error));
+    EXPECT_NE(error.find("$.scenario.phase_s"), std::string::npos) << error;
+}
+
+TEST(SpecV2, ScheduleFieldsNeedAnAttackButOutageIsEnvironment)
+{
+    FaultSpec spec;
+    std::string error;
+    // Duty cycling a clean scenario is meaningless.
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 2, "scenario": {"kind": "clean",
+            "duty": {"period_s": 0.004, "on_frac": 0.5}}})",
+        &spec, &error));
+    EXPECT_NE(error.find("tone or burst"), std::string::npos) << error;
+    // An outage environment without an attacker is legal.
+    EXPECT_TRUE(parseSpec(
+        R"({"version": 2, "scenario": {"kind": "clean",
+            "outage": {"period_s": 0.008, "on_frac": 0.75}}})",
+        &spec, &error))
+        << error;
+    // Range checks: on_frac must be a real fraction.
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 2, "scenario": {"kind": "tone",
+            "duty": {"period_s": 0.004, "on_frac": 1.5}}})",
+        &spec, &error));
+    EXPECT_FALSE(parseSpec(
+        R"({"version": 2, "scenario": {"kind": "tone",
+            "outage": {"period_s": 0.0, "on_frac": 0.5}}})",
+        &spec, &error));
 }
 
 TEST(SpecParse, MalformedJsonAndDuplicateKeysRejected)

@@ -72,6 +72,101 @@ TEST(GuardedSlotTest, DoubleCorruptionIsFlaggedUnrecoverable)
     EXPECT_TRUE(sr.unrecoverable);
 }
 
+TEST(GuardedSlotTest, CrossPairRecoveryCoversMultiWordHits)
+{
+    // Multi-word hits on the same slot pair: any surviving value word
+    // is vouched for by the sibling check word, and two agreeing value
+    // words survive the loss of both check words.
+    {
+        Nvm nvm(64);  // primary value + primary CRC hit
+        nvm.writeSlot(2, 3, 0xcafe0001);
+        nvm.slots[2][3] ^= 0x40;
+        nvm.slotCrc[2][3] ^= 0x9;
+        sim::SlotRead sr = nvm.readSlotGuarded(2, 3);
+        EXPECT_TRUE(sr.repaired);
+        EXPECT_EQ(sr.value, 0xcafe0001u);
+    }
+    {
+        Nvm nvm(64);  // shadow value + primary CRC hit
+        nvm.writeSlot(2, 3, 0xcafe0002);
+        nvm.slotShadow[2][3] ^= 0x40;
+        nvm.slotCrc[2][3] ^= 0x9;
+        sim::SlotRead sr = nvm.readSlotGuarded(2, 3);
+        EXPECT_TRUE(sr.repaired);
+        EXPECT_EQ(sr.value, 0xcafe0002u);
+    }
+    {
+        Nvm nvm(64);  // both check words hit, value words agree
+        nvm.writeSlot(2, 3, 0xcafe0003);
+        nvm.slotCrc[2][3] ^= 0x1;
+        nvm.slotShadowCrc[2][3] ^= 0x2;
+        sim::SlotRead sr = nvm.readSlotGuarded(2, 3);
+        EXPECT_TRUE(sr.repaired);
+        EXPECT_EQ(sr.value, 0xcafe0003u);
+    }
+    {
+        Nvm nvm(64);  // value word plus every witness for it: flagged
+        nvm.writeSlot(2, 3, 0xcafe0004);
+        nvm.slots[2][3] ^= 0x40;
+        nvm.slotCrc[2][3] ^= 0x9;
+        nvm.slotShadow[2][3] ^= 0x100;
+        sim::SlotRead sr = nvm.readSlotGuarded(2, 3);
+        EXPECT_TRUE(sr.unrecoverable);
+    }
+}
+
+TEST(GuardedSlotTest, ScrubReArmsRepairedPair)
+{
+    Nvm nvm(64);
+    nvm.writeSlot(1, 0, 0xfeed);
+    nvm.slots[1][0] ^= 0x8;
+    sim::SlotRead sr = nvm.readSlotGuarded(1, 0);
+    ASSERT_TRUE(sr.repaired);
+    nvm.scrubSlot(1, 0, sr.value);
+    // A later hit on the *other* copy would have combined with the
+    // latent primary corruption without the scrub; post-scrub the
+    // rewritten primary pair absorbs it outright.
+    nvm.slotShadow[1][0] ^= 0x8;
+    sim::SlotRead again = nvm.readSlotGuarded(1, 0);
+    EXPECT_FALSE(again.unrecoverable);
+    EXPECT_EQ(again.value, 0xfeedu);
+}
+
+// Regression pins for the Ratchet slot-fault gap (EXPERIMENTS.md
+// 12-injector table): the exact seed-42 campaign cases where rollback's
+// raw primary-word reads let slot faults through before every scheme
+// restored through the guarded read path.  Each case must now match
+// its golden run.
+TEST(CampaignRegressionTest, RatchetSlotFaultSurfacingSeedsRepair)
+{
+    struct Pin {
+        const char* injector;
+        std::uint64_t seed;
+        std::int32_t word;
+    };
+    static const Pin kPins[] = {
+        {"bitflip", 1644212235285245758ull, 4},
+        {"bitflip", 2581850694104297520ull, 4},
+        {"multibitflip", 5094330416887092295ull, 12},
+        {"multibitflip", 8403125170301223055ull, 4},
+        {"multibitflip", 4820481869918891970ull, 0},
+        {"multibitflip", 9871016863728879931ull, 9},
+        {"staleimage", 12781882269776521291ull, -1},
+    };
+    for (const Pin& pin : kPins) {
+        CaseSpec spec;
+        spec.workload = "sensor_loop";
+        spec.scheme = Scheme::kRatchet;
+        ASSERT_TRUE(injectorFromName(pin.injector, &spec.injector));
+        spec.seed = pin.seed;
+        spec.injectAtOverride = 0;
+        spec.wordOverride = pin.word;
+        CaseResult result = runCase(spec);
+        EXPECT_EQ(result.outcome, CaseOutcome::kOk)
+            << formatCorpusLine(result);
+    }
+}
+
 struct ImageRig {
     compiler::CompiledProgram prog;
     Nvm nvm{1024};

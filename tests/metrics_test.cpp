@@ -16,7 +16,7 @@ TEST(BenchJsonTest, ReportLeadsWithSchemaVersion)
     std::string json = report.toJson();
     // schema_version is the first key so even a truncated record
     // identifies its format.
-    EXPECT_EQ(json.rfind("{\"schema_version\":6,", 0), 0u) << json;
+    EXPECT_EQ(json.rfind("{\"schema_version\":7,", 0), 0u) << json;
     EXPECT_EQ(jsonNumber(json, "schema_version"),
               static_cast<double>(kBenchSchemaVersion));
     // Version-3/4 provenance keys are always present.
